@@ -1,0 +1,73 @@
+"""Shared machinery for the ablation benchmarks.
+
+Each ablation re-runs the schedule+allocate stage on real hot regions with
+one allocator feature disabled and measures what the feature was buying.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import DependenceSet, compute_dependences
+from repro.ir.superblock import Superblock
+from repro.opt.load_elim import LoadElimination
+from repro.opt.store_elim import StoreElimination
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import ListScheduler, SchedulerConfig
+from repro.sched.machine import MachineModel
+from repro.smarq.allocator import SmarqAllocator
+from repro.smarq.validator import semantic_pairs_from_allocator
+
+
+def allocate_region(
+    region: Superblock,
+    region_map,
+    register_regions,
+    num_registers: int = 64,
+    enable_anti: bool = True,
+    enable_amov: bool = True,
+    enable_throttle: bool = True,
+    eliminate: bool = True,
+):
+    """Optimize+schedule+allocate one region copy with allocator flags.
+
+    Returns (block, allocator, schedule_result).
+    """
+    block = region.copy()
+    machine = MachineModel().with_alias_registers(num_registers)
+    analysis = AliasAnalysis(block, region_map, initial_regions=register_regions)
+    extended = []
+    if eliminate:
+        le = LoadElimination().run(block, analysis)
+        se = StoreElimination().run(block, analysis, pinned=le.protected_ops())
+        extended = le.extended_deps + se.extended_deps
+        analysis = AliasAnalysis(
+            block, region_map, initial_regions=register_regions
+        )
+    deps = DependenceSet(compute_dependences(block, analysis))
+    for dep in extended:
+        deps.add(dep)
+    allocator = SmarqAllocator(
+        machine,
+        deps,
+        list(block.instructions),
+        enable_anti=enable_anti,
+        enable_amov=enable_amov,
+        enable_throttle=enable_throttle,
+    )
+    ddg = DataDependenceGraph(block, machine, memory_dependences=list(deps))
+    result = ListScheduler(machine, SchedulerConfig(), allocator).schedule(
+        ddg, alias_analysis=analysis
+    )
+    return block, allocator, result
+
+
+def anti_pairs_by_mem_index(allocator) -> List[Tuple[int, int]]:
+    """Semantic anti pairs as (protected mem_index, checker mem_index)."""
+    checks, antis = semantic_pairs_from_allocator(allocator)
+    return [
+        (p.mem_index, c.mem_index)
+        for p, c in antis
+        if p.mem_index is not None and c.mem_index is not None
+    ]

@@ -1,0 +1,31 @@
+"""Shared fixtures for the experiment benchmarks.
+
+One :class:`SuiteRunner` is shared across the whole benchmark session so
+every figure reuses the same (benchmark x scheme) reports. Set
+``SMARQ_BENCH_SCALE`` to scale workload iteration counts (default 0.25 —
+big enough for stable ratios, small enough for a pure-Python run) and
+``SMARQ_BENCH_SUITE`` to a comma-separated benchmark subset.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.workloads import SPECFP_BENCHMARKS
+
+
+def _config() -> SuiteConfig:
+    scale = float(os.environ.get("SMARQ_BENCH_SCALE", "0.25"))
+    subset = os.environ.get("SMARQ_BENCH_SUITE", "")
+    benchmarks = (
+        [b.strip() for b in subset.split(",") if b.strip()]
+        if subset
+        else list(SPECFP_BENCHMARKS)
+    )
+    return SuiteConfig(benchmarks=benchmarks, scale=scale, hot_threshold=20)
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(_config())

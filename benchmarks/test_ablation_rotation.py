@@ -1,0 +1,73 @@
+"""Ablation: register reuse through rotation (paper Section 3.2).
+
+SMARQ reuses alias registers only via rotation. Without rotation, the
+working set equals the full allocated order span; with it, the offset
+window shrinks dramatically. This ablation quantifies that on real hot
+regions, backing the paper's design argument.
+"""
+
+from _ablation import allocate_region
+
+from repro.eval.regions import form_hot_regions
+from repro.eval.report import render_table
+from repro.smarq.validator import (
+    semantic_pairs_from_allocator,
+    validate_allocation,
+)
+
+BENCHMARKS = ["swim", "mesa", "ammp", "sixtrack"]
+
+
+def measure(benchmark_name):
+    program, regions = form_hot_regions(benchmark_name)
+    with_rotation = 0
+    without_rotation = 0
+    for region in regions:
+        block, allocator, result = allocate_region(
+            region, program.region_map, program.register_regions
+        )
+        with_rotation += allocator.stats.working_set
+        # without rotation the working set is the full order span
+        without_rotation += allocator.stats.registers_allocated
+    return with_rotation, without_rotation
+
+
+def test_ablation_rotation(benchmark):
+    def run():
+        return {b: measure(b) for b in BENCHMARKS}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = []
+    for bench, (with_rot, without_rot) in results.items():
+        saved = 1 - with_rot / without_rot if without_rot else 0.0
+        rows.append([bench, without_rot, with_rot, f"{saved * 100:.0f}%"])
+    print()
+    print(
+        render_table(
+            "Ablation: alias register reuse through rotation",
+            ["benchmark", "no rotation (orders)", "with rotation (offsets)",
+             "reduction"],
+            rows,
+            note="Rotation is SMARQ's only reuse mechanism; the reduction "
+            "is what makes 16-64 physical registers survive large regions.",
+        )
+    )
+    for bench, (with_rot, without_rot) in results.items():
+        assert with_rot <= without_rot
+
+
+def test_rotated_allocation_still_validates(benchmark):
+    """Rotation must never lose a detection: full hardware replay."""
+
+    def run():
+        program, regions = form_hot_regions("ammp")
+        for region in regions:
+            block, allocator, result = allocate_region(
+                region, program.region_map, program.register_regions
+            )
+            checks, antis = semantic_pairs_from_allocator(allocator)
+            validate_allocation(result.linear, checks, antis, 64)
+        return len(regions)
+
+    count = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert count >= 1

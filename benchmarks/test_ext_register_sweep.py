@@ -1,0 +1,72 @@
+"""Extension: speedup vs alias register count (the scaling curve).
+
+Section 2.2's motivation — "performance improvement for ammp by 30% by
+using 64 alias registers instead of 16" — implies a speedup-vs-capacity
+curve. This experiment sweeps the ordered queue from 8 to 64 registers
+and shows where each benchmark saturates: small-footprint benchmarks
+flatten early; ammp keeps gaining all the way up, which is the paper's
+argument for scalable (order-based) alias detection.
+"""
+
+from repro.eval.report import render_table
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.sim.schemes import Scheme, SmarqAdapter
+from repro.sched.machine import MachineModel
+from repro.opt.pipeline import OptimizerConfig
+from repro.workloads import make_benchmark
+
+BENCHMARKS = ["art", "swim", "sixtrack", "ammp"]
+REGISTER_COUNTS = [8, 16, 32, 64]
+SCALE = 0.25
+
+
+def smarq_n(count: int) -> Scheme:
+    machine = MachineModel().with_alias_registers(count)
+    return Scheme(
+        f"smarq{count}",
+        machine,
+        OptimizerConfig(speculate=True),
+        lambda: SmarqAdapter(count),
+    )
+
+
+def cycles(bench: str, scheme) -> int:
+    program = make_benchmark(bench, scale=SCALE)
+    system = DbtSystem(
+        program, scheme, profiler_config=ProfilerConfig(hot_threshold=20)
+    )
+    return system.run().total_cycles
+
+
+def test_ext_register_count_sweep(benchmark):
+    def sweep():
+        out = {}
+        for bench in BENCHMARKS:
+            baseline = cycles(bench, "none")
+            out[bench] = [
+                baseline / cycles(bench, smarq_n(n)) for n in REGISTER_COUNTS
+            ]
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = [
+        [bench] + [f"{s:.3f}" for s in speedups]
+        for bench, speedups in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Extension: SMARQ speedup vs alias register count",
+            ["benchmark"] + [f"{n} regs" for n in REGISTER_COUNTS],
+            rows,
+            note="Small-footprint benchmarks saturate by 16 registers; "
+            "ammp keeps gaining to 64 — the paper's scalability case.",
+        )
+    )
+    for bench, speedups in results.items():
+        # more registers never hurt (modulo small scheduling noise)
+        assert speedups[-1] >= speedups[0] * 0.98
+    # ammp must gain from 16 -> 64 visibly
+    ammp = results["ammp"]
+    assert ammp[3] > ammp[1] * 1.05

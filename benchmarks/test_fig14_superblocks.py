@@ -1,0 +1,13 @@
+"""Figure 14: memory operations per superblock across the suite."""
+
+from repro.eval.fig14 import render_fig14, run_fig14
+
+
+def test_fig14_superblock_stats(runner, benchmark):
+    result = benchmark.pedantic(run_fig14, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig14(result))
+    # paper shape: ammp's superblocks are the largest by a wide margin
+    others = [v for b, v in result.mem_ops.items() if b != "ammp"]
+    if "ammp" in result.mem_ops and others:
+        assert result.mem_ops["ammp"] > max(others)

@@ -1,0 +1,38 @@
+"""Figure 15: speedups of SMARQ / SMARQ16 / Itanium-like over no alias HW.
+
+The pytest-benchmark target is one full DBT run of one benchmark under
+SMARQ — the workhorse the whole figure is built from.
+"""
+
+from repro.eval.fig15 import render_fig15, run_fig15
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.workloads import make_benchmark
+
+
+def test_fig15_speedup(runner, benchmark):
+    result = benchmark.pedantic(run_fig15, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig15(result))
+    # paper shapes
+    assert result.geomeans["smarq"] > 1.0
+    assert result.geomeans["smarq"] >= result.geomeans["smarq16"]
+    assert result.geomeans["smarq"] > result.geomeans["itanium"]
+    if "ammp" in result.speedups:
+        ammp = result.speedups["ammp"]
+        # the largest SMARQ16 and Itanium gaps fall on ammp
+        assert ammp["smarq"] - ammp["smarq16"] > 0.05
+        assert ammp["smarq"] - ammp["itanium"] > 0.2
+
+
+def test_single_dbt_run_kernel(benchmark):
+    """Cost of one complete interpret->translate->simulate run (swim)."""
+
+    def run():
+        program = make_benchmark("swim", scale=0.05)
+        return DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=15)
+        ).run()
+
+    report = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert report.region_commits > 0

@@ -1,0 +1,14 @@
+"""Figure 16: impact of disabling speculative store reordering."""
+
+from repro.eval.fig16 import render_fig16, run_fig16
+
+
+def test_fig16_store_reordering(runner, benchmark):
+    result = benchmark.pedantic(run_fig16, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig16(result))
+    # paper shapes: positive mean impact; mesa the most sensitive
+    assert result.mean_impact > 0
+    if "mesa" in result.impact:
+        others = [v for b, v in result.impact.items() if b != "mesa"]
+        assert result.impact["mesa"] >= max(others) - 0.02

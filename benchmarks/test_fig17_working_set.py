@@ -1,0 +1,15 @@
+"""Figure 17: alias register working set vs program-order baselines."""
+
+from repro.eval.fig17 import render_fig17, run_fig17
+
+
+def test_fig17_working_set(runner, benchmark):
+    result = benchmark.pedantic(run_fig17, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig17(result))
+    # paper shapes: SMARQ far below the program-order-all bar (74% in the
+    # paper), below the P-bit-only bar, and at or above the lower bound
+    assert result.mean_reduction_vs_all > 0.4
+    assert result.mean_reduction_vs_pbit > 0.0
+    for bench in result.smarq:
+        assert result.lower_bound[bench] <= result.smarq[bench] + 1e-9

@@ -1,0 +1,13 @@
+"""Figure 18: optimization overhead as a fraction of execution."""
+
+from repro.eval.fig18 import render_fig18, run_fig18
+
+
+def test_fig18_overhead(runner, benchmark):
+    result = benchmark.pedantic(run_fig18, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig18(result))
+    # paper shapes: overhead is a small fraction of execution, with about
+    # half of it in scheduling (which contains the allocator)
+    assert 0 < result.mean_opt_fraction < 0.25
+    assert abs(result.mean_sched_share - 0.5) < 0.05

@@ -1,0 +1,13 @@
+"""Figure 19: check/anti constraints per memory operation."""
+
+from repro.eval.fig19 import render_fig19, run_fig19
+
+
+def test_fig19_constraints(runner, benchmark):
+    result = benchmark.pedantic(run_fig19, args=(runner,), iterations=1, rounds=1)
+    print()
+    print(render_fig19(result))
+    # paper shapes: a sparse constraint graph — few checks per memory op,
+    # an order of magnitude fewer antis than checks
+    assert 0 < result.mean_checks < 6
+    assert result.mean_antis < result.mean_checks / 2

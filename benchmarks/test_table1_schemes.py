@@ -1,0 +1,28 @@
+"""Table 1: demonstrated scheme comparison + hardware-model micro-benchmarks."""
+
+from repro.eval.table1 import render_table1, run_table1
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+
+
+def test_table1_scheme_comparison(benchmark):
+    result = benchmark(run_table1)
+    print()
+    print(render_table1(result))
+    assert result.properties["order-based"]["store_store"]
+    assert not result.properties["itanium-alat"]["store_store"]
+    assert not result.properties["efficeon-bitmask"]["scalable"]
+
+
+def test_queue_set_check_throughput(benchmark):
+    """Raw cost of one set+check round on a 64-entry ordered queue."""
+    queue = AliasRegisterQueue(64)
+    access = AccessRange(0x1000, 8, is_load=True)
+    probe = AccessRange(0x9000, 8)
+
+    def round_trip():
+        queue.set(0, access)
+        queue.check(0, probe)
+        queue.rotate(1)
+
+    benchmark(round_trip)

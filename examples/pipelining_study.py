@@ -1,0 +1,78 @@
+"""Software-pipelining study: what SMARQ buys at loop level.
+
+The paper's conclusion proposes integrating the alias register allocation
+with software pipelining. This example runs the modulo scheduler over a
+benchmark's hot loop and shows the three numbers that make the case:
+
+* the initiation interval WITHOUT alias speculation (every MAY-alias
+  dependence honoured across iterations — the serial wall);
+* the II WITH speculation (the overlap alias hardware enables);
+* the alias registers the speculative kernel needs, which grows with the
+  overlap depth — why loop-level optimization needs the scalable file.
+
+Run:  python examples/pipelining_study.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import compute_dependences
+from repro.eval.regions import form_hot_regions
+from repro.eval.report import render_table
+from repro.sched.machine import MachineModel
+from repro.sched.modulo import (
+    ModuloSchedulingError,
+    alias_register_requirement,
+    modulo_schedule,
+)
+from repro.workloads import SPECFP_BENCHMARKS
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "sixtrack"
+    if bench not in SPECFP_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {bench!r}: {SPECFP_BENCHMARKS}")
+
+    machine = MachineModel()
+    program, regions = form_hot_regions(bench)
+    rows = []
+    for region in regions:
+        analysis = AliasAnalysis(
+            region, program.region_map,
+            initial_regions=program.register_regions,
+        )
+        deps = compute_dependences(region, analysis)
+        try:
+            spec = modulo_schedule(region, machine, analysis, deps,
+                                   speculate=True)
+            nospec = modulo_schedule(region, machine, analysis, deps,
+                                     speculate=False)
+        except ModuloSchedulingError as exc:
+            print(f"region @ {region.entry_pc}: not pipelinable ({exc})")
+            continue
+        rows.append(
+            [
+                f"@{region.entry_pc}",
+                len(region.memory_ops()),
+                nospec.ii,
+                spec.ii,
+                f"{nospec.ii / spec.ii:.1f}x",
+                spec.stages,
+                alias_register_requirement(spec),
+            ]
+        )
+    print(
+        render_table(
+            f"Pipelining study: {bench} hot loops on the 4-wide VLIW",
+            ["region", "mem ops", "II no-spec", "II spec", "overlap gain",
+             "stages", "alias regs needed"],
+            rows,
+            note="Cross-iteration MAY-alias dependences serialize the "
+            "kernel without hardware; with it, the overlap returns — at "
+            "the cost of alias registers proportional to overlap depth.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

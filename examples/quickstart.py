@@ -1,0 +1,68 @@
+"""Quickstart: SMARQ on the paper's Figure 2 example.
+
+Builds the four-instruction memory sequence from the paper, lets the
+speculative scheduler hoist the loads above the may-alias stores, runs the
+integrated SMARQ allocator, prints the annotated schedule (offset and P/C
+columns exactly like the paper's listings), and finally proves on the
+hardware model that every required alias is detected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import AliasAnalysis, compute_dependences
+from repro.analysis.dependence import DependenceSet
+from repro.ir import Superblock, load, movi, store
+from repro.ir.printer import format_superblock
+from repro.sched import DataDependenceGraph, ListScheduler, MachineModel, SchedulerConfig
+from repro.smarq import SmarqAllocator, validate_allocation
+from repro.smarq.validator import semantic_pairs_from_allocator
+
+
+def main() -> None:
+    # Paper Figure 2 (a): M0 st [r0+4]; M1 ld [r1]; M2 st [r0]; M3 ld [r2].
+    # The store data comes from a load so the stores are late-ready and the
+    # scheduler has a reason to hoist M1/M3 above them.
+    block = Superblock(entry_pc=0x100, name="figure2")
+    block.append(movi(0, 0x1000))
+    block.append(load(10, 9))                    # store data (slow)
+    block.append(store(0, 10, disp=4, size=4))   # M0: st [r0+4]
+    block.append(load(3, 1, size=4))             # M1: ld [r1]
+    block.append(store(0, 10, disp=0, size=4))   # M2: st [r0]
+    block.append(load(4, 2, size=4))             # M3: ld [r2]
+
+    print("Original program:")
+    print(format_superblock(block, annotated=False))
+    print()
+
+    machine = MachineModel()  # 4-wide VLIW, 64 alias registers
+    analysis = AliasAnalysis(block)
+    deps = DependenceSet(compute_dependences(block, analysis))
+    print(f"{len(deps)} may-alias dependences found "
+          f"(note: st [r0] vs st [r0+4] is disambiguated)")
+    print()
+
+    allocator = SmarqAllocator(machine, deps, list(block.instructions))
+    ddg = DataDependenceGraph(block, machine, memory_dependences=list(deps))
+    scheduler = ListScheduler(machine, SchedulerConfig(), allocator)
+    result = scheduler.schedule(ddg, alias_analysis=analysis)
+
+    print("Speculatively scheduled + SMARQ-allocated "
+          "(offset / P-C columns, paper style):")
+    print(format_superblock(result.linear))
+    print()
+
+    stats = allocator.stats
+    print(f"check-constraints: {stats.check_constraints}, "
+          f"anti-constraints: {stats.anti_constraints}")
+    print(f"alias registers allocated: {stats.registers_allocated}, "
+          f"working set (max offset + 1): {stats.working_set}")
+    print()
+
+    checks, antis = semantic_pairs_from_allocator(allocator)
+    validate_allocation(result.linear, checks, antis, machine.alias_registers)
+    print("Hardware replay: every check-constraint detects its alias, "
+          "no anti-constraint can fire. Allocation is sound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Compare the four alias-detection schemes on one workload (mini Fig 15).
+
+Runs the synthetic `ammp` workload — the paper's stress case: the largest
+superblocks, pointer-table collisions that really alias at runtime, and
+the RMW patterns that trip ALAT false positives — under all four schemes
+and reports the cycle counts, speedups, and exception behaviour.
+
+Run:  python examples/scheme_comparison.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.eval.report import render_table
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+
+SCHEMES = ("none", "smarq", "smarq16", "itanium", "efficeon", "plainorder")
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "ammp"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    if bench not in SPECFP_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {bench!r}: {SPECFP_BENCHMARKS}")
+
+    reports = {}
+    for scheme in SCHEMES:
+        program = make_benchmark(bench, scale=scale)
+        system = DbtSystem(
+            program, scheme, profiler_config=ProfilerConfig(hot_threshold=20)
+        )
+        reports[scheme] = system.run()
+        print(f"ran {bench} under {scheme:8s}: "
+              f"{reports[scheme].total_cycles:>9} cycles")
+
+    baseline = reports["none"].total_cycles
+    rows = []
+    for scheme in SCHEMES:
+        r = reports[scheme]
+        rows.append(
+            [
+                scheme,
+                r.total_cycles,
+                f"{baseline / r.total_cycles:.3f}x",
+                r.alias_exceptions,
+                r.false_positive_exceptions,
+                r.reoptimizations,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            f"Scheme comparison on {bench} (scale {scale})",
+            ["scheme", "cycles", "speedup", "alias exc", "false pos",
+             "re-optimizations"],
+            rows,
+            note="smarq > smarq16 (register pressure) > itanium-like "
+            "(false positives, no store reordering) > none; efficeon "
+            "(15 bit-mask regs) and plainorder (program-order "
+            "allocation, no rotation) bracket the design space.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

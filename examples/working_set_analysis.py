@@ -1,0 +1,85 @@
+"""Working-set analysis: why constraint-order allocation + rotation wins.
+
+For each benchmark's hot regions, compares four allocation strategies
+(mini Figure 17):
+
+1. program-order, one register per memory op (the strawman);
+2. program-order over P-bit ops only;
+3. SMARQ: constraint-order allocation with rotation;
+4. the live-range lower bound no allocation can beat.
+
+Run:  python examples/working_set_analysis.py [scale]
+"""
+
+import sys
+
+from repro.analysis.constraints import CheckConstraint
+from repro.analysis.liveness import working_set_lower_bound
+from repro.eval.regions import form_hot_regions
+from repro.eval.report import render_table
+from repro.smarq.program_order import program_order_all_allocation
+from repro.smarq.validator import semantic_pairs_from_allocator
+
+import importlib.util
+import pathlib
+
+# the region-level allocation helper lives with the benchmarks
+_spec = importlib.util.spec_from_file_location(
+    "_ablation", pathlib.Path(__file__).parent.parent / "benchmarks" / "_ablation.py"
+)
+_ablation = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_ablation)
+
+BENCHMARKS = ["swim", "mesa", "equake", "ammp", "sixtrack"]
+
+
+def analyze(bench: str, scale: float):
+    program, regions = form_hot_regions(bench, scale=scale)
+    mem_ops = pbits = smarq_ws = bound = 0
+    for region in regions:
+        block, allocator, result = _ablation.allocate_region(
+            region, program.region_map, program.register_regions
+        )
+        mem_ops += len(block.memory_ops())
+        pbits += allocator.stats.p_bit_ops
+        smarq_ws += allocator.stats.working_set
+        positions = result.position()
+        checks = [
+            CheckConstraint(allocator._inst[c], allocator._inst[t])
+            for c, t in allocator._check_pairs
+        ]
+        bound += working_set_lower_bound(checks, positions)
+    return mem_ops, pbits, smarq_ws, bound
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    rows = []
+    for bench in BENCHMARKS:
+        mem_ops, pbits, ws, bound = analyze(bench, scale)
+        if not mem_ops:
+            continue
+        rows.append(
+            [
+                bench,
+                mem_ops,
+                pbits,
+                ws,
+                bound,
+                f"{(1 - ws / mem_ops) * 100:.0f}%",
+            ]
+        )
+    print(
+        render_table(
+            "Alias register working set by allocation strategy",
+            ["benchmark", "prog-order all", "P-bit only", "SMARQ", "lower bound",
+             "SMARQ reduction"],
+            rows,
+            note="Paper Figure 17: SMARQ reduces the working set by ~74% vs "
+            "one-register-per-op and sits near the live-range lower bound.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

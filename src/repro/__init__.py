@@ -1,0 +1,26 @@
+"""SMARQ reproduction — Software-Managed Alias Register Queue.
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.smarq` — the paper's allocator and validator
+* :mod:`repro.sim` — the end-to-end dynamic binary translator
+* :mod:`repro.workloads` — synthetic SPECFP2000 stand-ins
+* :mod:`repro.eval` — the per-table/figure experiment harness
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim.dbt import DbtReport, DbtSystem, run_program
+from repro.sim.schemes import SCHEME_NAMES, make_scheme
+from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+
+__all__ = [
+    "DbtReport",
+    "DbtSystem",
+    "SCHEME_NAMES",
+    "SPECFP_BENCHMARKS",
+    "__version__",
+    "make_benchmark",
+    "make_scheme",
+    "run_program",
+]

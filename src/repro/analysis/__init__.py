@@ -1,0 +1,53 @@
+"""Compiler analyses for speculative memory optimization.
+
+Implements the paper's Section 4 machinery:
+
+* :mod:`repro.analysis.aliasinfo` — static may/must/no-alias classification
+  of memory operation pairs (base+displacement reasoning plus symbolic
+  region tracking), and the speculative refinement used by the optimizer.
+* :mod:`repro.analysis.dependence` — the DEPENDENCE rule plus
+  EXTENDED-DEPENDENCE 1/2 from speculative load/store elimination.
+* :mod:`repro.analysis.constraints` — CHECK-CONSTRAINT and ANTI-CONSTRAINT
+  derivation and the constraint graph.
+* :mod:`repro.analysis.cycles` — incremental partial-order maintenance for
+  cycle detection in the constraint graph (paper Figure 13 lines 33-54).
+* :mod:`repro.analysis.liveness` — alias-register live-range lower bound
+  (the last bar of paper Figure 17).
+"""
+
+from repro.analysis.aliasinfo import (
+    AliasAnalysis,
+    AliasClass,
+    SymbolicAddress,
+    classify_pair,
+)
+from repro.analysis.dependence import (
+    Dependence,
+    compute_dependences,
+    dependences_between,
+)
+from repro.analysis.constraints import (
+    AntiConstraint,
+    CheckConstraint,
+    ConstraintGraph,
+    derive_constraints,
+)
+from repro.analysis.cycles import IncrementalOrder, OrderCycleError
+from repro.analysis.liveness import working_set_lower_bound
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasClass",
+    "AntiConstraint",
+    "CheckConstraint",
+    "ConstraintGraph",
+    "Dependence",
+    "IncrementalOrder",
+    "OrderCycleError",
+    "SymbolicAddress",
+    "classify_pair",
+    "compute_dependences",
+    "dependences_between",
+    "derive_constraints",
+    "working_set_lower_bound",
+]

@@ -1,0 +1,259 @@
+"""Check- and anti-constraints over memory operations (paper Section 4).
+
+Given the dependences and a schedule, CHECK-CONSTRAINT selects the
+dependences whose endpoints ended up reordered (``X ->check Y``: X must
+check Y at runtime) and ANTI-CONSTRAINT selects the dependence pairs that
+stayed in order but could be *accidentally* checked by a bad register
+allocation (``X ->anti Y``: Y must not check X — a false-positive source).
+
+The allocator consumes constraints through :class:`ConstraintGraph`, whose
+edge orientation encodes REGISTER-ALLOCATION-RULE:
+
+* ``X ->check Y``  =>  order(X) <= order(Y)   (edge X -> Y, weak)
+* ``X ->anti  Y``  =>  order(X) <  order(Y)   (edge X -> Y, strict)
+
+so any topological traversal yields a valid order assignment when the graph
+is acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dependence import Dependence
+from repro.ir.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class CheckConstraint:
+    """``checker ->check target``: checker must check target for aliasing."""
+
+    checker: Instruction
+    target: Instruction
+
+    def __repr__(self) -> str:
+        return f"<{self.checker!r} ->check {self.target!r}>"
+
+
+@dataclass(frozen=True)
+class AntiConstraint:
+    """``protected ->anti checker``: checker must NOT check protected."""
+
+    protected: Instruction
+    checker: Instruction
+
+    def __repr__(self) -> str:
+        return f"<{self.protected!r} ->anti {self.checker!r}>"
+
+
+@dataclass
+class ConstraintSet:
+    checks: List[CheckConstraint]
+    antis: List[AntiConstraint]
+
+    def p_bit_ops(self) -> Set[Instruction]:
+        return {c.target for c in self.checks}
+
+    def c_bit_ops(self) -> Set[Instruction]:
+        return {c.checker for c in self.checks}
+
+
+def derive_constraints(
+    dependences: Iterable[Dependence],
+    schedule_position: Mapping[int, int],
+) -> ConstraintSet:
+    """Post-scheduling constraint derivation (the two-step Section 4 form).
+
+    ``schedule_position`` maps instruction uid to its index in the scheduled
+    order. This standalone derivation mirrors what the integrated allocator
+    does incrementally and is used for testing and for the non-integrated
+    (fast-allocation) path.
+    """
+    deps = list(dependences)
+    checks: List[CheckConstraint] = []
+    for dep in deps:
+        x, y = dep.src, dep.dst
+        # CHECK-CONSTRAINT: X ->dep Y and Y precedes X after scheduling.
+        if schedule_position[y.uid] < schedule_position[x.uid]:
+            checks.append(CheckConstraint(checker=x, target=y))
+
+    check_pairs = {(c.checker.uid, c.target.uid) for c in checks}
+    p_ops = {c.target.uid for c in checks}
+    c_ops = {c.checker.uid for c in checks}
+
+    antis: List[AntiConstraint] = []
+    seen: Set[Tuple[int, int]] = set()
+    for dep in deps:
+        x, y = dep.src, dep.dst
+        # ANTI-CONSTRAINT: X ->dep Y, X precedes Y after scheduling,
+        # no Y ->check X, X has P bit, Y has C bit.
+        if schedule_position[x.uid] >= schedule_position[y.uid]:
+            continue
+        if (y.uid, x.uid) in check_pairs:
+            continue
+        if x.uid not in p_ops or y.uid not in c_ops:
+            continue
+        key = (x.uid, y.uid)
+        if key in seen:
+            continue
+        seen.add(key)
+        antis.append(AntiConstraint(protected=x, checker=y))
+    return ConstraintSet(checks=checks, antis=antis)
+
+
+class ConstraintCycleError(Exception):
+    """The constraint graph contains a cycle (needs AMOV breaking)."""
+
+    def __init__(self, message: str, cycle: Sequence[Instruction]) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle)
+
+
+class ConstraintGraph:
+    """Directed constraint graph with strict/weak edges.
+
+    Nodes are memory operations (and allocator-inserted AMOVs). An edge
+    ``u -> v`` demands ``order(u) <= order(v)``; strict edges demand
+    ``order(u) < order(v)``.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Instruction] = {}
+        self._succ: Dict[int, Dict[int, bool]] = {}  # u -> {v: strict}
+        self._pred: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, inst: Instruction) -> None:
+        if inst.uid not in self._nodes:
+            self._nodes[inst.uid] = inst
+            self._succ[inst.uid] = {}
+            self._pred[inst.uid] = set()
+
+    def add_check(self, constraint: CheckConstraint) -> None:
+        self._add_edge(constraint.checker, constraint.target, strict=False)
+
+    def add_anti(self, constraint: AntiConstraint) -> None:
+        self._add_edge(constraint.protected, constraint.checker, strict=True)
+
+    def _add_edge(self, u: Instruction, v: Instruction, strict: bool) -> None:
+        self.add_node(u)
+        self.add_node(v)
+        existing = self._succ[u.uid].get(v.uid)
+        # A strict edge dominates a weak one between the same endpoints.
+        self._succ[u.uid][v.uid] = strict or bool(existing)
+        self._pred[v.uid].add(u.uid)
+
+    @classmethod
+    def from_constraints(cls, constraints: ConstraintSet) -> "ConstraintGraph":
+        graph = cls()
+        for check in constraints.checks:
+            graph.add_check(check)
+        for anti in constraints.antis:
+            graph.add_anti(anti)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Instruction]:
+        return list(self._nodes.values())
+
+    def successors(self, inst: Instruction) -> List[Instruction]:
+        return [self._nodes[v] for v in self._succ.get(inst.uid, ())]
+
+    def predecessors(self, inst: Instruction) -> List[Instruction]:
+        return [self._nodes[u] for u in self._pred.get(inst.uid, ())]
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def reachable_from(self, inst: Instruction) -> Set[int]:
+        """Uids of all nodes reachable from ``inst`` (including itself)."""
+        seen: Set[int] = set()
+        stack = [inst.uid]
+        while stack:
+            uid = stack.pop()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            stack.extend(self._succ.get(uid, ()))
+        return seen
+
+    def find_cycle(self) -> Optional[List[Instruction]]:
+        """Return one cycle as a node list, or None if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {uid: WHITE for uid in self._nodes}
+        parent: Dict[int, int] = {}
+
+        for root in self._nodes:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(self._succ[root]))]
+            color[root] = GRAY
+            while stack:
+                uid, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if color[succ] == WHITE:
+                        color[succ] = GRAY
+                        parent[succ] = uid
+                        stack.append((succ, iter(self._succ[succ])))
+                        advanced = True
+                        break
+                    if color[succ] == GRAY:
+                        # Reconstruct the cycle succ -> ... -> uid -> succ.
+                        cycle = [uid]
+                        node = uid
+                        while node != succ:
+                            node = parent[node]
+                            cycle.append(node)
+                        cycle.reverse()
+                        return [self._nodes[n] for n in cycle]
+                if not advanced:
+                    color[uid] = BLACK
+                    stack.pop()
+        return None
+
+    def topological_order(self) -> List[Instruction]:
+        """Kahn topological order; raises on cycles.
+
+        Ties are broken by original program position (``mem_index`` when
+        available, else uid) so the traversal is deterministic and matches
+        the paper's examples.
+        """
+        indegree = {uid: len(self._pred[uid]) for uid in self._nodes}
+        import heapq
+
+        def sort_key(uid: int) -> Tuple[int, int]:
+            inst = self._nodes[uid]
+            mem = inst.mem_index if inst.mem_index is not None else 1 << 30
+            return (mem, uid)
+
+        heap = [sort_key(uid) + (uid,) for uid, deg in indegree.items() if deg == 0]
+        heapq.heapify(heap)
+        order: List[Instruction] = []
+        while heap:
+            *_, uid = heapq.heappop(heap)
+            order.append(self._nodes[uid])
+            for succ in self._succ[uid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(heap, sort_key(succ) + (succ,))
+        if len(order) != len(self._nodes):
+            cycle = self.find_cycle()
+            raise ConstraintCycleError(
+                "constraint graph has a cycle", cycle or []
+            )
+        return order
+
+    def is_strict(self, u: Instruction, v: Instruction) -> bool:
+        return bool(self._succ.get(u.uid, {}).get(v.uid, False))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConstraintGraph {len(self._nodes)} nodes "
+            f"{self.edge_count()} edges>"
+        )

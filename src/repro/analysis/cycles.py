@@ -1,0 +1,138 @@
+"""Incremental partial-order maintenance for cycle detection.
+
+The allocator (paper Figure 13) keeps a partial order ``T`` over memory
+operations with the invariance: for every constraint ``X -> Y`` (check or
+anti), ``T(X) < T(Y)``. ``T`` is initialized to original program order.
+
+* Adding a check-constraint ``X ->check Y`` can never create a cycle at the
+  moment it is added (X is not yet scheduled, so nothing constrains X yet);
+  when the invariance breaks, ``T(X)`` is simply lowered to ``T(Y) - 1``.
+* Adding an anti-constraint ``X ->anti Y`` with ``T(X) >= T(Y)`` requires a
+  reachability probe: if X is reachable from Y through existing constraint
+  edges, the new edge closes a cycle; otherwise Y's reachable set is shifted
+  upward by ``delta = T(X) - (T(Y) - 1)`` to restore the invariance.
+
+This mirrors the incremental topological-ordering algorithm the paper cites
+([12], Marchetti-Spaccamela et al. style) specialized to the two edge kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.ir.instruction import Instruction
+
+
+class OrderCycleError(Exception):
+    """Adding an edge would create a cycle in the constraint graph."""
+
+    def __init__(self, x: Instruction, y: Instruction, witness: Set[int]) -> None:
+        super().__init__(f"anti-constraint {x!r} -> {y!r} closes a cycle")
+        self.x = x
+        self.y = y
+        #: uids of the nodes reachable from y (the set H in the paper).
+        self.witness = witness
+
+
+class IncrementalOrder:
+    """Maintains ``T`` under incremental constraint-edge insertion."""
+
+    def __init__(self) -> None:
+        self._t: Dict[int, int] = {}
+        self._nodes: Dict[int, Instruction] = {}
+        self._succ: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register(self, inst: Instruction, t: int) -> None:
+        """Introduce a node with initial order value ``t``."""
+        self._nodes[inst.uid] = inst
+        self._t[inst.uid] = t
+        self._succ.setdefault(inst.uid, set())
+
+    def register_program_order(self, instructions: Iterable[Instruction]) -> None:
+        """Initialize ``T`` to original program execution order."""
+        for position, inst in enumerate(instructions):
+            self.register(inst, position)
+
+    def t(self, inst: Instruction) -> int:
+        return self._t[inst.uid]
+
+    def set_t(self, inst: Instruction, value: int) -> None:
+        if inst.uid not in self._nodes:
+            self.register(inst, value)
+        else:
+            self._t[inst.uid] = value
+
+    # ------------------------------------------------------------------
+    # Edge insertion
+    # ------------------------------------------------------------------
+    def add_check_edge(self, x: Instruction, y: Instruction) -> None:
+        """Insert ``X ->check Y``; lowers T(X) when the invariance breaks.
+
+        Callers must guarantee X has no incoming constraints yet (true in
+        the allocator: X is the just-scheduled op's *unscheduled* dependent
+        — the checker — which cannot have been a target before). Under that
+        precondition lowering T(X) is always safe.
+        """
+        self._ensure(x)
+        self._ensure(y)
+        self._succ[x.uid].add(y.uid)
+        if self._t[x.uid] >= self._t[y.uid]:
+            self._t[x.uid] = self._t[y.uid] - 1
+
+    def add_anti_edge(self, x: Instruction, y: Instruction) -> None:
+        """Insert ``X ->anti Y``; raises :class:`OrderCycleError` on a cycle.
+
+        On success (no cycle), shifts the reachable set of Y upward so that
+        ``T(X) < T(Y)`` holds again.
+        """
+        self._ensure(x)
+        self._ensure(y)
+        if self._t[x.uid] < self._t[y.uid]:
+            self._succ[x.uid].add(y.uid)
+            return
+        delta = self._t[x.uid] - (self._t[y.uid] - 1)
+        reachable = self.reachable_from(y)
+        if x.uid in reachable:
+            raise OrderCycleError(x, y, reachable)
+        for uid in reachable:
+            self._t[uid] += delta
+        self._succ[x.uid].add(y.uid)
+
+    def remove_edges_from(self, x: Instruction) -> None:
+        """Drop all outgoing edges of ``x`` (its register got allocated)."""
+        if x.uid in self._succ:
+            self._succ[x.uid].clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable_from(self, inst: Instruction) -> Set[int]:
+        """Uids reachable from ``inst`` via constraint edges (incl. itself)."""
+        seen: Set[int] = set()
+        stack = [inst.uid]
+        while stack:
+            uid = stack.pop()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            stack.extend(self._succ.get(uid, ()))
+        return seen
+
+    def instructions(self, uids: Iterable[int]) -> List[Instruction]:
+        return [self._nodes[uid] for uid in uids]
+
+    def verify_invariance(self) -> bool:
+        """True iff T(X) < T(Y) for every edge X -> Y (testing hook)."""
+        for u, succs in self._succ.items():
+            for v in succs:
+                if self._t[u] >= self._t[v]:
+                    return False
+        return True
+
+    def _ensure(self, inst: Instruction) -> None:
+        if inst.uid not in self._nodes:
+            # Late registration (AMOV nodes): order value filled by caller.
+            self.register(inst, self._t.get(inst.uid, 0))

@@ -1,0 +1,176 @@
+"""Memory dependences: the paper's DEPENDENCE and EXTENDED-DEPENDENCE rules.
+
+Base rule (Section 4.1): ``X ->dep Y`` when X precedes Y in original program
+order, X and Y may (or must) access the same location, and at least one is a
+store.
+
+EXTENDED-DEPENDENCE 1 (speculative load elimination): when a load Z is
+eliminated by forwarding from an earlier access X, every *store* S strictly
+between X and Z that may alias X gains ``S ->dep X`` — note the *backward*
+direction relative to program order, which is what makes constraint-graph
+cycles possible. (An aliasing store between the forwarding source and the
+eliminated load makes the forwarded value stale; intervening loads cannot.
+The paper's Figure 8/10 worked example — ``st [r1]`` must check the
+forwarding source ``ld [r0+4]`` — fixes the rule's intent where the
+source text is garbled.)
+
+EXTENDED-DEPENDENCE 2 (speculative store elimination): when a store X is
+eliminated because a later store Z overwrites it, every load Y strictly
+between X and Z that may alias Z gains ``Z ->dep Y`` — again backward.
+
+Extended dependences are recorded by the optimization passes that create
+them (:mod:`repro.opt.load_elim`, :mod:`repro.opt.store_elim`) using the
+helpers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.aliasinfo import AliasAnalysis, AliasClass
+from repro.ir.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """``src ->dep dst``: dst depends on src.
+
+    For base dependences ``src`` precedes ``dst`` in program order. For
+    extended dependences the direction can be backward; ``extended`` marks
+    them. ``must`` records whether the underlying pair is a MUST alias
+    (the scheduler never speculates on MUST pairs).
+    """
+
+    src: Instruction
+    dst: Instruction
+    extended: bool = False
+    must: bool = False
+
+    def __repr__(self) -> str:
+        kind = "edep" if self.extended else "dep"
+        return f"<{self.src!r} ->{kind} {self.dst!r}>"
+
+
+def compute_dependences(block, analysis: AliasAnalysis) -> List[Dependence]:
+    """All base memory dependences of ``block`` (original program order)."""
+    ops = block.memory_ops_in_program_order()
+    deps: List[Dependence] = []
+    for i, earlier in enumerate(ops):
+        for later in ops[i + 1 :]:
+            if not (earlier.is_store or later.is_store):
+                continue
+            klass = analysis.classify(earlier, later)
+            if klass is AliasClass.NO:
+                continue
+            deps.append(
+                Dependence(earlier, later, must=(klass is AliasClass.MUST))
+            )
+    return deps
+
+
+def extended_deps_for_load_elimination(
+    forward_src: Instruction,
+    eliminated_load: Instruction,
+    between: Iterable[Instruction],
+    analysis: AliasAnalysis,
+) -> List[Dependence]:
+    """EXTENDED-DEPENDENCE 1 for one load elimination.
+
+    ``between`` must be the memory operations strictly between
+    ``forward_src`` (X) and ``eliminated_load`` (Z) in original program
+    order. Returns ``S ->dep X`` for each store S that may alias X.
+    """
+    deps = []
+    for s in between:
+        if not s.is_store:
+            continue
+        if analysis.classify(s, forward_src) is AliasClass.NO:
+            continue
+        deps.append(Dependence(s, forward_src, extended=True))
+    return deps
+
+
+def extended_deps_for_store_elimination(
+    overwriting_store: Instruction,
+    eliminated_store: Instruction,
+    between: Iterable[Instruction],
+    analysis: AliasAnalysis,
+) -> List[Dependence]:
+    """EXTENDED-DEPENDENCE 2 for one store elimination.
+
+    ``between`` must be the memory operations strictly between the
+    eliminated store (X) and the overwriting store (Z) in original program
+    order. Returns ``Z ->dep Y`` for each load Y that may alias Z. Stores in
+    between get nothing — the paper notes their aliases cannot affect the
+    elimination's correctness.
+    """
+    deps = []
+    for y in between:
+        if not y.is_load:
+            continue
+        if analysis.classify(overwriting_store, y) is AliasClass.NO:
+            continue
+        deps.append(Dependence(overwriting_store, y, extended=True))
+    return deps
+
+
+class DependenceSet:
+    """Indexed collection of dependences for efficient scheduler queries."""
+
+    def __init__(self, deps: Iterable[Dependence] = ()) -> None:
+        self._deps: List[Dependence] = []
+        self._by_src: Dict[int, List[Dependence]] = {}
+        self._by_dst: Dict[int, List[Dependence]] = {}
+        for dep in deps:
+            self.add(dep)
+
+    def add(self, dep: Dependence) -> None:
+        self._deps.append(dep)
+        self._by_src.setdefault(dep.src.uid, []).append(dep)
+        self._by_dst.setdefault(dep.dst.uid, []).append(dep)
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+    def __iter__(self):
+        return iter(self._deps)
+
+    def outgoing(self, inst: Instruction) -> List[Dependence]:
+        """Dependences with ``inst`` as the source (X ->dep *)."""
+        return list(self._by_src.get(inst.uid, ()))
+
+    def incoming(self, inst: Instruction) -> List[Dependence]:
+        """Dependences with ``inst`` as the destination (* ->dep inst)."""
+        return list(self._by_dst.get(inst.uid, ()))
+
+    def replace_instruction(self, old: Instruction, new: Instruction) -> None:
+        """Rewrite all dependences touching ``old`` to touch ``new``.
+
+        Used when the allocator splits an operation with an AMOV: unscheduled
+        checkers of X must instead check the AMOV X' (paper Figure 13
+        line 42 analogue at the dependence level).
+        """
+        rewritten: List[Dependence] = []
+        for dep in self._deps:
+            src = new if dep.src is old else dep.src
+            dst = new if dep.dst is old else dep.dst
+            rewritten.append(
+                Dependence(src, dst, extended=dep.extended, must=dep.must)
+            )
+        self._deps = []
+        self._by_src = {}
+        self._by_dst = {}
+        for dep in rewritten:
+            self.add(dep)
+
+
+def dependences_between(
+    deps: Iterable[Dependence], a: Instruction, b: Instruction
+) -> List[Dependence]:
+    """All dependences connecting two specific instructions (either way)."""
+    found = []
+    for dep in deps:
+        if (dep.src is a and dep.dst is b) or (dep.src is b and dep.dst is a):
+            found.append(dep)
+    return found

@@ -1,0 +1,55 @@
+"""Alias-register live-range analysis (paper Figure 17, last bar).
+
+Given a check-constraint ``X ->check Y``, the register set by Y must stay
+live from Y's scheduled position to X's scheduled position (the checker
+executes after the setter in the optimized order). The maximum number of
+such live ranges crossing any single program point lower-bounds the alias
+register working set achievable by ANY allocation — the same argument as
+the maximal-clique bound in conventional register allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.analysis.constraints import CheckConstraint
+
+
+def live_ranges(
+    checks: Iterable[CheckConstraint],
+    schedule_position: Mapping[int, int],
+) -> List[Tuple[int, int]]:
+    """One ``(set_position, last_check_position)`` range per P-bit target.
+
+    Multiple checkers of the same target merge into a single range ending at
+    the latest checker.
+    """
+    span: dict[int, Tuple[int, int]] = {}
+    for constraint in checks:
+        target = constraint.target
+        setter_pos = schedule_position[target.uid]
+        checker_pos = schedule_position[constraint.checker.uid]
+        lo, hi = span.get(target.uid, (setter_pos, setter_pos))
+        span[target.uid] = (lo, max(hi, checker_pos))
+    return sorted(span.values())
+
+
+def working_set_lower_bound(
+    checks: Iterable[CheckConstraint],
+    schedule_position: Mapping[int, int],
+) -> int:
+    """Maximum number of live ranges crossing any program point."""
+    ranges = live_ranges(checks, schedule_position)
+    if not ranges:
+        return 0
+    events: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        events.append((lo, +1))
+        events.append((hi + 1, -1))
+    events.sort()
+    live = 0
+    best = 0
+    for _, delta in events:
+        live += delta
+        best = max(best, live)
+    return best

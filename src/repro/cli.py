@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available benchmarks and schemes.
+``run BENCH [--scheme S] [--scale F]``
+    Run one benchmark under one scheme; print the run report.
+``compare BENCH [--scale F]``
+    Run one benchmark under every scheme; print a speedup table.
+``figures [--only figN] [--scale F] [--suite a,b,c]``
+    Regenerate the paper's tables/figures and print them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval import (
+    render_fig14,
+    render_fig15,
+    render_fig16,
+    render_fig17,
+    render_fig18,
+    render_fig19,
+    render_table1,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_table1,
+)
+from repro.eval.report import render_table
+from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.sim.schemes import SCHEME_NAMES
+from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+
+_FIGURES = {
+    "table1": (lambda runner: run_table1(), render_table1),
+    "fig14": (run_fig14, render_fig14),
+    "fig15": (run_fig15, render_fig15),
+    "fig16": (run_fig16, render_fig16),
+    "fig17": (run_fig17, render_fig17),
+    "fig18": (run_fig18, render_fig18),
+    "fig19": (run_fig19, render_fig19),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:", " ".join(SPECFP_BENCHMARKS))
+    print("schemes:   ", " ".join(SCHEME_NAMES))
+    print("figures:   ", " ".join(_FIGURES))
+    return 0
+
+
+def _run_one(bench: str, scheme: str, scale: float):
+    program = make_benchmark(bench, scale=scale)
+    system = DbtSystem(
+        program, scheme, profiler_config=ProfilerConfig(hot_threshold=20)
+    )
+    return system.run()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    report = _run_one(args.benchmark, args.scheme, args.scale)
+    print(f"benchmark           : {report.program}")
+    print(f"scheme              : {report.scheme}")
+    print(f"guest instructions  : {report.guest_instructions}")
+    print(f"total cycles        : {report.total_cycles}")
+    print(f"  interpreted       : {report.interp_cycles}")
+    print(f"  translated        : {report.translated_cycles}")
+    print(f"  optimizer         : {report.optimization_cycles} "
+          f"({report.optimization_fraction * 100:.2f}%)")
+    print(f"translations        : {report.translations}")
+    print(f"region commits      : {report.region_commits}")
+    print(f"side exits          : {report.side_exits}")
+    print(f"alias exceptions    : {report.alias_exceptions} "
+          f"(false positives {report.false_positive_exceptions})")
+    print(f"re-optimizations    : {report.reoptimizations}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    reports = {
+        scheme: _run_one(args.benchmark, scheme, args.scale)
+        for scheme in SCHEME_NAMES
+    }
+    baseline = reports["none"].total_cycles
+    rows = [
+        [
+            scheme,
+            r.total_cycles,
+            f"{baseline / r.total_cycles:.3f}x",
+            r.alias_exceptions,
+            r.reoptimizations,
+        ]
+        for scheme, r in reports.items()
+    ]
+    print(
+        render_table(
+            f"Scheme comparison: {args.benchmark} (scale {args.scale})",
+            ["scheme", "cycles", "speedup", "alias exc", "re-opts"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    benchmarks = (
+        [b.strip() for b in args.suite.split(",") if b.strip()]
+        if args.suite
+        else list(SPECFP_BENCHMARKS)
+    )
+    runner = SuiteRunner(
+        SuiteConfig(benchmarks=benchmarks, scale=args.scale, hot_threshold=20)
+    )
+    names = [args.only] if args.only else list(_FIGURES)
+    for name in names:
+        if name not in _FIGURES:
+            print(f"unknown figure {name!r}; choose from {list(_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        run, render = _FIGURES[name]
+        print(render(run(runner)))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMARQ (MICRO 2012) reproduction: run workloads and "
+        "regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schemes, figures")
+
+    run_p = sub.add_parser("run", help="run one benchmark under one scheme")
+    run_p.add_argument("benchmark", choices=SPECFP_BENCHMARKS)
+    run_p.add_argument("--scheme", default="smarq", choices=SCHEME_NAMES)
+    run_p.add_argument("--scale", type=float, default=0.25)
+
+    cmp_p = sub.add_parser("compare", help="run one benchmark on all schemes")
+    cmp_p.add_argument("benchmark", choices=SPECFP_BENCHMARKS)
+    cmp_p.add_argument("--scale", type=float, default=0.25)
+
+    fig_p = sub.add_parser("figures", help="regenerate tables/figures")
+    fig_p.add_argument("--only", default=None, help="one of: " + " ".join(_FIGURES))
+    fig_p.add_argument("--scale", type=float, default=0.25)
+    fig_p.add_argument("--suite", default="", help="comma-separated subset")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figures": _cmd_figures,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

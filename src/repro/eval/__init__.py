@@ -1,0 +1,40 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes a ``run_*`` function returning a plain dataclass
+of results plus a ``render_*`` function producing the text table the
+benchmarks print. ``repro.eval.suite`` owns the (scheme x benchmark)
+sweep and caches reports so multiple figures can share one run.
+"""
+
+from repro.eval.suite import SuiteRunner, SuiteConfig
+from repro.eval.summary import headline, run_all
+from repro.eval.table1 import run_table1, render_table1
+from repro.eval.fig14 import run_fig14, render_fig14
+from repro.eval.fig15 import run_fig15, render_fig15
+from repro.eval.fig16 import run_fig16, render_fig16
+from repro.eval.fig17 import run_fig17, render_fig17
+from repro.eval.fig18 import run_fig18, render_fig18
+from repro.eval.fig19 import run_fig19, render_fig19
+from repro.eval.report import render_table
+
+__all__ = [
+    "SuiteConfig",
+    "SuiteRunner",
+    "headline",
+    "run_all",
+    "render_fig14",
+    "render_fig15",
+    "render_fig16",
+    "render_fig17",
+    "render_fig18",
+    "render_fig19",
+    "render_table",
+    "render_table1",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "run_fig19",
+    "run_table1",
+]

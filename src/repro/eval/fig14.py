@@ -1,0 +1,57 @@
+"""Figure 14: memory operations per superblock, per benchmark.
+
+The paper uses this to motivate scalable alias registers: ammp's
+superblocks carry by far the most memory operations, which is why it is
+the benchmark most hurt by a 16-register limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.eval.report import render_table
+from repro.eval.suite import SuiteRunner
+
+
+@dataclass
+class Fig14Result:
+    #: benchmark -> average memory operations per formed superblock
+    mem_ops: Dict[str, float] = field(default_factory=dict)
+    #: benchmark -> average instructions per superblock
+    instructions: Dict[str, float] = field(default_factory=dict)
+    #: benchmark -> number of superblocks formed
+    superblocks: Dict[str, int] = field(default_factory=dict)
+
+
+def run_fig14(runner: SuiteRunner) -> Fig14Result:
+    result = Fig14Result()
+    for bench in runner.config.benchmarks:
+        report = runner.report(bench, "smarq")
+        snapshots = list(report.region_stats.values())
+        if snapshots:
+            result.mem_ops[bench] = sum(s.memory_ops for s in snapshots) / len(
+                snapshots
+            )
+            result.instructions[bench] = sum(
+                s.instructions for s in snapshots
+            ) / len(snapshots)
+        else:
+            result.mem_ops[bench] = 0.0
+            result.instructions[bench] = 0.0
+        result.superblocks[bench] = len(snapshots)
+    return result
+
+
+def render_fig14(result: Fig14Result) -> str:
+    rows = [
+        [bench, result.mem_ops[bench], result.instructions[bench],
+         result.superblocks[bench]]
+        for bench in result.mem_ops
+    ]
+    return render_table(
+        "Figure 14: Memory Operations per Superblock",
+        ["benchmark", "mem ops/superblock", "insts/superblock", "superblocks"],
+        rows,
+        note="Paper shape: ammp has by far the largest superblocks.",
+    )

@@ -1,0 +1,44 @@
+"""Region extraction helper for region-level experiments and ablations.
+
+Runs a workload under the interpreter just long enough for its hot loop to
+cross the profiling threshold, then forms the superblocks — giving
+ablation benchmarks realistic regions without a full DBT run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frontend.interpreter import Interpreter
+from repro.frontend.profiler import HotnessProfiler, ProfilerConfig
+from repro.frontend.program import GuestProgram
+from repro.frontend.region import RegionFormer
+from repro.ir.superblock import Superblock
+from repro.sim.memory import Memory
+from repro.workloads import make_benchmark
+
+
+def form_hot_regions(
+    benchmark: str,
+    scale: float = 0.02,
+    hot_threshold: int = 15,
+    max_steps: int = 500_000,
+) -> Tuple[GuestProgram, List[Superblock]]:
+    """The benchmark's program plus its hot superblocks."""
+    program = make_benchmark(benchmark, scale=scale)
+    profiler = HotnessProfiler(
+        program, ProfilerConfig(hot_threshold=hot_threshold)
+    )
+    memory = Memory(program.memory_size() + 4096)
+    interpreter = Interpreter(program, memory)
+    interpreter.trace_hook = profiler.observe
+    try:
+        interpreter.run(max_steps=max_steps)
+    except Exception:  # InterpreterLimit is fine: profile is warm enough
+        pass
+    former = RegionFormer(program, profiler)
+    regions = [
+        former.form(head)
+        for head in sorted(profiler.hot_heads())
+    ]
+    return program, [r for r in regions if r.memory_ops()]

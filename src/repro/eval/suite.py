@@ -1,0 +1,81 @@
+"""Shared (scheme x benchmark) sweep with report caching.
+
+Figures 14-19 all consume the same per-run :class:`DbtReport` data; the
+runner executes each (benchmark, scheme-key) pair once and caches the
+report, so regenerating every figure costs one suite sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtReport, DbtSystem
+from repro.sim.schemes import Scheme, make_scheme
+from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+
+
+@dataclass
+class SuiteConfig:
+    benchmarks: List[str] = field(
+        default_factory=lambda: list(SPECFP_BENCHMARKS)
+    )
+    #: iteration scale for every workload (1.0 = calibrated default)
+    scale: float = 0.25
+    hot_threshold: int = 20
+
+
+class SuiteRunner:
+    """Runs and caches DBT reports keyed by (benchmark, scheme_key)."""
+
+    def __init__(self, config: Optional[SuiteConfig] = None) -> None:
+        self.config = config or SuiteConfig()
+        self._cache: Dict[Tuple[str, str], DbtReport] = {}
+        #: scheme variants beyond the four standard names, registered by
+        #: experiments (e.g. smarq with store reordering disabled)
+        self._variants: Dict[str, Scheme] = {}
+
+    def register_variant(self, key: str, scheme: Scheme) -> None:
+        self._variants[key] = scheme
+
+    def report(self, benchmark: str, scheme_key: str) -> DbtReport:
+        """The cached report for one (benchmark, scheme) cell."""
+        cache_key = (benchmark, scheme_key)
+        if cache_key not in self._cache:
+            program = make_benchmark(benchmark, scale=self.config.scale)
+            scheme = self._variants.get(scheme_key)
+            system = DbtSystem(
+                program,
+                scheme if scheme is not None else scheme_key,
+                profiler_config=ProfilerConfig(
+                    hot_threshold=self.config.hot_threshold
+                ),
+            )
+            self._cache[cache_key] = system.run()
+        return self._cache[cache_key]
+
+    def speedup(self, benchmark: str, scheme_key: str) -> float:
+        """Speedup of ``scheme_key`` over the no-alias-hardware baseline."""
+        baseline = self.report(benchmark, "none").total_cycles
+        cycles = self.report(benchmark, scheme_key).total_cycles
+        return baseline / cycles if cycles else 0.0
+
+    def sweep(
+        self, scheme_keys: Iterable[str]
+    ) -> Dict[str, Dict[str, DbtReport]]:
+        """Reports for every benchmark under every given scheme."""
+        out: Dict[str, Dict[str, DbtReport]] = {}
+        for bench in self.config.benchmarks:
+            out[bench] = {key: self.report(bench, key) for key in scheme_keys}
+        return out
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

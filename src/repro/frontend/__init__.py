@@ -1,0 +1,32 @@
+"""Guest program substrate.
+
+The paper's system translates x86 binaries; our reproduction substitutes a
+small RISC-like guest ISA (the same opcode vocabulary as the optimizer IR,
+held in a :class:`~repro.frontend.program.GuestProgram` image) so that the
+dynamic-optimization loop — interpret, profile, form hot superblocks,
+translate, optimize — can be exercised end to end.
+
+* :mod:`repro.frontend.program` — guest code image + data region layout.
+* :mod:`repro.frontend.interpreter` — functional execution with profiling
+  hooks and per-instruction interpretation cost accounting.
+* :mod:`repro.frontend.profiler` — hot/cold execution-count thresholds.
+* :mod:`repro.frontend.region` — superblock formation along hot paths
+  (branch inversion for taken paths, side exits, cold-block termination).
+"""
+
+from repro.frontend.program import GuestProgram
+from repro.frontend.interpreter import Interpreter, InterpreterLimit
+from repro.frontend.profiler import HotnessProfiler, ProfilerConfig
+from repro.frontend.region import RegionFormer, RegionFormationConfig
+from repro.frontend.alias_profiler import AliasProfiler
+
+__all__ = [
+    "AliasProfiler",
+    "GuestProgram",
+    "HotnessProfiler",
+    "Interpreter",
+    "InterpreterLimit",
+    "ProfilerConfig",
+    "RegionFormationConfig",
+    "RegionFormer",
+]

@@ -1,0 +1,98 @@
+"""Alias profiling during interpretation.
+
+The paper's framework assumes the optimizer knows which MAY-alias pairs
+are *likely* to alias (it refuses to speculate on those and lets the
+alias hardware guard the rest). Production systems learn this two ways:
+from alias exceptions after the fact (implemented in the runtime's
+re-optimization policy) and from profiling *before* translation. This
+module implements the second: while code still runs interpreted, every
+memory access is checked against a sliding window of recent accesses;
+overlapping accesses from different pcs become (pc, pc) alias events.
+
+At region-formation time :meth:`hints_for_region` converts the pc-level
+profile into the ``(mem_index, mem_index) -> rate`` hints the optimizer
+consumes, so known-hot alias pairs are pinned from the very first
+translation instead of costing a rollback each.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+from repro.ir.superblock import Superblock
+
+
+@dataclass
+class _Access:
+    pc: int
+    start: int
+    end: int
+    is_store: bool
+
+
+class AliasProfiler:
+    """Sliding-window runtime alias observer (interpretation phase)."""
+
+    def __init__(self, window: int = 32) -> None:
+        self._window: Deque[_Access] = deque(maxlen=window)
+        #: (lo_pc, hi_pc) -> alias event count
+        self.alias_events: Dict[Tuple[int, int], int] = {}
+        #: pc -> execution count of that memory instruction
+        self.executions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, pc: int, addr: int, size: int, is_store: bool) -> None:
+        """Interpreter ``mem_hook``."""
+        end = addr + size - 1
+        self.executions[pc] = self.executions.get(pc, 0) + 1
+        seen_this_access = set()
+        for prior in self._window:
+            if prior.pc == pc:
+                continue
+            if not (is_store or prior.is_store):
+                continue  # load-load pairs never need detection
+            if prior.start <= end and addr <= prior.end:
+                key = (min(pc, prior.pc), max(pc, prior.pc))
+                if key in seen_this_access:
+                    continue  # one event per pair per access, not per
+                    # stale window entry
+                seen_this_access.add(key)
+                self.alias_events[key] = self.alias_events.get(key, 0) + 1
+        self._window.append(_Access(pc, addr, end, is_store))
+
+    # ------------------------------------------------------------------
+    def rate(self, pc_a: int, pc_b: int) -> float:
+        """Observed alias rate of a pc pair (events per execution)."""
+        key = (min(pc_a, pc_b), max(pc_a, pc_b))
+        events = self.alias_events.get(key, 0)
+        if not events:
+            return 0.0
+        denominator = min(
+            self.executions.get(pc_a, 1), self.executions.get(pc_b, 1)
+        )
+        return min(1.0, events / max(1, denominator))
+
+    def hints_for_region(
+        self, region: Superblock, min_rate: float = 0.05
+    ) -> Dict[Tuple[int, int], float]:
+        """Profile hints keyed by the region's memory-op indices."""
+        by_pc: Dict[int, list] = {}
+        for op in region.memory_ops():
+            if op.guest_pc is not None:
+                by_pc.setdefault(op.guest_pc, []).append(op.mem_index)
+        hints: Dict[Tuple[int, int], float] = {}
+        pcs = sorted(by_pc)
+        for i, pc_a in enumerate(pcs):
+            for pc_b in pcs[i:]:
+                rate = self.rate(pc_a, pc_b)
+                if rate < min_rate:
+                    continue
+                for idx_a in by_pc[pc_a]:
+                    for idx_b in by_pc[pc_b]:
+                        if idx_a == idx_b:
+                            continue
+                        lo, hi = sorted((idx_a, idx_b))
+                        hints[(lo, hi)] = max(hints.get((lo, hi), 0.0), rate)
+        return hints

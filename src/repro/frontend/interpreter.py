@@ -1,0 +1,194 @@
+"""Guest interpreter.
+
+Functional execution of a :class:`~repro.frontend.program.GuestProgram`
+over a :class:`~repro.sim.memory.Memory`. The interpreter is the system's
+slow path (paper Figure 1: code runs interpreted until it gets hot) and
+also the reference semantics the optimized translations must match.
+
+Integer semantics: registers hold Python ints, 64-bit wrapping on
+arithmetic. FP opcodes operate on register values as Python numbers
+(synthetic workloads only need arithmetic of the right latency class, not
+IEEE bit-accuracy). Loads/stores move unsigned little-endian integers.
+
+Timing: each interpreted guest instruction is charged
+``cycles_per_instruction`` simulated cycles (interpretation overhead of a
+DBT system); the value is configurable on the runtime's machine model side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from typing import TYPE_CHECKING
+
+from repro.frontend.program import GuestProgram
+from repro.ir.instruction import Instruction, Opcode
+
+if TYPE_CHECKING:  # avoid importing the sim package at module load
+    from repro.sim.memory import Memory
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 64-bit."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class InterpreterLimit(Exception):
+    """The step budget was exhausted before the program exited."""
+
+
+@dataclass
+class InterpStats:
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_taken: int = 0
+
+
+class Interpreter:
+    """Executes guest instructions one at a time."""
+
+    def __init__(
+        self,
+        program: GuestProgram,
+        memory: "Memory",
+        registers: Optional[List[int]] = None,
+        num_registers: int = 64,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        if registers is not None:
+            self.registers = registers
+        else:
+            self.registers = [0] * num_registers
+            for reg, value in program.initial_registers.items():
+                self.registers[reg] = value
+        self.pc = program.entry_pc
+        self.stats = InterpStats()
+        self.exited = False
+        self.exit_code: Optional[int] = None
+        #: called with the pc of every instruction executed (profiling)
+        self.trace_hook: Optional[Callable[[int], None]] = None
+        #: called as (pc, addr, size, is_store) on every memory access
+        #: (alias profiling)
+        self.mem_hook: Optional[Callable[[int, int, int, bool], None]] = None
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction at the current pc."""
+        inst = self.program.at(self.pc)
+        if self.trace_hook is not None:
+            self.trace_hook(self.pc)
+        self.stats.instructions += 1
+        next_pc = self.pc + 1
+        regs = self.registers
+        op = inst.opcode
+
+        if op is Opcode.LD:
+            addr = regs[inst.base] + inst.disp
+            if self.mem_hook is not None:
+                self.mem_hook(self.pc, addr, inst.size, False)
+            regs[inst.dest] = self.memory.read(addr, inst.size)
+            self.stats.loads += 1
+        elif op is Opcode.ST:
+            addr = regs[inst.base] + inst.disp
+            if self.mem_hook is not None:
+                self.mem_hook(self.pc, addr, inst.size, True)
+            self.memory.write(addr, regs[inst.srcs[0]], inst.size)
+            self.stats.stores += 1
+        elif op is Opcode.MOVI:
+            regs[inst.dest] = inst.imm or 0
+        elif op is Opcode.MOV:
+            regs[inst.dest] = regs[inst.srcs[0]]
+        elif op in (Opcode.ADD, Opcode.SUB) and inst.imm is not None:
+            delta = inst.imm if op is Opcode.ADD else -inst.imm
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] + delta)
+        elif op is Opcode.ADD:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] + regs[inst.srcs[1]])
+        elif op is Opcode.SUB:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] - regs[inst.srcs[1]])
+        elif op is Opcode.MUL:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] * regs[inst.srcs[1]])
+        elif op is Opcode.AND:
+            regs[inst.dest] = regs[inst.srcs[0]] & regs[inst.srcs[1]]
+        elif op is Opcode.OR:
+            regs[inst.dest] = regs[inst.srcs[0]] | regs[inst.srcs[1]]
+        elif op is Opcode.XOR:
+            regs[inst.dest] = regs[inst.srcs[0]] ^ regs[inst.srcs[1]]
+        elif op is Opcode.SHL:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] << (regs[inst.srcs[1]] & 63))
+        elif op is Opcode.SHR:
+            regs[inst.dest] = (regs[inst.srcs[0]] & _MASK64) >> (
+                regs[inst.srcs[1]] & 63
+            )
+        elif op is Opcode.CMP:
+            a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+            regs[inst.dest] = (a > b) - (a < b)
+        elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FMA):
+            a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+            if op is Opcode.FADD:
+                regs[inst.dest] = _wrap(a + b)
+            elif op is Opcode.FSUB:
+                regs[inst.dest] = _wrap(a - b)
+            elif op is Opcode.FMUL:
+                regs[inst.dest] = _wrap(a * b)
+            elif op is Opcode.FDIV:
+                regs[inst.dest] = a // b if b else 0
+            else:  # FMA: dest = dest + a * b
+                regs[inst.dest] = _wrap(regs[inst.dest] + a * b)
+        elif op is Opcode.BR:
+            next_pc = inst.target
+            self.stats.branches_taken += 1
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            a = regs[inst.srcs[0]]
+            b = regs[inst.srcs[1]] if len(inst.srcs) > 1 else 0
+            taken = {
+                Opcode.BEQ: a == b,
+                Opcode.BNE: a != b,
+                Opcode.BLT: a < b,
+                Opcode.BGE: a >= b,
+            }[op]
+            if taken:
+                next_pc = inst.target
+                self.stats.branches_taken += 1
+        elif op is Opcode.EXIT:
+            self.exited = True
+            self.exit_code = inst.target
+            return
+        elif op is Opcode.NOP:
+            pass
+        else:
+            raise ValueError(f"interpreter cannot execute {inst!r}")
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run to EXIT; returns the exit code."""
+        steps = 0
+        while not self.exited:
+            if steps >= max_steps:
+                raise InterpreterLimit(f"exceeded {max_steps} steps")
+            self.step()
+            steps += 1
+        return self.exit_code or 0
+
+    def run_until(
+        self, stop_pcs: Set[int], max_steps: int = 1_000_000
+    ) -> Optional[int]:
+        """Interpret until reaching a pc in ``stop_pcs`` (before executing
+        it) or program exit. Returns the stop pc, or None on exit."""
+        steps = 0
+        while not self.exited:
+            if self.pc in stop_pcs and steps > 0:
+                return self.pc
+            if steps >= max_steps:
+                raise InterpreterLimit(f"exceeded {max_steps} steps")
+            self.step()
+            steps += 1
+        return None

@@ -1,0 +1,98 @@
+"""Guest program images.
+
+A :class:`GuestProgram` is a code image (pc -> instruction) plus a data
+layout (named regions in guest memory) and optional profile hints. The pc
+space is dense: instruction at pc ``i`` falls through to ``i + 1`` unless
+it branches. ``EXIT`` terminates execution.
+
+Workload generators (:mod:`repro.workloads`) build these images; the
+interpreter executes them; the region former extracts superblocks from
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.ir.instruction import Instruction, Opcode
+
+
+@dataclass
+class GuestProgram:
+    """Code image + data layout of one synthetic guest binary."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    #: region name -> (start address, byte size)
+    region_map: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    entry_pc: int = 0
+    #: profile hints: (mem_index_a, mem_index_b) -> runtime alias rate.
+    #: Keyed per superblock entry pc by the caller when installed; the
+    #: program-level hints here are global pairs used by generators.
+    alias_hints: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: initial guest register values (register -> value)
+    initial_registers: Dict[int, int] = field(default_factory=dict)
+    #: loop-invariant pointer registers: register -> region name. The
+    #: dynamic optimizer learns these from runtime register values at
+    #: translation time; generators declare them directly.
+    register_regions: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pc, inst in enumerate(self.instructions):
+            inst.guest_pc = pc
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def at(self, pc: int) -> Instruction:
+        if not 0 <= pc < len(self.instructions):
+            raise IndexError(f"guest pc {pc} out of range")
+        return self.instructions[pc]
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def branch_targets(self) -> Set[int]:
+        targets = set()
+        for inst in self.instructions:
+            if inst.is_branch and inst.opcode is not Opcode.EXIT:
+                if inst.target is not None:
+                    targets.add(inst.target)
+        return targets
+
+    def block_heads(self) -> Set[int]:
+        """Pcs that start a basic block."""
+        heads = {self.entry_pc}
+        heads |= self.branch_targets()
+        for pc, inst in enumerate(self.instructions):
+            if inst.is_branch and pc + 1 < len(self.instructions):
+                heads.add(pc + 1)
+        return heads
+
+    def validate(self) -> None:
+        """Check branch targets and memory layout sanity."""
+        n = len(self.instructions)
+        for pc, inst in enumerate(self.instructions):
+            if inst.is_branch and inst.opcode is not Opcode.EXIT:
+                if inst.target is None or not 0 <= inst.target < n:
+                    raise ValueError(
+                        f"pc {pc}: branch target {inst.target} out of range"
+                    )
+        spans = sorted(self.region_map.values())
+        for (a_start, a_size), (b_start, b_size) in zip(spans, spans[1:]):
+            if a_start + a_size > b_start:
+                raise ValueError("overlapping data regions")
+
+    def memory_size(self) -> int:
+        """Smallest memory size containing all regions."""
+        end = 0
+        for start, size in self.region_map.values():
+            end = max(end, start + size)
+        return end
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuestProgram {self.name}: {len(self.instructions)} insts, "
+            f"{len(self.region_map)} regions>"
+        )

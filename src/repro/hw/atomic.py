@@ -1,0 +1,79 @@
+"""Atomic-region execution support (checkpoint / rollback).
+
+The dynamic optimization system places translated code in atomic regions
+(paper Figure 1): entering a region snapshots architectural state; an alias
+exception (or interrupt / consistency violation) rolls the region back and
+control returns to the runtime, which re-optimizes or interprets.
+
+The checkpoint captures the guest register file and a write-undo log of the
+guest memory. Undo logging (rather than full memory copies) keeps the model
+cheap for large memories while remaining exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class Checkpoint:
+    """Snapshot of architectural state at atomic-region entry."""
+
+    registers: List[float]
+    guest_pc: int
+    undo_log: List[Tuple[int, int, bytes]] = field(default_factory=list)
+
+
+@dataclass
+class AtomicStats:
+    checkpoints: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+    undone_bytes: int = 0
+
+
+class AtomicRegionSupport:
+    """Checkpoint/rollback machinery shared by all simulated schemes."""
+
+    def __init__(self, memory) -> None:
+        self._memory = memory
+        self._checkpoint: Checkpoint = None  # type: ignore[assignment]
+        self.stats = AtomicStats()
+
+    @property
+    def active(self) -> bool:
+        return self._checkpoint is not None
+
+    def begin(self, registers: List[float], guest_pc: int) -> None:
+        """Enter an atomic region: snapshot registers, arm undo logging."""
+        if self.active:
+            raise RuntimeError("nested atomic regions are not supported")
+        self._checkpoint = Checkpoint(list(registers), guest_pc)
+        self.stats.checkpoints += 1
+
+    def log_write(self, addr: int, size: int) -> None:
+        """Record pre-image of a store about to execute inside the region."""
+        if not self.active:
+            return
+        old = self._memory.read_bytes(addr, size)
+        self._checkpoint.undo_log.append((addr, size, old))
+
+    def commit(self) -> None:
+        """Leave the region successfully; discard the checkpoint."""
+        if not self.active:
+            raise RuntimeError("commit without an active atomic region")
+        self._checkpoint = None
+        self.stats.commits += 1
+
+    def rollback(self) -> Tuple[List[float], int]:
+        """Undo all region stores; return (registers, guest_pc) to resume."""
+        if not self.active:
+            raise RuntimeError("rollback without an active atomic region")
+        checkpoint = self._checkpoint
+        for addr, size, old in reversed(checkpoint.undo_log):
+            self._memory.write_bytes(addr, old)
+            self.stats.undone_bytes += size
+        self._checkpoint = None
+        self.stats.rollbacks += 1
+        return checkpoint.registers, checkpoint.guest_pc

@@ -1,0 +1,43 @@
+"""Exceptions raised by the hardware models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HardwareError(Exception):
+    """Base class for hardware-model errors (misuse of the model)."""
+
+
+class AliasException(Exception):
+    """Raised when hardware detects a runtime memory alias.
+
+    The runtime catches this, rolls the atomic region back, and triggers
+    conservative re-optimization (paper Figure 1). ``setter_mem_index`` and
+    ``checker_mem_index`` identify the two memory operations involved so the
+    re-optimizer can add a must-alias dependence between them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        setter_mem_index: Optional[int] = None,
+        checker_mem_index: Optional[int] = None,
+        false_positive: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.setter_mem_index = setter_mem_index
+        self.checker_mem_index = checker_mem_index
+        #: Set by models that *know* the detection was a false positive
+        #: (only the Itanium-like model, for accounting; real hardware
+        #: cannot distinguish).
+        self.false_positive = false_positive
+
+
+class AliasRegisterOverflow(HardwareError):
+    """An alias register offset referenced past the physical register count.
+
+    SMARQ's allocator is designed to make this impossible (Section 5.3); the
+    model raises it to catch allocator bugs and to support the overflow
+    ablation study.
+    """

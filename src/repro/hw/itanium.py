@@ -1,0 +1,112 @@
+"""Itanium-like ALAT model (paper Sections 2.3 and 6.1).
+
+The Advanced Load Address Table records the address range of each advanced
+load. Every store automatically checks *all* live entries — software cannot
+name which entries to check. Consequences the paper exploits:
+
+* **False positives**: a store that aliases an advanced load it was never
+  reordered against still raises an exception (Figure 3's M2 vs M1 case).
+* **No store-store detection**: stores do not allocate entries, so aliases
+  between reordered stores are invisible; the optimizer must not reorder
+  stores under this model.
+
+The model keys entries by the setter's mem_index so invalidation semantics
+(a check-load removing its own entry) can be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.hw.exceptions import AliasException
+from repro.hw.ranges import AccessRange
+
+
+@dataclass
+class AlatStats:
+    inserts: int = 0
+    store_checks: int = 0
+    comparisons: int = 0
+    exceptions: int = 0
+    false_positives: int = 0
+
+
+class AlatModel:
+    """ALAT-style alias detection: loads insert, stores check everything."""
+
+    def __init__(self, num_entries: int = 32) -> None:
+        if num_entries <= 0:
+            raise ValueError("ALAT needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: Dict[int, AccessRange] = {}  # mem_index -> range
+        self.stats = AlatStats()
+
+    def advanced_load(self, mem_index: int, access: AccessRange) -> None:
+        """``ld.a`` — insert an entry; evicts the oldest when full.
+
+        Eviction silently loses protection; real Itanium turns the later
+        ``chk.a`` into a recovery branch. Our model treats eviction as a
+        detection (conservative) to keep the simulator's recovery story
+        uniform: see :meth:`check_load`.
+        """
+        if len(self._entries) >= self.num_entries:
+            oldest = min(self._entries)
+            del self._entries[oldest]
+        self._entries[mem_index] = access
+        self.stats.inserts += 1
+
+    def store_check(
+        self,
+        access: AccessRange,
+        checker_mem_index: Optional[int] = None,
+        required_targets: Optional[Set[int]] = None,
+    ) -> None:
+        """Every store checks ALL live entries.
+
+        ``required_targets`` is the set of setter mem_indexes that a precise
+        scheme (SMARQ) would have needed to check; it is used purely for
+        accounting, letting the model label an exception as a false positive
+        when the overlapping entry was not a required target.
+        """
+        self.stats.store_checks += 1
+        for mem_index, entry in sorted(self._entries.items()):
+            self.stats.comparisons += 1
+            if entry.overlaps(access):
+                false_positive = (
+                    required_targets is not None and mem_index not in required_targets
+                )
+                self.stats.exceptions += 1
+                if false_positive:
+                    self.stats.false_positives += 1
+                raise AliasException(
+                    f"ALAT alias: store {access} overlaps entry {entry}",
+                    setter_mem_index=mem_index,
+                    checker_mem_index=checker_mem_index,
+                    false_positive=false_positive,
+                )
+
+    def check_load(self, mem_index: int) -> bool:
+        """``ld.c`` / ``chk.a`` — verify the advanced load's entry survives.
+
+        Returns True (and removes the entry) if the entry is intact; False
+        means the entry was evicted and the speculation must be recovered.
+        """
+        return self._entries.pop(mem_index, None) is not None
+
+    def invalidate(self, mem_index: int) -> None:
+        """Drop an entry without checking (region exit cleanup)."""
+        self._entries.pop(mem_index, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    @property
+    def live_count(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<AlatModel {len(self._entries)}/{self.num_entries} live>"

@@ -1,0 +1,52 @@
+"""Null alias-detection hardware.
+
+The paper's baseline ("without hardware alias detection support", Figure 15)
+is a machine where the optimizer cannot speculate on memory ordering at all:
+every may-alias dependence must be honoured by the scheduler. This model
+exists so the simulator can be parameterized uniformly over schemes; all its
+operations are no-ops, and asking it to perform a speculative check is a
+programming error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.exceptions import HardwareError
+from repro.hw.ranges import AccessRange
+
+
+@dataclass
+class NoneStats:
+    sets: int = 0
+    checks: int = 0
+
+
+class NoAliasHardware:
+    """A machine with no alias registers."""
+
+    num_registers = 0
+
+    def __init__(self) -> None:
+        self.stats = NoneStats()
+
+    def set(self, offset: int, access: AccessRange, setter_mem_index=None) -> None:
+        raise HardwareError("no alias registers: optimizer must not speculate")
+
+    def check(self, offset: int, access: AccessRange, checker_mem_index=None) -> None:
+        raise HardwareError("no alias registers: optimizer must not speculate")
+
+    def rotate(self, amount: int) -> None:
+        raise HardwareError("no alias registers: nothing to rotate")
+
+    def amov(self, src_offset: int, dst_offset: int) -> None:
+        raise HardwareError("no alias registers: nothing to move")
+
+    def clear(self) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NoAliasHardware>"

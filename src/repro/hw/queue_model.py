@@ -1,0 +1,197 @@
+"""Order-based alias register queue — the hardware SMARQ manages.
+
+The queue is a circular file of ``num_registers`` alias registers with a
+rotating BASE pointer. Software references registers by *offset* relative to
+the current BASE; the model tracks the absolute *order* (``base + offset``)
+internally, exactly the invariance the paper states in Section 3.2.
+
+Detection implements ORDERED-ALIAS-DETECTION-RULE (Section 3.1): an
+executing memory operation ``X`` with the C bit checks every previously set,
+still-live register whose order is *not earlier* than the order of the
+register allocated to ``X``, i.e. every live entry at order >= order(X).
+Entries set by loads are marked and skipped when the checker is a load.
+
+Operations:
+
+``set(offset, range)``       — P-bit action: store the access range.
+``check(offset, range)``     — C-bit action: compare against live entries.
+``rotate(n)``                — advance BASE by ``n``; released entries clear.
+``amov(src, dst)``           — move a range between offsets (or clean it
+                               when ``src == dst``), paper Section 3.3.
+
+The model raises :class:`AliasRegisterOverflow` if software references an
+offset at or beyond the physical register count — SMARQ's allocator
+guarantees this never happens; the check catches allocator bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.exceptions import AliasException, AliasRegisterOverflow
+from repro.hw.ranges import AccessRange
+
+
+@dataclass
+class _Entry:
+    """One live alias register entry keyed by absolute order."""
+
+    access: AccessRange
+    setter_mem_index: Optional[int] = None
+
+
+@dataclass
+class QueueStats:
+    """Counters for energy/efficiency accounting (paper Section 2.4)."""
+
+    sets: int = 0
+    checks: int = 0
+    comparisons: int = 0  # individual entry comparisons performed
+    rotations: int = 0
+    rotated_registers: int = 0
+    amovs: int = 0
+    exceptions: int = 0
+    max_live: int = 0
+
+
+class AliasRegisterQueue:
+    """Circular, ordered alias register file with a rotating BASE."""
+
+    def __init__(self, num_registers: int = 64) -> None:
+        if num_registers <= 0:
+            raise ValueError("need at least one alias register")
+        self.num_registers = num_registers
+        self._base = 0  # absolute order of offset 0
+        self._entries: Dict[int, _Entry] = {}  # keyed by absolute order
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> int:
+        """Absolute order of the register at offset 0."""
+        return self._base
+
+    def live_orders(self) -> List[int]:
+        """Absolute orders of currently live entries (sorted)."""
+        return sorted(self._entries)
+
+    def entry_at_offset(self, offset: int) -> Optional[AccessRange]:
+        """The access range stored at ``offset``, if any."""
+        self._check_offset(offset)
+        entry = self._entries.get(self._base + offset)
+        return entry.access if entry else None
+
+    def _check_offset(self, offset: int) -> None:
+        if offset < 0:
+            raise AliasRegisterOverflow(f"negative alias register offset {offset}")
+        if offset >= self.num_registers:
+            raise AliasRegisterOverflow(
+                f"offset {offset} >= physical register count {self.num_registers}"
+            )
+
+    # ------------------------------------------------------------------
+    # Architectural operations
+    # ------------------------------------------------------------------
+    def set(
+        self,
+        offset: int,
+        access: AccessRange,
+        setter_mem_index: Optional[int] = None,
+    ) -> None:
+        """P-bit action: record ``access`` in the register at ``offset``."""
+        self._check_offset(offset)
+        order = self._base + offset
+        self._entries[order] = _Entry(access, setter_mem_index)
+        self.stats.sets += 1
+        self.stats.max_live = max(self.stats.max_live, len(self._entries))
+
+    def check(
+        self,
+        offset: int,
+        access: AccessRange,
+        checker_mem_index: Optional[int] = None,
+    ) -> None:
+        """C-bit action: detect aliases per ORDERED-ALIAS-DETECTION-RULE.
+
+        Checks every live entry whose order is >= ``base + offset``. Entries
+        set by loads are skipped when ``access`` is itself a load (hardware
+        auto-marks load-set registers, Section 2.4).
+
+        Raises :class:`AliasException` on the first overlapping range.
+        """
+        self._check_offset(offset)
+        own_order = self._base + offset
+        for order in sorted(self._entries):
+            if order < own_order:
+                continue
+            entry = self._entries[order]
+            if access.is_load and entry.access.is_load:
+                continue
+            self.stats.comparisons += 1
+            if entry.access.overlaps(access):
+                self.stats.exceptions += 1
+                raise AliasException(
+                    f"alias: {access} overlaps {entry.access} "
+                    f"(order {order}, base {self._base})",
+                    setter_mem_index=entry.setter_mem_index,
+                    checker_mem_index=checker_mem_index,
+                )
+        self.stats.checks += 1
+
+    def check_then_set(
+        self,
+        offset: int,
+        access: AccessRange,
+        mem_index: Optional[int] = None,
+    ) -> None:
+        """Combined P+C behaviour: check *before* setting (Section 3.1),
+        so an operation never aliases against itself."""
+        self.check(offset, access, checker_mem_index=mem_index)
+        self.set(offset, access, setter_mem_index=mem_index)
+
+    def rotate(self, amount: int) -> None:
+        """Advance BASE by ``amount``; entries rotated past BASE are freed."""
+        if amount < 0:
+            raise ValueError("rotate amount must be non-negative")
+        new_base = self._base + amount
+        released = [order for order in self._entries if order < new_base]
+        for order in released:
+            del self._entries[order]
+        self._base = new_base
+        self.stats.rotations += 1
+        self.stats.rotated_registers += amount
+
+    def amov(self, src_offset: int, dst_offset: int) -> None:
+        """Move the access range from ``src_offset`` to ``dst_offset``.
+
+        After the move the source register is cleaned. ``src == dst`` only
+        cleans (the common case the paper notes in Section 3.3).
+        """
+        self._check_offset(src_offset)
+        self._check_offset(dst_offset)
+        src_order = self._base + src_offset
+        entry = self._entries.pop(src_order, None)
+        if entry is not None and src_offset != dst_offset:
+            self._entries[self._base + dst_offset] = entry
+        self.stats.amovs += 1
+
+    def clear(self) -> None:
+        """Flush all entries (atomic region commit/rollback)."""
+        self._entries.clear()
+
+    def reset(self) -> None:
+        """Full reset including BASE (new region entry)."""
+        self._entries.clear()
+        self._base = 0
+
+    def __repr__(self) -> str:
+        live = ", ".join(
+            f"AR@{order}:{e.access}" for order, e in sorted(self._entries.items())
+        )
+        return (
+            f"<AliasRegisterQueue base={self._base} "
+            f"regs={self.num_registers} live=[{live}]>"
+        )

@@ -1,0 +1,38 @@
+"""Memory access ranges.
+
+An alias register stores the byte range ``[addr, addr + size - 1]`` touched
+by the memory operation that set it, plus a *load mark* the hardware uses so
+later loads skip checking ranges set by loads (paper Section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """A closed byte range ``[start, end]`` of a single memory access."""
+
+    start: int
+    size: int
+    is_load: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("access size must be positive")
+        if self.start < 0:
+            raise ValueError("access address must be non-negative")
+
+    @property
+    def end(self) -> int:
+        """Last byte touched (inclusive)."""
+        return self.start + self.size - 1
+
+    def overlaps(self, other: "AccessRange") -> bool:
+        """True if the two byte ranges share at least one byte."""
+        return self.start <= other.end and other.start <= self.end
+
+    def __repr__(self) -> str:
+        kind = "ld" if self.is_load else "st"
+        return f"AccessRange({kind} [{self.start:#x}..{self.end:#x}])"

@@ -1,0 +1,45 @@
+"""Intermediate representation used by the dynamic optimizer.
+
+The IR is a flat, superblock-oriented instruction list. Memory operations
+carry the SMARQ annotations described in the paper (Section 3): an alias
+register *offset*, a P (protection) bit and a C (check) bit. Two pseudo
+instructions manage the alias register queue: ``ROTATE n`` advances the
+queue's BASE pointer and ``AMOV off1, off2`` moves/cleans an access range.
+"""
+
+from repro.ir.instruction import (
+    Instruction,
+    Opcode,
+    OperandError,
+    amov,
+    binop,
+    branch,
+    fbinop,
+    load,
+    mov,
+    movi,
+    nop,
+    rotate,
+    store,
+)
+from repro.ir.superblock import Superblock
+from repro.ir.printer import format_instruction, format_superblock
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OperandError",
+    "Superblock",
+    "amov",
+    "binop",
+    "branch",
+    "fbinop",
+    "format_instruction",
+    "format_superblock",
+    "load",
+    "mov",
+    "movi",
+    "nop",
+    "rotate",
+    "store",
+]

@@ -1,0 +1,113 @@
+"""Superblock regions.
+
+The paper's optimizer (like the Transmeta/Efficeon-style systems it compares
+against) forms *superblocks*: single-entry, multiple-exit straight-line
+regions along hot execution paths. Conditional branches inside the region
+become *side exits*; the fall-through continues the region.
+
+A :class:`Superblock` owns an instruction list plus metadata the rest of the
+pipeline needs: the entry guest pc, exit pcs, and the numbering of memory
+operations in original program order (``mem_index``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.ir.instruction import Instruction
+
+
+@dataclass
+class Superblock:
+    """A single-entry multiple-exit straight-line optimization region."""
+
+    entry_pc: int = 0
+    instructions: List[Instruction] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.renumber_memory_ops()
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def append(self, inst: Instruction) -> Instruction:
+        self.instructions.append(inst)
+        if inst.is_mem:
+            inst.mem_index = self._count_mem() - 1
+        return inst
+
+    def extend(self, insts: Iterable[Instruction]) -> None:
+        for inst in insts:
+            self.append(inst)
+
+    # ------------------------------------------------------------------
+    # Memory-operation views
+    # ------------------------------------------------------------------
+    def memory_ops(self) -> List[Instruction]:
+        """Memory operations in current (possibly scheduled) order."""
+        return [inst for inst in self.instructions if inst.is_mem]
+
+    def memory_ops_in_program_order(self) -> List[Instruction]:
+        """Memory operations sorted by their original program order."""
+        ops = self.memory_ops()
+        if any(op.mem_index is None for op in ops):
+            raise ValueError("superblock has unnumbered memory operations")
+        return sorted(ops, key=lambda op: op.mem_index)
+
+    def renumber_memory_ops(self) -> None:
+        """Assign ``mem_index`` by current position.
+
+        Call only while the block is still in original program order (i.e.
+        before scheduling); the indices define that order afterwards.
+        """
+        idx = 0
+        for inst in self.instructions:
+            if inst.is_mem:
+                inst.mem_index = idx
+                idx += 1
+
+    def _count_mem(self) -> int:
+        return sum(1 for inst in self.instructions if inst.is_mem)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def side_exits(self) -> List[Instruction]:
+        """Branches that may leave the region before its end."""
+        return [inst for inst in self.instructions[:-1] if inst.is_branch]
+
+    def copy(self, name: Optional[str] = None) -> "Superblock":
+        """Deep-copy the region (fresh instruction uids, same mem indices)."""
+        block = Superblock(entry_pc=self.entry_pc, name=name or self.name)
+        block.instructions = [inst.copy() for inst in self.instructions]
+        return block
+
+    def position_of(self, inst: Instruction) -> int:
+        """Index of ``inst`` in the current order (identity match)."""
+        for i, candidate in enumerate(self.instructions):
+            if candidate is inst:
+                return i
+        raise ValueError(f"instruction {inst!r} not in superblock")
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises ``ValueError`` on violation."""
+        mem_indices = [i.mem_index for i in self.instructions if i.is_mem]
+        if len(set(mem_indices)) != len(mem_indices):
+            raise ValueError("duplicate mem_index in superblock")
+        if any(idx is None for idx in mem_indices):
+            raise ValueError("memory operation without mem_index")
+
+    def __repr__(self) -> str:
+        label = self.name or f"sb@{self.entry_pc:#x}"
+        return f"<Superblock {label}: {len(self.instructions)} insts>"

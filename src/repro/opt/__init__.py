@@ -1,0 +1,36 @@
+"""Speculative memory optimizations (paper Section 4, Table 3).
+
+Three general optimizations, exactly the set the paper's constraint
+analysis covers:
+
+* **memory reordering** — performed by the list scheduler in speculation
+  mode (:mod:`repro.sched.list_scheduler`), not by a separate pass;
+* **speculative load elimination** (:mod:`repro.opt.load_elim`) — forward a
+  value from an earlier must-alias access across intervening MAY-alias
+  stores, recording EXTENDED-DEPENDENCE 1;
+* **speculative store elimination** (:mod:`repro.opt.store_elim`) — delete
+  a store overwritten by a later must-alias store across intervening
+  MAY-alias loads, recording EXTENDED-DEPENDENCE 2.
+
+:mod:`repro.opt.pipeline` chains the passes and produces everything the
+scheduler+allocator stage needs (transformed block, merged dependence set,
+accounting).
+"""
+
+from repro.opt.load_elim import LoadElimination, LoadEliminationResult
+from repro.opt.store_elim import StoreElimination, StoreEliminationResult
+from repro.opt.pipeline import OptimizationPipeline, OptimizedRegion, OptimizerConfig
+from repro.opt.unroll import UnrollResult, is_loop_region, unroll_loop
+
+__all__ = [
+    "LoadElimination",
+    "LoadEliminationResult",
+    "OptimizationPipeline",
+    "OptimizedRegion",
+    "OptimizerConfig",
+    "StoreElimination",
+    "StoreEliminationResult",
+    "UnrollResult",
+    "is_loop_region",
+    "unroll_loop",
+]

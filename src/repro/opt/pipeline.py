@@ -1,0 +1,274 @@
+"""Optimization pipeline driver.
+
+Ties the passes together for one superblock region:
+
+1. build alias analysis on the region (program order);
+2. speculative load elimination, then speculative store elimination
+   (forwarding sources from step 2 are pinned so step 3 cannot delete
+   them) — each contributing extended dependences;
+3. recompute alias analysis and base memory dependences on the transformed
+   block, merge with the extended dependences;
+4. schedule with the SMARQ allocator hooked in (speculative reordering
+   happens here), or schedule conservatively for the no-alias-hardware
+   baseline.
+
+The pipeline also owns *re-optimization* (paper Figure 1): after an alias
+exception the runtime calls :meth:`OptimizationPipeline.reoptimize` with
+the faulting memory-operation pair; the pair is recorded as a must-alias
+profile hint and the region is rebuilt from its original code, now
+refusing to speculate on that pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import DependenceSet, compute_dependences
+from repro.ir.superblock import Superblock
+from repro.opt.load_elim import LoadElimination, LoadEliminationResult
+from repro.opt.store_elim import StoreElimination, StoreEliminationResult
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import (
+    AllocatorHook,
+    ListScheduler,
+    ScheduleResult,
+    SchedulerConfig,
+)
+from repro.sched.machine import MachineModel
+from repro.smarq.allocator import SmarqAllocator
+
+
+@dataclass
+class OptimizerConfig:
+    """What the optimizer is allowed to do."""
+
+    speculate: bool = True
+    allow_store_reorder: bool = True
+    enable_load_elimination: bool = True
+    enable_store_elimination: bool = True
+    alias_rate_threshold: float = 0.25
+    #: cap mandatory register pressure from eliminations, per block
+    max_eliminations_per_block: int = 12
+    #: "full" or "loads_only" (ALAT hardware can only hoist loads)
+    speculation_policy: str = "full"
+    #: "any" or "loads" — which access kinds may source load forwarding
+    load_elim_sources: str = "any"
+    #: "smarq" (ordered queue, Figure 13) or "bitmask" (Efficeon-style
+    #: direct indexes + per-checker masks)
+    allocator: str = "smarq"
+    #: unroll loop regions this many times before optimizing (1 = off);
+    #: the paper's "larger region / loop level" future-work direction
+    unroll_factor: int = 1
+
+
+@dataclass
+class OptimizedRegion:
+    """Everything the runtime needs to install a translated region.
+
+    ``allocator`` is whichever hook performed alias register allocation —
+    a :class:`SmarqAllocator`, a
+    :class:`~repro.smarq.bitmask_alloc.BitmaskAllocator`, a
+    :class:`~repro.smarq.plain_order_alloc.PlainOrderAllocator` — or None
+    for non-speculative translations. All expose a shared
+    :class:`~repro.smarq.allocator.AllocationStats` as ``.stats``.
+    """
+
+    block: Superblock
+    schedule: ScheduleResult
+    allocator: Optional[object]
+    dependences: DependenceSet
+    load_elim: LoadEliminationResult
+    store_elim: StoreEliminationResult
+    analysis: AliasAnalysis
+    config: OptimizerConfig
+
+    @property
+    def length_cycles(self) -> int:
+        return self.schedule.length_cycles
+
+
+class OptimizationPipeline:
+    """Optimizes superblock regions; remembers per-region alias hints."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        config: Optional[OptimizerConfig] = None,
+        region_map: Optional[Mapping[str, Tuple[int, int]]] = None,
+        register_regions: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or OptimizerConfig()
+        self.region_map = dict(region_map or {})
+        self.register_regions = dict(register_regions or {})
+        #: per-entry-pc alias hints learned from alias exceptions
+        self._hints: Dict[int, Dict[Tuple[int, int], float]] = {}
+        #: per-entry-pc per-mem-index fault counts; two faults ban the op
+        self._fault_counts: Dict[int, Dict[int, int]] = {}
+        self._no_speculate: Dict[int, set] = {}
+        self.reoptimizations = 0
+
+    # ------------------------------------------------------------------
+    def optimize(self, original: Superblock) -> OptimizedRegion:
+        """Produce an optimized, scheduled, alias-annotated region copy."""
+        hints = self._hints.get(original.entry_pc, {})
+        banned = self._no_speculate.get(original.entry_pc, set())
+        block = original.copy()
+        config = self.config
+
+        if config.unroll_factor > 1:
+            from repro.opt.unroll import unroll_loop
+
+            unroll_loop(block, config.unroll_factor)
+
+        def make_analysis(b) -> AliasAnalysis:
+            return AliasAnalysis(
+                b,
+                self.region_map,
+                hints,
+                initial_regions=self.register_regions,
+                no_speculate=banned,
+            )
+
+        analysis = make_analysis(block)
+        elim_budget = config.max_eliminations_per_block
+
+        # Without alias hardware, only check-free ("safe") eliminations run.
+        require_safe = not config.speculate
+
+        load_result = LoadEliminationResult()
+        if config.enable_load_elimination:
+            load_pass = LoadElimination(
+                alias_rate_threshold=config.alias_rate_threshold,
+                max_eliminations=elim_budget,
+                require_safe=require_safe,
+                sources=config.load_elim_sources,
+            )
+            load_result = load_pass.run(block, analysis)
+
+        store_result = StoreEliminationResult()
+        if config.enable_store_elimination:
+            store_pass = StoreElimination(
+                alias_rate_threshold=config.alias_rate_threshold,
+                max_eliminations=max(0, elim_budget - load_result.eliminated),
+                require_safe=require_safe,
+            )
+            store_result = store_pass.run(
+                block, analysis, pinned=load_result.protected_ops()
+            )
+
+        # Rebuild analysis and base dependences on the transformed block.
+        analysis = make_analysis(block)
+        deps = DependenceSet(compute_dependences(block, analysis))
+        for dep in load_result.extended_deps:
+            deps.add(dep)
+        for dep in store_result.extended_deps:
+            deps.add(dep)
+
+        ddg = DataDependenceGraph(
+            block,
+            self.machine,
+            memory_dependences=list(deps),
+            allow_store_reorder=config.allow_store_reorder,
+            speculation_policy=config.speculation_policy,
+        )
+        sched_config = SchedulerConfig(
+            speculate=config.speculate,
+            alias_rate_threshold=config.alias_rate_threshold,
+            allow_store_reorder=config.allow_store_reorder,
+        )
+        allocator = None
+        hook: AllocatorHook
+        if config.speculate and config.allocator == "smarq":
+            allocator = SmarqAllocator(
+                self.machine, deps, list(block.instructions)
+            )
+            hook = allocator
+        elif config.speculate and config.allocator == "plainorder":
+            from repro.smarq.plain_order_alloc import PlainOrderAllocator
+
+            allocator = PlainOrderAllocator(
+                self.machine, deps, list(block.instructions)
+            )
+            hook = allocator
+        elif config.speculate and config.allocator == "bitmask":
+            from repro.smarq.bitmask_alloc import BitmaskAllocator
+
+            allocator = BitmaskAllocator(
+                self.machine,
+                deps,
+                list(block.instructions),
+                num_registers=min(15, self.machine.alias_registers),
+            )
+            hook = allocator
+        elif config.speculate:
+            raise ValueError(f"unknown allocator {config.allocator!r}")
+        else:
+            hook = AllocatorHook()
+        scheduler = ListScheduler(self.machine, sched_config, hook)
+        schedule = scheduler.schedule(ddg, alias_analysis=analysis)
+
+        return OptimizedRegion(
+            block=block,
+            schedule=schedule,
+            allocator=allocator,
+            dependences=deps,
+            load_elim=load_result,
+            store_elim=store_result,
+            analysis=analysis,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    def record_alias(
+        self,
+        entry_pc: int,
+        mem_index_a: Optional[int],
+        mem_index_b: Optional[int],
+        reordered: bool = True,
+    ) -> None:
+        """Learn that two memory operations of a region aliased at runtime.
+
+        A fault on a *reordered* pair pins the pair (they will not be
+        reordered again). A fault on a pair that was NOT reordered —
+        possible only with imprecise hardware (ALAT false positives) —
+        escalates immediately: pinning an in-order pair changes nothing,
+        so the setter is banned from all speculation. Repeated faults on
+        the same operation also escalate.
+        """
+        if mem_index_a is None or mem_index_b is None:
+            return
+        lo, hi = sorted((mem_index_a, mem_index_b))
+        self._hints.setdefault(entry_pc, {})[(lo, hi)] = 1.0
+        counts = self._fault_counts.setdefault(entry_pc, {})
+        if not reordered:
+            self._no_speculate.setdefault(entry_pc, set()).add(mem_index_a)
+        for idx in (mem_index_a, mem_index_b):
+            counts[idx] = counts.get(idx, 0) + 1
+            if counts[idx] >= 2:
+                self._no_speculate.setdefault(entry_pc, set()).add(idx)
+
+    def reoptimize(
+        self,
+        original: Superblock,
+        mem_index_a: Optional[int],
+        mem_index_b: Optional[int],
+    ) -> OptimizedRegion:
+        """Conservative re-optimization after an alias exception."""
+        self.record_alias(original.entry_pc, mem_index_a, mem_index_b)
+        self.reoptimizations += 1
+        return self.optimize(original)
+
+    def seed_hints(
+        self, entry_pc: int, hints: Mapping[Tuple[int, int], float]
+    ) -> None:
+        """Merge profile-derived alias hints for a region (never lowers an
+        already-learned rate — exception-derived 1.0 hints win)."""
+        bucket = self._hints.setdefault(entry_pc, {})
+        for pair, rate in hints.items():
+            bucket[pair] = max(bucket.get(pair, 0.0), rate)
+
+    def hints_for(self, entry_pc: int) -> Dict[Tuple[int, int], float]:
+        return dict(self._hints.get(entry_pc, {}))

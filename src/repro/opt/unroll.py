@@ -1,0 +1,115 @@
+"""Loop unrolling for translated regions (paper Section 8, future work).
+
+The paper closes by arguing SMARQ is "even more promising for larger
+region and loop level optimizations". This pass delivers the simplest
+such enlargement: a loop region (a superblock ending with a branch back
+to its own head) is unrolled in place, so the scheduler+allocator see a
+multi-iteration window and can speculate *across* iterations — next
+iteration's loads hoist above this iteration's stores, and the load/store
+eliminations forward values between iterations (speculative register
+promotion, which the paper notes is subsumed by its general framework).
+
+Correctness notes:
+
+* Induction updates are replicated verbatim, so each copy runs on the
+  updated values; loop-carried registers (first access in the body is a
+  read) are never renamed.
+* Pure temporaries (first access is a write) are renamed per copy into
+  *host scratch registers* — the translator owns more registers than the
+  guest exposes, the standard DBT arrangement — which removes the false
+  anti/output dependences that would otherwise serialize the copies.
+* Each copy keeps its side exit; an odd trip count simply takes the side
+  exit mid-region, and atomic-region rollback + interpretation handles it
+  like any other off-trace exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ir.instruction import Instruction, Opcode
+from repro.ir.superblock import Superblock
+
+#: first host scratch register (the guest sees 0..63)
+HOST_SCRATCH_BASE = 64
+#: total registers the translated code may touch
+HOST_REGISTER_COUNT = 128
+
+
+@dataclass
+class UnrollResult:
+    unrolled: bool
+    factor: int = 1
+    renamed_registers: int = 0
+
+
+def is_loop_region(block: Superblock) -> bool:
+    """Does the region close with a branch back to its own head?"""
+    if not block.instructions:
+        return False
+    last = block.instructions[-1]
+    return last.opcode is Opcode.BR and last.target == block.entry_pc
+
+
+def renameable_registers(body: List[Instruction]) -> Set[int]:
+    """Registers whose first body access is a write (pure temporaries)."""
+    first_access: Dict[int, str] = {}
+    for inst in body:
+        for reg in inst.uses():
+            first_access.setdefault(reg, "r")
+        for reg in inst.defs():
+            first_access.setdefault(reg, "w")
+    return {reg for reg, kind in first_access.items() if kind == "w"}
+
+
+def _rename(inst: Instruction, mapping: Dict[int, int]) -> Instruction:
+    clone = inst.copy()
+    if clone.dest is not None:
+        clone.dest = mapping.get(clone.dest, clone.dest)
+    clone.srcs = tuple(mapping.get(r, r) for r in clone.srcs)
+    if clone.base is not None:
+        clone.base = mapping.get(clone.base, clone.base)
+    return clone
+
+
+def unroll_loop(
+    block: Superblock,
+    factor: int = 2,
+    scratch_base: int = HOST_SCRATCH_BASE,
+    scratch_limit: int = HOST_REGISTER_COUNT,
+) -> UnrollResult:
+    """Unroll a loop region ``factor`` times in place.
+
+    Returns an :class:`UnrollResult`; ``unrolled`` is False (and the block
+    untouched) when the region is not a loop, the factor is 1, or the body
+    contains an EXIT.
+    """
+    if factor <= 1 or not is_loop_region(block):
+        return UnrollResult(unrolled=False)
+    body = block.instructions[:-1]
+    closing = block.instructions[-1]
+    if any(i.opcode is Opcode.EXIT for i in body):
+        return UnrollResult(unrolled=False)
+
+    candidates = sorted(renameable_registers(body))
+    next_scratch = scratch_base
+    renamed_total = 0
+
+    new_instructions: List[Instruction] = list(body)
+    for _ in range(factor - 1):
+        mapping: Dict[int, int] = {}
+        for reg in candidates:
+            if next_scratch >= scratch_limit:
+                break  # partial renaming is still correct, just less ILP
+            mapping[reg] = next_scratch
+            next_scratch += 1
+        renamed_total += len(mapping)
+        new_instructions.extend(_rename(inst, mapping) for inst in body)
+    new_instructions.append(closing)
+
+    block.instructions = new_instructions
+    block.renumber_memory_ops()
+    return UnrollResult(
+        unrolled=True, factor=factor, renamed_registers=renamed_total
+    )

@@ -1,0 +1,210 @@
+"""Data dependence graph over a superblock.
+
+Edges:
+
+* register **flow** (def -> use), **anti** (use -> def), **output**
+  (def -> def), each with the producing op's latency (anti/output carry
+  latency 0/1 respectively — in-order VLIW semantics);
+* **control**: side-exit branches pin all earlier-in-program-order stores
+  (a store may not move above a branch it could escape through; loads MAY
+  hoist above branches — that is control speculation, safe in our atomic
+  regions because rollback undoes everything), and nothing may move above
+  the region's final branch;
+* **memory**: the dependences from :mod:`repro.analysis.dependence`. Each
+  memory edge is tagged with whether it is breakable by alias speculation
+  (MAY alias) or not (MUST alias).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.dependence import Dependence
+from repro.ir.instruction import Instruction
+
+
+class EdgeKind(enum.Enum):
+    FLOW = "flow"
+    ANTI = "anti"
+    OUTPUT = "output"
+    CONTROL = "control"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class DdgEdge:
+    src: Instruction
+    dst: Instruction
+    kind: EdgeKind
+    latency: int = 0
+    #: memory edges only: True when the optimizer may speculatively break
+    #: this edge (MAY alias) relying on alias hardware.
+    speculative_breakable: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.src!r} -{self.kind.value}/{self.latency}-> {self.dst!r}"
+            f"{' (spec)' if self.speculative_breakable else ''}>"
+        )
+
+
+class DataDependenceGraph:
+    """DDG in original program order, built once per superblock."""
+
+    def __init__(
+        self,
+        block,
+        machine,
+        memory_dependences: Iterable[Dependence] = (),
+        allow_store_reorder: bool = True,
+        speculation_policy: str = "full",
+    ) -> None:
+        """``speculation_policy`` is ``"full"`` (any MAY-alias pair may be
+        reordered) or ``"loads_only"`` (only loads may hoist above stores —
+        the ALAT restriction)."""
+        if speculation_policy not in ("full", "loads_only"):
+            raise ValueError(f"unknown speculation policy {speculation_policy!r}")
+        self.block = block
+        self.machine = machine
+        self._speculation_policy = speculation_policy
+        self._succ: Dict[int, List[DdgEdge]] = {}
+        self._pred: Dict[int, List[DdgEdge]] = {}
+        self._insts: Dict[int, Instruction] = {}
+        for inst in block:
+            self._succ[inst.uid] = []
+            self._pred[inst.uid] = []
+            self._insts[inst.uid] = inst
+        self._build_register_edges(block, machine)
+        self._build_control_edges(block)
+        self._build_memory_edges(block, memory_dependences, allow_store_reorder)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, edge: DdgEdge) -> None:
+        if edge.src is edge.dst:
+            return
+        for existing in self._succ[edge.src.uid]:
+            if existing.dst is edge.dst and existing.kind is edge.kind:
+                if edge.latency <= existing.latency:
+                    return  # duplicate (e.g. a register used twice)
+        self._succ[edge.src.uid].append(edge)
+        self._pred[edge.dst.uid].append(edge)
+
+    def _build_register_edges(self, block, machine) -> None:
+        last_def: Dict[int, Instruction] = {}
+        uses_since_def: Dict[int, List[Instruction]] = {}
+        for inst in block:
+            for reg in inst.uses():
+                producer = last_def.get(reg)
+                if producer is not None:
+                    self._add(
+                        DdgEdge(
+                            producer,
+                            inst,
+                            EdgeKind.FLOW,
+                            latency=machine.latency_of(producer),
+                        )
+                    )
+                uses_since_def.setdefault(reg, []).append(inst)
+            for reg in inst.defs():
+                previous = last_def.get(reg)
+                if previous is not None:
+                    self._add(DdgEdge(previous, inst, EdgeKind.OUTPUT, latency=1))
+                for user in uses_since_def.get(reg, ()):
+                    self._add(DdgEdge(user, inst, EdgeKind.ANTI, latency=0))
+                last_def[reg] = inst
+                uses_since_def[reg] = []
+
+    def _build_control_edges(self, block) -> None:
+        instructions = list(block)
+        branches = [i for i in instructions if i.is_branch]
+        if not branches:
+            return
+        final = instructions[-1]
+        positions = {inst.uid: idx for idx, inst in enumerate(instructions)}
+        for branch in branches:
+            bpos = positions[branch.uid]
+            for inst in instructions:
+                ipos = positions[inst.uid]
+                # Stores may not cross above an earlier branch: the branch
+                # could leave the region before the store was architectural.
+                if inst.is_store and ipos > bpos:
+                    self._add(DdgEdge(branch, inst, EdgeKind.CONTROL, latency=0))
+                # Branches stay in order relative to each other.
+                if inst.is_branch and ipos > bpos and inst is not branch:
+                    self._add(DdgEdge(branch, inst, EdgeKind.CONTROL, latency=0))
+        # Nothing moves below the terminating branch.
+        if final.is_branch:
+            for inst in instructions[:-1]:
+                self._add(DdgEdge(inst, final, EdgeKind.CONTROL, latency=0))
+
+    def _build_memory_edges(
+        self,
+        block,
+        memory_dependences: Iterable[Dependence],
+        allow_store_reorder: bool,
+    ) -> None:
+        positions = {inst.uid: idx for idx, inst in enumerate(block)}
+        for dep in memory_dependences:
+            if dep.extended:
+                # Extended dependences do not order the schedule; they only
+                # produce constraints (the allocator consumes them directly).
+                continue
+            if dep.src.uid not in positions or dep.dst.uid not in positions:
+                continue
+            breakable = not dep.must
+            if (
+                breakable
+                and not allow_store_reorder
+                and dep.src.is_store
+                and dep.dst.is_store
+            ):
+                # Store-store reordering disabled (Itanium model / Fig 16).
+                breakable = False
+            if breakable and self._speculation_policy == "loads_only":
+                # Only "hoist later load above earlier store" is breakable.
+                breakable = dep.dst.is_load
+
+            self._add(
+                DdgEdge(
+                    dep.src,
+                    dep.dst,
+                    EdgeKind.MEMORY,
+                    latency=1 if dep.src.is_store or dep.dst.is_store else 0,
+                    speculative_breakable=breakable,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def successors(self, inst: Instruction) -> List[DdgEdge]:
+        return list(self._succ[inst.uid])
+
+    def predecessors(self, inst: Instruction) -> List[DdgEdge]:
+        return list(self._pred[inst.uid])
+
+    def instructions(self) -> List[Instruction]:
+        return [self._insts[uid] for uid in self._insts]
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._succ.values())
+
+    def critical_path_length(self) -> int:
+        """Longest latency-weighted path (ignoring breakable memory edges
+        is the *speculative* height; this returns the conservative one)."""
+        memo: Dict[int, int] = {}
+
+        order = list(self._insts)
+        # The block is in program order and all edges point forward except
+        # none (we never add backward edges), so a single reverse pass works.
+        for uid in reversed(order):
+            inst = self._insts[uid]
+            best = 0
+            for edge in self._succ[uid]:
+                best = max(best, edge.latency + memo.get(edge.dst.uid, 0))
+            memo[uid] = best
+        return max(memo.values(), default=0)

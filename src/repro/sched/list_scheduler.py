@@ -1,0 +1,249 @@
+"""Cycle-driven list scheduler with speculative memory reordering.
+
+The scheduler fills time slots in increasing cycle order (the property the
+paper's Figure 13 relies on: once an instruction is scheduled, everything
+scheduled later occupies the same or a later slot). It runs in two modes:
+
+* **speculation mode** — breakable memory edges (MAY-alias dependences) are
+  ignored for readiness, so loads can hoist above potentially aliasing
+  stores and stores can reorder among themselves. Every time that actually
+  happens, the attached :class:`AllocatorHook` (the SMARQ allocator) records
+  the check/anti constraints and allocates alias registers.
+* **non-speculation mode** — all memory edges are honoured; no new
+  speculation is created, letting pending alias registers drain (overflow
+  prevention, paper Section 5.3).
+
+The scheduler consults the hook before making an instruction speculatively
+ready, and after scheduling each instruction; the hook may splice pseudo
+operations (``AMOV`` before, ``ROTATE`` after) into the linear output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.instruction import Instruction
+from repro.sched.ddg import DataDependenceGraph, EdgeKind
+from repro.sched.machine import MachineModel
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs controlling speculation policy."""
+
+    speculate: bool = True
+    #: MAY-alias pairs with a profiled alias rate above this are treated as
+    #: unbreakable (speculating on them would cause rollback storms).
+    alias_rate_threshold: float = 0.25
+    #: allow speculative reordering of stores relative to stores
+    allow_store_reorder: bool = True
+
+
+class AllocatorHook:
+    """Interface the SMARQ allocator implements; defaults are inert.
+
+    A scheduler without a hook performs plain (possibly speculative)
+    list scheduling with no alias register management — used for the
+    no-alias-hardware baseline (non-speculative) and for tests.
+    """
+
+    def speculation_allowed(self, inst: Instruction) -> bool:
+        """May ``inst`` be scheduled while breakable predecessors remain
+        unscheduled? The allocator answers False when alias registers are
+        about to overflow."""
+        return True
+
+    def on_scheduled(
+        self, inst: Instruction, cycle: int
+    ) -> Tuple[List[Instruction], List[Instruction]]:
+        """Called after every instruction is placed. Returns
+        ``(before, after)`` pseudo-op lists to splice around ``inst`` in the
+        linear order."""
+        return ([], [])
+
+    def on_finish(self, linear: List[Instruction]) -> None:
+        """Called once with the final linear order (operand fixups)."""
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one superblock."""
+
+    linear: List[Instruction]
+    cycle_of: Dict[int, int]
+    length_cycles: int
+    speculated_pairs: int = 0
+    mode_switches: int = 0
+
+    def position(self) -> Dict[int, int]:
+        """uid -> index in the linear order."""
+        return {inst.uid: idx for idx, inst in enumerate(self.linear)}
+
+
+class ListScheduler:
+    """List scheduling over a :class:`DataDependenceGraph`."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        config: Optional[SchedulerConfig] = None,
+        hook: Optional[AllocatorHook] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or SchedulerConfig()
+        self.hook = hook or AllocatorHook()
+
+    # ------------------------------------------------------------------
+    def schedule(self, ddg: DataDependenceGraph, alias_analysis=None) -> ScheduleResult:
+        instructions = list(ddg.block)
+        n = len(instructions)
+        program_pos = {inst.uid: i for i, inst in enumerate(instructions)}
+        by_uid = {inst.uid: inst for inst in instructions}
+
+        def edge_honoured(edge, speculating: bool) -> bool:
+            """Is this edge a hard ordering requirement right now?"""
+            if edge.kind is not EdgeKind.MEMORY:
+                return True
+            if not edge.speculative_breakable:
+                return True
+            if not speculating:
+                return True
+            if not self.config.allow_store_reorder and (
+                edge.src.is_store and edge.dst.is_store
+            ):
+                return True
+            if alias_analysis is not None:
+                if alias_analysis.speculation_banned(
+                    edge.src
+                ) or alias_analysis.speculation_banned(edge.dst):
+                    return True
+                rate = alias_analysis.alias_rate(edge.src, edge.dst)
+                if rate > self.config.alias_rate_threshold:
+                    return True
+            return False
+
+        # Priority: latency-weighted height over always-honoured edges,
+        # computed with speculation on (optimistic heights pull loads up).
+        height: Dict[int, int] = {}
+        for inst in reversed(instructions):
+            best = 0
+            for edge in ddg.successors(inst):
+                if edge_honoured(edge, speculating=self.config.speculate):
+                    best = max(
+                        best, edge.latency + height.get(edge.dst.uid, 0)
+                    )
+            height[inst.uid] = best
+
+        scheduled: Dict[int, int] = {}  # uid -> cycle
+        finish: Dict[int, int] = {}  # uid -> cycle operand becomes available
+        linear: List[Instruction] = []
+        speculated_pairs = 0
+        mode_switches = 0
+        speculating = self.config.speculate
+
+        cycle = 0
+        remaining = set(inst.uid for inst in instructions)
+
+        def ready_info(inst: Instruction) -> Tuple[bool, int, bool]:
+            """(deps_satisfied, earliest_cycle, is_speculative_now)."""
+            earliest = 0
+            speculative = False
+            for edge in ddg.predecessors(inst):
+                honoured = edge_honoured(edge, speculating)
+                if edge.src.uid in scheduled:
+                    if honoured:
+                        earliest = max(
+                            earliest, scheduled[edge.src.uid] + edge.latency
+                        )
+                    continue
+                if honoured:
+                    return (False, 0, False)
+                speculative = True
+            return (True, earliest, speculative)
+
+        safety_limit = 50 * (n + 1) + 10000
+        iterations = 0
+        # Per-cycle resource state persists until the cycle advances.
+        slots_used: Dict[object, int] = {}
+        issued = 0
+        while remaining:
+            iterations += 1
+            if iterations > safety_limit:
+                raise RuntimeError("scheduler failed to converge (cycle in DDG?)")
+
+            # Collect instructions issuable this cycle.
+            candidates: List[Tuple[int, int, Instruction, bool]] = []
+            for uid in remaining:
+                inst = by_uid[uid]
+                ok, earliest, speculative = ready_info(inst)
+                if not ok or earliest > cycle:
+                    continue
+                if speculative and not self.hook.speculation_allowed(inst):
+                    continue
+                candidates.append(
+                    (-height[uid], program_pos[uid], inst, speculative)
+                )
+            if not candidates:
+                cycle += 1
+                slots_used = {}
+                issued = 0
+                continue
+            candidates.sort(key=lambda c: (c[0], c[1]))
+
+            # Fill what remains of this cycle's slots.
+            issued_any = False
+            for _, _, inst, speculative in candidates:
+                if issued >= self.machine.issue_width:
+                    break
+                unit = self.machine.unit_of(inst)
+                if slots_used.get(unit, 0) >= self.machine.slots_for(unit):
+                    continue
+                # Re-verify: an issue earlier in this pass may have changed
+                # speculation permission (allocator register pressure).
+                if speculative and not self.hook.speculation_allowed(inst):
+                    continue
+                ok, earliest, speculative_now = ready_info(inst)
+                if not ok or earliest > cycle:
+                    continue
+                slots_used[unit] = slots_used.get(unit, 0) + 1
+                issued += 1
+                issued_any = True
+                scheduled[inst.uid] = cycle
+                finish[inst.uid] = cycle + self.machine.latency_of(inst)
+                remaining.discard(inst.uid)
+                if speculative_now and inst.is_mem:
+                    speculated_pairs += 1
+                before, after = self.hook.on_scheduled(inst, cycle)
+                linear.extend(before)
+                linear.append(inst)
+                linear.extend(after)
+            if not issued_any:
+                cycle += 1
+                slots_used = {}
+                issued = 0
+
+        length = 1 + max(scheduled.values(), default=0)
+        self.hook.on_finish(linear)
+        cycle_of = dict(scheduled)
+        # Pseudo-ops ride along in the issuing instruction's cycle.
+        for idx, inst in enumerate(linear):
+            if inst.uid not in cycle_of:
+                neighbor = next(
+                    (linear[j].uid for j in range(idx + 1, len(linear))
+                     if linear[j].uid in cycle_of),
+                    None,
+                )
+                if neighbor is None:
+                    neighbor_cycle = length - 1
+                else:
+                    neighbor_cycle = cycle_of[neighbor]
+                cycle_of[inst.uid] = neighbor_cycle
+        return ScheduleResult(
+            linear=linear,
+            cycle_of=cycle_of,
+            length_cycles=length,
+            speculated_pairs=speculated_pairs,
+            mode_switches=mode_switches,
+        )

@@ -1,0 +1,139 @@
+"""In-order VLIW machine model.
+
+The paper evaluates on an internal Intel VLIW whose Table 2 parameters are
+garbled in our source text; DESIGN.md Section 6 records the plausible
+configuration we substitute. The model answers two questions for the
+scheduler and the timing simulator:
+
+* which functional unit class an opcode occupies, and how many slots of
+  each class one bundle (one cycle) offers;
+* the result latency of each opcode (cycles until a dependent may issue).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.ir.instruction import Instruction, Opcode
+
+
+class FunctionalUnit(enum.Enum):
+    MEM = "mem"
+    ALU = "alu"
+    FPU = "fpu"
+    BRANCH = "branch"
+
+
+_UNIT_OF: Dict[Opcode, FunctionalUnit] = {
+    Opcode.LD: FunctionalUnit.MEM,
+    Opcode.ST: FunctionalUnit.MEM,
+    Opcode.ADD: FunctionalUnit.ALU,
+    Opcode.SUB: FunctionalUnit.ALU,
+    Opcode.MUL: FunctionalUnit.ALU,
+    Opcode.AND: FunctionalUnit.ALU,
+    Opcode.OR: FunctionalUnit.ALU,
+    Opcode.XOR: FunctionalUnit.ALU,
+    Opcode.SHL: FunctionalUnit.ALU,
+    Opcode.SHR: FunctionalUnit.ALU,
+    Opcode.MOV: FunctionalUnit.ALU,
+    Opcode.MOVI: FunctionalUnit.ALU,
+    Opcode.CMP: FunctionalUnit.ALU,
+    Opcode.FADD: FunctionalUnit.FPU,
+    Opcode.FSUB: FunctionalUnit.FPU,
+    Opcode.FMUL: FunctionalUnit.FPU,
+    Opcode.FDIV: FunctionalUnit.FPU,
+    Opcode.FMA: FunctionalUnit.FPU,
+    Opcode.BR: FunctionalUnit.BRANCH,
+    Opcode.BEQ: FunctionalUnit.BRANCH,
+    Opcode.BNE: FunctionalUnit.BRANCH,
+    Opcode.BLT: FunctionalUnit.BRANCH,
+    Opcode.BGE: FunctionalUnit.BRANCH,
+    Opcode.EXIT: FunctionalUnit.BRANCH,
+    # Queue-management pseudo ops issue on the ALU (cheap bookkeeping).
+    Opcode.NOP: FunctionalUnit.ALU,
+    Opcode.ROTATE: FunctionalUnit.ALU,
+    Opcode.AMOV: FunctionalUnit.ALU,
+}
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Issue-width, per-unit slot counts, and opcode latencies."""
+
+    name: str = "vliw4"
+    issue_width: int = 4
+    slots: Mapping[FunctionalUnit, int] = field(
+        default_factory=lambda: {
+            FunctionalUnit.MEM: 2,
+            FunctionalUnit.ALU: 3,
+            FunctionalUnit.FPU: 2,
+            FunctionalUnit.BRANCH: 1,
+        }
+    )
+    latencies: Mapping[Opcode, int] = field(default_factory=dict)
+    alias_registers: int = 64
+    #: cycles to create an atomic-region checkpoint at region entry
+    checkpoint_cycles: int = 2
+    #: fixed pipeline penalty for an atomic-region rollback (plus the
+    #: wasted region cycles, which the simulator accounts separately)
+    rollback_penalty: int = 200
+
+    def unit_of(self, inst: Instruction) -> FunctionalUnit:
+        return _UNIT_OF[inst.opcode]
+
+    def slots_for(self, unit: FunctionalUnit) -> int:
+        return self.slots.get(unit, 0)
+
+    def latency_of(self, inst: Instruction) -> int:
+        lat = self.latencies.get(inst.opcode)
+        if lat is not None:
+            return lat
+        return _DEFAULT_LATENCIES[inst.opcode]
+
+    def with_alias_registers(self, count: int) -> "MachineModel":
+        """A copy of this model with a different alias register count."""
+        return MachineModel(
+            name=f"{self.name}-ar{count}",
+            issue_width=self.issue_width,
+            slots=dict(self.slots),
+            latencies=dict(self.latencies),
+            alias_registers=count,
+            checkpoint_cycles=self.checkpoint_cycles,
+            rollback_penalty=self.rollback_penalty,
+        )
+
+
+_DEFAULT_LATENCIES: Dict[Opcode, int] = {
+    Opcode.LD: 3,
+    Opcode.ST: 1,
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.MUL: 3,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.MOV: 1,
+    Opcode.MOVI: 1,
+    Opcode.CMP: 1,
+    Opcode.FADD: 4,
+    Opcode.FSUB: 4,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.FMA: 4,
+    Opcode.BR: 1,
+    Opcode.BEQ: 1,
+    Opcode.BNE: 1,
+    Opcode.BLT: 1,
+    Opcode.BGE: 1,
+    Opcode.EXIT: 1,
+    Opcode.NOP: 1,
+    Opcode.ROTATE: 1,
+    Opcode.AMOV: 1,
+}
+
+#: The reproduction's stand-in for the paper's Table 2 machine.
+VLIW_DEFAULT = MachineModel()

@@ -1,0 +1,393 @@
+"""Iterative modulo scheduling for loop regions (paper Section 8).
+
+The paper's final future-work item is integrating SMARQ's allocation with
+software pipelining. This module supplies the scheduling half and the
+analysis connecting the two: a classic iterative modulo scheduler (Rau's
+IMS, simplified) over a loop region's dependence graph *including
+loop-carried edges*, plus an estimator for how many alias registers a
+pipelined kernel needs at a given initiation interval.
+
+Why the register analysis matters: in a pipelined kernel a speculative
+load from iteration ``i+d`` executes before iteration ``i``'s stores, so
+its alias register must stay live for ``d`` whole kernel iterations — the
+working set scales with overlap depth (stage count), which is exactly the
+paper's argument that loop-level optimization needs *scalable* alias
+registers.
+
+Scope: the scheduler produces and verifies kernels (II, per-op issue
+slots, stage counts) and the register-pressure analysis; generating
+executable prologue/epilogue code is out of scope (DESIGN.md notes the
+substitution). Everything here is validated by construction checks:
+modulo resource legality and dependence legality across iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import Dependence
+from repro.ir.instruction import Instruction, Opcode
+from repro.ir.superblock import Superblock
+from repro.opt.unroll import is_loop_region, renameable_registers
+from repro.sched.machine import FunctionalUnit, MachineModel
+
+
+@dataclass(frozen=True)
+class ModuloEdge:
+    """Dependence edge with an iteration distance.
+
+    ``distance`` 0 = same iteration; 1 = loop-carried (dst of the *next*
+    iteration depends on src of this one). ``breakable`` marks MAY-alias
+    memory edges that alias hardware lets the scheduler ignore.
+    """
+
+    src: Instruction
+    dst: Instruction
+    latency: int
+    distance: int
+    breakable: bool = False
+
+
+@dataclass
+class ModuloSchedule:
+    """A scheduled kernel."""
+
+    ii: int
+    #: uid -> absolute issue slot (stage = slot // ii, row = slot % ii)
+    slot: Dict[int, int]
+    stages: int
+    res_mii: int
+    rec_mii: int
+    #: (setter, checker, distance) — cross/in-iteration check obligations
+    check_obligations: List[Tuple[Instruction, Instruction, int]] = field(
+        default_factory=list
+    )
+
+    def stage_of(self, inst: Instruction) -> int:
+        return self.slot[inst.uid] // self.ii
+
+    def row_of(self, inst: Instruction) -> int:
+        return self.slot[inst.uid] % self.ii
+
+
+class ModuloSchedulingError(Exception):
+    """No legal kernel found within the II/budget limits."""
+
+
+# ----------------------------------------------------------------------
+# Dependence graph with loop-carried edges
+# ----------------------------------------------------------------------
+def build_modulo_edges(
+    body: List[Instruction],
+    machine: MachineModel,
+    analysis: Optional[AliasAnalysis] = None,
+    memory_dependences: Optional[List[Dependence]] = None,
+    speculate: bool = True,
+) -> List[ModuloEdge]:
+    """Dependence edges of one loop body, same- and cross-iteration.
+
+    Register edges: flow/anti/output within the iteration, plus carried
+    flow edges for loop-carried registers (read-before-write in the body).
+    Memory edges come from ``memory_dependences`` (distance 0) and are
+    replicated at distance 1 for the cross-iteration direction; MAY edges
+    are breakable when ``speculate``.
+    """
+    edges: List[ModuloEdge] = []
+    last_def: Dict[int, Instruction] = {}
+    uses_since: Dict[int, List[Instruction]] = {}
+    first_def: Dict[int, Instruction] = {}
+
+    for inst in body:
+        for reg in inst.uses():
+            producer = last_def.get(reg)
+            if producer is not None:
+                edges.append(
+                    ModuloEdge(producer, inst, machine.latency_of(producer), 0)
+                )
+            uses_since.setdefault(reg, []).append(inst)
+        for reg in inst.defs():
+            previous = last_def.get(reg)
+            if previous is not None:
+                edges.append(ModuloEdge(previous, inst, 1, 0))
+            for user in uses_since.get(reg, ()):
+                if user is not inst:
+                    edges.append(ModuloEdge(user, inst, 0, 0))
+            last_def[reg] = inst
+            uses_since[reg] = []
+            first_def.setdefault(reg, inst)
+
+    # Loop-carried register edges: the body's last def of r reaches the
+    # next iteration's first use of r (registers read before any write).
+    carried = set(first_def) - renameable_registers(body)
+    first_use: Dict[int, Instruction] = {}
+    for inst in body:
+        for reg in inst.uses():
+            first_use.setdefault(reg, inst)
+    for reg, producer in last_def.items():
+        user = first_use.get(reg)
+        if user is None:
+            continue
+        if reg in carried or reg not in renameable_registers(body):
+            edges.append(
+                ModuloEdge(producer, user, machine.latency_of(producer), 1)
+            )
+
+    for dep in memory_dependences or ():
+        if dep.extended:
+            continue
+        breakable = speculate and not dep.must
+        edges.append(
+            ModuloEdge(dep.src, dep.dst, 1, 0, breakable=breakable)
+        )
+        # the same pair also constrains consecutive iterations
+        edges.append(
+            ModuloEdge(dep.dst, dep.src, 1, 1, breakable=breakable)
+        )
+    return edges
+
+
+# ----------------------------------------------------------------------
+# MII bounds
+# ----------------------------------------------------------------------
+def resource_mii(body: List[Instruction], machine: MachineModel) -> int:
+    """ResMII: per-unit occupancy bound."""
+    counts: Dict[FunctionalUnit, int] = {}
+    for inst in body:
+        unit = machine.unit_of(inst)
+        counts[unit] = counts.get(unit, 0) + 1
+    best = 1
+    for unit, count in counts.items():
+        slots = max(1, machine.slots_for(unit))
+        best = max(best, math.ceil(count / slots))
+    # total issue width is a bound too
+    best = max(best, math.ceil(len(body) / machine.issue_width))
+    return best
+
+
+def recurrence_mii(
+    body: List[Instruction], edges: List[ModuloEdge]
+) -> int:
+    """RecMII via Floyd-Warshall-style maximal cost-to-distance ratio.
+
+    For every cycle C in the (unbreakable) dependence graph,
+    II >= ceil(sum latency / sum distance). Computed by binary search on
+    II with a longest-path feasibility check (edge weight
+    ``latency - II * distance`` must admit no positive cycle).
+    """
+    hard = [e for e in edges if not e.breakable]
+    if not hard:
+        return 1
+    uids = {inst.uid for e in hard for inst in (e.src, e.dst)}
+    index = {uid: i for i, uid in enumerate(sorted(uids))}
+    n = len(index)
+
+    def feasible(ii: int) -> bool:
+        # Bellman-Ford positive-cycle detection on weight lat - ii*dist.
+        dist = [0.0] * n
+        for _ in range(n):
+            changed = False
+            for e in hard:
+                u, v = index[e.src.uid], index[e.dst.uid]
+                w = e.latency - ii * e.distance
+                if dist[u] + w > dist[v]:
+                    dist[v] = dist[u] + w
+                    changed = True
+            if not changed:
+                return True
+        # one more relaxation: improvement means a positive cycle
+        for e in hard:
+            u, v = index[e.src.uid], index[e.dst.uid]
+            if dist[u] + (e.latency - ii * e.distance) > dist[v]:
+                return False
+        return True
+
+    lo, hi = 1, 1 + sum(e.latency for e in hard)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+# ----------------------------------------------------------------------
+# Iterative modulo scheduling
+# ----------------------------------------------------------------------
+def modulo_schedule(
+    region: Superblock,
+    machine: MachineModel,
+    analysis: Optional[AliasAnalysis] = None,
+    memory_dependences: Optional[List[Dependence]] = None,
+    speculate: bool = True,
+    max_ii: Optional[int] = None,
+    budget_factor: int = 8,
+) -> ModuloSchedule:
+    """Schedule a loop region's kernel at the smallest feasible II.
+
+    Raises :class:`ModuloSchedulingError` if the region is not a loop or
+    no kernel fits within ``max_ii``.
+    """
+    if not is_loop_region(region):
+        raise ModuloSchedulingError("region is not a loop (no back edge)")
+    body = [
+        inst for inst in region.instructions[:-1] if not inst.is_branch
+    ]
+    if not body:
+        raise ModuloSchedulingError("empty loop body")
+
+    edges = build_modulo_edges(
+        body, machine, analysis, memory_dependences, speculate
+    )
+    res_mii = resource_mii(body, machine)
+    rec_mii = recurrence_mii(body, edges)
+    mii = max(res_mii, rec_mii)
+    ceiling = max_ii or (mii + len(body) + 8)
+
+    incoming: Dict[int, List[ModuloEdge]] = {}
+    for e in edges:
+        if not e.breakable:
+            incoming.setdefault(e.dst.uid, []).append(e)
+
+    # priority: critical-path height over unbreakable distance-0 edges
+    height: Dict[int, int] = {}
+    for inst in reversed(body):
+        best = 0
+        for e in edges:
+            if e.src is inst and not e.breakable and e.distance == 0:
+                best = max(best, e.latency + height.get(e.dst.uid, 0))
+        height[inst.uid] = best
+    order = sorted(body, key=lambda i: (-height[i.uid], i.uid))
+
+    for ii in range(mii, ceiling + 1):
+        slot = _try_schedule(order, incoming, machine, ii, budget_factor)
+        if slot is not None:
+            stages = 1 + max(s // ii for s in slot.values())
+            obligations = _check_obligations(edges, slot, ii)
+            return ModuloSchedule(
+                ii=ii,
+                slot=slot,
+                stages=stages,
+                res_mii=res_mii,
+                rec_mii=rec_mii,
+                check_obligations=obligations,
+            )
+    raise ModuloSchedulingError(f"no kernel found up to II={ceiling}")
+
+
+def _try_schedule(
+    order: List[Instruction],
+    incoming: Dict[int, List[ModuloEdge]],
+    machine: MachineModel,
+    ii: int,
+    budget_factor: int,
+) -> Optional[Dict[int, int]]:
+    """One IMS attempt at a fixed II; returns uid -> slot or None."""
+    slot: Dict[int, int] = {}
+    # modulo reservation table: row -> unit -> occupying uids
+    table: Dict[int, Dict[FunctionalUnit, List[int]]] = {
+        r: {} for r in range(ii)
+    }
+    budget = budget_factor * len(order) + 32
+    worklist = list(order)
+    horizon = ii * (len(order) + 4)
+
+    def unplace(uid: int) -> None:
+        s = slot.pop(uid)
+        unit = unit_of[uid]
+        table[s % ii][unit].remove(uid)
+
+    unit_of = {inst.uid: machine.unit_of(inst) for inst in order}
+    by_uid = {inst.uid: inst for inst in order}
+
+    while worklist:
+        if budget <= 0:
+            return None
+        budget -= 1
+        inst = worklist.pop(0)
+        earliest = 0
+        for e in incoming.get(inst.uid, ()):
+            if e.src.uid in slot:
+                earliest = max(
+                    earliest, slot[e.src.uid] + e.latency - ii * e.distance
+                )
+        earliest = max(0, earliest)
+        placed = False
+        for s in range(earliest, earliest + ii):
+            row = s % ii
+            unit = unit_of[inst.uid]
+            occupants = table[row].setdefault(unit, [])
+            row_total = sum(len(v) for v in table[row].values())
+            if (
+                len(occupants) < machine.slots_for(unit)
+                and row_total < machine.issue_width
+            ):
+                slot[inst.uid] = s
+                occupants.append(inst.uid)
+                placed = True
+                break
+        if not placed:
+            # force placement at `earliest`, evicting the conflict (IMS)
+            s = earliest
+            if s > horizon:
+                return None
+            row = s % ii
+            unit = unit_of[inst.uid]
+            occupants = table[row].setdefault(unit, [])
+            if occupants:
+                evicted = occupants[0]
+                unplace(evicted)
+                worklist.append(by_uid[evicted])
+            slot[inst.uid] = s
+            occupants.append(inst.uid)
+        # any already-placed successor now violated? re-queue it
+        for uid in list(slot):
+            for e in incoming.get(uid, ()):
+                if e.src.uid in slot and uid in slot:
+                    if slot[uid] < slot[e.src.uid] + e.latency - ii * e.distance:
+                        unplace(uid)
+                        worklist.append(by_uid[uid])
+                        break
+    return slot
+
+
+def _check_obligations(
+    edges: List[ModuloEdge], slot: Dict[int, int], ii: int
+) -> List[Tuple[Instruction, Instruction, int]]:
+    """Broken MAY edges whose endpoints ended up reordered in the kernel.
+
+    A breakable edge (src before dst, distance d) is *violated* — needs a
+    runtime check — when dst issues earlier than src's completion across
+    the distance: slot(dst) < slot(src) + 1 - ii*d. The checker is the
+    operation that executes later; the live distance (in kernel
+    iterations) of the protected register is the stage gap.
+    """
+    obligations = []
+    for e in edges:
+        if not e.breakable:
+            continue
+        if e.src.uid not in slot or e.dst.uid not in slot:
+            continue
+        if slot[e.dst.uid] < slot[e.src.uid] + e.latency - ii * e.distance:
+            stage_gap = abs(slot[e.src.uid] - slot[e.dst.uid]) // ii + e.distance
+            obligations.append((e.dst, e.src, max(1, stage_gap)))
+    return obligations
+
+
+def alias_register_requirement(schedule: ModuloSchedule) -> int:
+    """Estimated alias registers the pipelined kernel needs.
+
+    Each protected (set) operation's register must survive from its issue
+    until its latest checker, measured in kernel iterations: a register
+    set in stage s and checked ``d`` iterations later coexists with the
+    same op's registers from ``d`` other in-flight iterations. Requirement
+    = sum over protected ops of their maximum live distance (+1 for the
+    current iteration's instance).
+    """
+    live: Dict[int, int] = {}
+    for checker, target, distance in schedule.check_obligations:
+        live[target.uid] = max(live.get(target.uid, 0), distance + 1)
+    return sum(live.values())

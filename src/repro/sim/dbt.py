@@ -1,0 +1,307 @@
+"""End-to-end dynamic binary translation system.
+
+Drives the full loop the paper's Figure 1 sketches: the guest program runs
+interpreted with profiling; hot block heads trigger superblock formation
+and optimization; translated regions execute on the VLIW simulator with
+alias hardware; aborts fall back to interpretation; alias exceptions
+trigger conservative re-optimization.
+
+:class:`DbtSystem` is the top-level object benchmarks and examples use:
+
+    system = DbtSystem(program, scheme_name="smarq")
+    report = system.run()
+    print(report.total_cycles)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.frontend.interpreter import Interpreter
+from repro.frontend.profiler import HotnessProfiler, ProfilerConfig
+from repro.frontend.program import GuestProgram
+from repro.frontend.region import RegionFormationConfig, RegionFormer
+from repro.ir.superblock import Superblock
+from repro.opt.pipeline import OptimizationPipeline
+from repro.sched.machine import MachineModel
+from repro.sim.memory import Memory
+from repro.sim.runtime import DynamicOptimizationRuntime, RuntimeConfig
+from repro.sim.schemes import Scheme, make_scheme
+from repro.sim.vliw import VliwSimulator
+
+
+@dataclass
+class DbtReport:
+    """Summary of one guest-program run under one scheme."""
+
+    scheme: str
+    program: str
+    guest_instructions: int
+    total_cycles: int
+    interp_cycles: int
+    translated_cycles: int
+    optimization_cycles: int
+    scheduling_cycles: int
+    translations: int
+    reoptimizations: int
+    alias_exceptions: int
+    false_positive_exceptions: int
+    side_exits: int
+    region_commits: int
+    exit_code: Optional[int]
+    #: per-region allocation statistics (entry pc -> stats snapshot)
+    region_stats: Dict[int, "RegionSnapshot"] = field(default_factory=dict)
+
+    @property
+    def optimization_fraction(self) -> float:
+        """Share of execution spent optimizing (Figure 18's left bar)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.optimization_cycles / self.total_cycles
+
+    @property
+    def scheduling_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.scheduling_cycles / self.total_cycles
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON export / external tooling."""
+        return {
+            "scheme": self.scheme,
+            "program": self.program,
+            "guest_instructions": self.guest_instructions,
+            "total_cycles": self.total_cycles,
+            "interp_cycles": self.interp_cycles,
+            "translated_cycles": self.translated_cycles,
+            "optimization_cycles": self.optimization_cycles,
+            "scheduling_cycles": self.scheduling_cycles,
+            "translations": self.translations,
+            "reoptimizations": self.reoptimizations,
+            "alias_exceptions": self.alias_exceptions,
+            "false_positive_exceptions": self.false_positive_exceptions,
+            "side_exits": self.side_exits,
+            "region_commits": self.region_commits,
+            "exit_code": self.exit_code,
+            "regions": {
+                pc: vars(snapshot)
+                for pc, snapshot in self.region_stats.items()
+            },
+        }
+
+
+@dataclass
+class RegionSnapshot:
+    """Per-region facts for the working-set / constraint figures."""
+
+    entry_pc: int
+    instructions: int
+    memory_ops: int
+    p_bit_ops: int
+    c_bit_ops: int
+    check_constraints: int
+    anti_constraints: int
+    amovs: int
+    working_set: int
+    registers_allocated: int
+    loads_eliminated: int
+    stores_eliminated: int
+    #: live-range lower bound on any allocation's working set (Figure 17)
+    working_set_lower_bound: int = 0
+
+
+class DbtSystem:
+    """One guest program, one scheme, one run."""
+
+    def __init__(
+        self,
+        program: GuestProgram,
+        scheme_name="smarq",
+        machine: Optional[MachineModel] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        profiler_config: Optional[ProfilerConfig] = None,
+        region_config: Optional[RegionFormationConfig] = None,
+        memory_slack: int = 4096,
+        alias_profiling: bool = False,
+    ) -> None:
+        """``scheme_name`` is a scheme name string or a prebuilt
+        :class:`~repro.sim.schemes.Scheme` (for experiment variants).
+        ``alias_profiling`` observes runtime addresses during
+        interpretation and pre-pins frequently-aliasing pairs, trading
+        profiling work for fewer first-translation rollbacks."""
+        program.validate()
+        self.program = program
+        if isinstance(scheme_name, Scheme):
+            self.scheme = scheme_name
+        else:
+            self.scheme = make_scheme(scheme_name, machine)
+        self.memory = Memory(program.memory_size() + memory_slack)
+        self.pipeline = OptimizationPipeline(
+            self.scheme.machine,
+            self.scheme.optimizer_config,
+            region_map=program.region_map,
+            register_regions=program.register_regions,
+        )
+        self.simulator = VliwSimulator(self.scheme.machine, self.memory)
+        self.runtime = DynamicOptimizationRuntime(
+            program,
+            self.memory,
+            self.scheme,
+            self.pipeline,
+            self.simulator,
+            runtime_config,
+        )
+        self.profiler = HotnessProfiler(program, profiler_config)
+        self.region_former = RegionFormer(program, self.profiler, region_config)
+        self.interpreter = Interpreter(program, self.memory)
+        self.interpreter.trace_hook = self.profiler.observe
+        self.alias_profiler = None
+        if alias_profiling:
+            from repro.frontend.alias_profiler import AliasProfiler
+
+            self.alias_profiler = AliasProfiler()
+            self.interpreter.mem_hook = self.alias_profiler.observe
+        self._heads: Set[int] = program.block_heads()
+        self._formed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def run(self, max_guest_steps: int = 5_000_000) -> DbtReport:
+        """Execute the guest program to completion under the DBT loop."""
+        interp = self.interpreter
+        runtime = self.runtime
+        steps_budget = max_guest_steps
+        exit_code: Optional[int] = None
+
+        while not interp.exited and steps_budget > 0:
+            pc = interp.pc
+            if runtime.has_translation(pc):
+                outcome = runtime.execute_translated(pc, interp.registers)
+                if outcome.status == "exit":
+                    interp.exited = True
+                    exit_code = outcome.exit_code
+                    break
+                if outcome.status == "commit":
+                    interp.pc = outcome.next_pc
+                    steps_budget -= max(1, outcome.instructions_executed)
+                    continue
+                # side_exit or alias: state was rolled back to region entry;
+                # interpret forward to guarantee progress. The stride is
+                # bounded so newly-hot loops (later phases) still reach the
+                # region-formation logic below.
+                stop = runtime.interpret_through_region(
+                    interp,
+                    stop_pcs=self._translated_pcs(exclude=None),
+                    max_steps=512,
+                )
+                steps_budget -= 1
+                if interp.exited:
+                    exit_code = interp.exit_code
+                self._form_if_hot(interp.pc)
+                continue
+
+            # Interpretation (slow path).
+            before = interp.stats.instructions
+            interp.step()
+            executed = interp.stats.instructions - before
+            runtime.stats.interp_instructions += executed
+            runtime.stats.interp_cycles += (
+                executed * runtime.config.interp_cycles_per_instruction
+            )
+            steps_budget -= 1
+            if interp.exited:
+                exit_code = interp.exit_code
+                break
+
+            self._form_if_hot(interp.pc)
+
+        return self._report(exit_code)
+
+    def _form_if_hot(self, pc: int) -> None:
+        """Form and install a region when ``pc`` is a hot, unformed head."""
+        if (
+            pc in self._heads
+            and pc not in self._formed
+            and self.profiler.is_hot(pc)
+        ):
+            self._formed.add(pc)
+            region = self.region_former.form(pc)
+            if region.memory_ops():
+                if self.alias_profiler is not None:
+                    self.pipeline.seed_hints(
+                        pc, self.alias_profiler.hints_for_region(region)
+                    )
+                self.runtime.install(region)
+
+    def _translated_pcs(self, exclude: Optional[int]) -> Set[int]:
+        pcs = {
+            pc
+            for pc in self.runtime._regions
+            if self.runtime.has_translation(pc)
+        }
+        if exclude is not None:
+            pcs.discard(exclude)
+        return pcs
+
+    # ------------------------------------------------------------------
+    def _report(self, exit_code: Optional[int]) -> DbtReport:
+        stats = self.runtime.stats
+        region_stats: Dict[int, RegionSnapshot] = {}
+        for pc, entry in self.runtime._regions.items():
+            translation = entry.translation
+            alloc = translation.allocator
+            lower_bound = 0
+            if alloc is not None and hasattr(alloc, "_check_pairs"):
+                from repro.analysis.constraints import CheckConstraint
+                from repro.analysis.liveness import working_set_lower_bound
+
+                positions = translation.schedule.position()
+                checks = [
+                    CheckConstraint(alloc._inst[c], alloc._inst[t])
+                    for c, t in alloc._check_pairs
+                    if alloc._inst[c].uid in positions
+                    and alloc._inst[t].uid in positions
+                ]
+                lower_bound = working_set_lower_bound(checks, positions)
+            region_stats[pc] = RegionSnapshot(
+                entry_pc=pc,
+                instructions=len(entry.original),
+                memory_ops=len(entry.original.memory_ops()),
+                p_bit_ops=alloc.stats.p_bit_ops if alloc else 0,
+                c_bit_ops=alloc.stats.c_bit_ops if alloc else 0,
+                check_constraints=alloc.stats.check_constraints if alloc else 0,
+                anti_constraints=alloc.stats.anti_constraints if alloc else 0,
+                amovs=alloc.stats.amovs_inserted if alloc else 0,
+                working_set=alloc.stats.working_set if alloc else 0,
+                registers_allocated=(
+                    alloc.stats.registers_allocated if alloc else 0
+                ),
+                loads_eliminated=translation.load_elim.eliminated,
+                stores_eliminated=translation.store_elim.eliminated,
+                working_set_lower_bound=lower_bound,
+            )
+        return DbtReport(
+            scheme=self.scheme.name,
+            program=self.program.name,
+            guest_instructions=self.interpreter.stats.instructions,
+            total_cycles=stats.total_cycles,
+            interp_cycles=stats.interp_cycles,
+            translated_cycles=stats.translated_cycles,
+            optimization_cycles=stats.optimization_cycles,
+            scheduling_cycles=stats.scheduling_cycles,
+            translations=stats.translations,
+            reoptimizations=stats.reoptimizations,
+            alias_exceptions=stats.alias_exceptions,
+            false_positive_exceptions=stats.false_positive_exceptions,
+            side_exits=stats.side_exits,
+            region_commits=stats.region_commits,
+            exit_code=exit_code,
+            region_stats=region_stats,
+        )
+
+
+def run_program(
+    program: GuestProgram, scheme_name: str = "smarq", **kwargs
+) -> DbtReport:
+    """Convenience one-shot: build a :class:`DbtSystem` and run it."""
+    return DbtSystem(program, scheme_name=scheme_name, **kwargs).run()

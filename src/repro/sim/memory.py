@@ -1,0 +1,61 @@
+"""Flat guest memory.
+
+Little-endian byte-addressable memory backed by a ``bytearray``. Values are
+unsigned integers of 1/2/4/8 bytes; register-level signedness is the
+interpreter's business. The memory also exposes raw byte access for the
+atomic-region undo log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MemoryFault(Exception):
+    """Out-of-bounds guest access."""
+
+
+class Memory:
+    """Byte-addressable little-endian guest memory."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self._data = bytearray(size)
+        self.size = size
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise MemoryFault(
+                f"access [{addr:#x}, {addr + size:#x}) outside memory of "
+                f"{self.size:#x} bytes"
+            )
+
+    def read(self, addr: int, size: int = 8) -> int:
+        """Read an unsigned little-endian integer."""
+        self._check(addr, size)
+        return int.from_bytes(self._data[addr : addr + size], "little")
+
+    def write(self, addr: int, value: int, size: int = 8) -> None:
+        """Write an unsigned little-endian integer (value masked to size)."""
+        self._check(addr, size)
+        mask = (1 << (8 * size)) - 1
+        self._data[addr : addr + size] = (int(value) & mask).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self._data[addr : addr + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    def fill(self, addr: int, size: int, pattern: int = 0) -> None:
+        """Fill a span with a repeating byte pattern."""
+        self._check(addr, size)
+        self._data[addr : addr + size] = bytes([pattern & 0xFF]) * size
+
+    def __repr__(self) -> str:
+        return f"<Memory {self.size:#x} bytes>"

@@ -1,0 +1,241 @@
+"""Alias-detection scheme descriptors.
+
+A :class:`Scheme` binds together everything that varies between the
+configurations the paper's Figure 15 compares:
+
+* ``smarq``   — order-based queue, 64 registers, full speculation;
+* ``smarq16`` — same, 16 registers (the Efficeon-scale configuration);
+* ``itanium`` — ALAT-like hardware: loads-only speculation, no store
+  reordering, load-sourced forwarding only, store elimination off,
+  detection with false positives;
+* ``none``    — no alias hardware: conservative scheduling, check-free
+  eliminations only.
+
+Each scheme supplies the optimizer configuration and a hardware *adapter*
+the VLIW simulator drives during region execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.hw.efficeon import EFFICEON_MAX_REGISTERS, BitmaskAliasFile
+from repro.hw.exceptions import AliasException
+from repro.hw.itanium import AlatModel
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+from repro.ir.instruction import Instruction, Opcode
+from repro.opt.pipeline import OptimizerConfig
+from repro.sched.machine import MachineModel
+
+SCHEME_NAMES = ("smarq", "smarq16", "itanium", "none", "efficeon", "plainorder")
+
+
+class HardwareAdapter:
+    """Drives one region execution's alias hardware. Stateful per region."""
+
+    def on_region_enter(self, region) -> None:
+        """Reset hardware state; ``region`` is the OptimizedRegion."""
+
+    def on_mem_op(self, inst: Instruction, addr: int) -> None:
+        """Called for every executed memory operation. May raise
+        :class:`AliasException`."""
+
+    def on_rotate(self, inst: Instruction) -> None:
+        pass
+
+    def on_amov(self, inst: Instruction) -> None:
+        pass
+
+    def on_region_exit(self) -> None:
+        pass
+
+
+class NullAdapter(HardwareAdapter):
+    """No alias hardware (and queue pseudo-ops must not appear)."""
+
+
+class SmarqAdapter(HardwareAdapter):
+    """Order-based queue driven by P/C bits, offsets, ROTATE and AMOV."""
+
+    def __init__(self, num_registers: int) -> None:
+        self.queue = AliasRegisterQueue(num_registers)
+
+    def on_region_enter(self, region) -> None:
+        self.queue.reset()
+
+    def on_mem_op(self, inst: Instruction, addr: int) -> None:
+        if not (inst.p_bit or inst.c_bit):
+            return
+        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
+        if inst.p_bit and inst.c_bit:
+            self.queue.check_then_set(inst.ar_offset, access, inst.mem_index)
+        elif inst.p_bit:
+            self.queue.set(inst.ar_offset, access, inst.mem_index)
+        else:
+            self.queue.check(inst.ar_offset, access, inst.mem_index)
+
+    def on_rotate(self, inst: Instruction) -> None:
+        self.queue.rotate(inst.rotate_by)
+
+    def on_amov(self, inst: Instruction) -> None:
+        self.queue.amov(inst.amov_src, inst.amov_dst)
+
+    def on_region_exit(self) -> None:
+        self.queue.clear()
+
+
+class ItaniumAdapter(HardwareAdapter):
+    """ALAT-like: P-bit loads insert entries; every store checks them all.
+
+    ``required_targets`` per checker lets the model flag false positives
+    (detections SMARQ's precise constraints would not have performed).
+    """
+
+    def __init__(self, num_entries: int = 32) -> None:
+        self.alat = AlatModel(num_entries)
+        self._required: Dict[int, Set[int]] = {}
+
+    def on_region_enter(self, region) -> None:
+        self.alat.reset()
+        self._required = {}
+        if region.allocator is not None:
+            for checker_uid, target_uid in region.allocator._check_pairs:
+                checker = region.allocator._inst[checker_uid]
+                target = region.allocator._inst[target_uid]
+                if checker.mem_index is None:
+                    continue
+                if target.opcode is Opcode.AMOV:
+                    continue
+                self._required.setdefault(checker.mem_index, set()).add(
+                    target.mem_index
+                )
+
+    def on_mem_op(self, inst: Instruction, addr: int) -> None:
+        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
+        if inst.is_store:
+            self.alat.store_check(
+                access,
+                checker_mem_index=inst.mem_index,
+                required_targets=self._required.get(inst.mem_index, set()),
+            )
+        elif inst.p_bit:
+            self.alat.advanced_load(inst.mem_index, access)
+
+    def on_rotate(self, inst: Instruction) -> None:
+        pass  # ALAT has no rotation; SMARQ annotations are ignored
+
+    def on_amov(self, inst: Instruction) -> None:
+        pass
+
+    def on_region_exit(self) -> None:
+        self.alat.clear()
+
+
+class EfficeonAdapter(HardwareAdapter):
+    """Bit-mask file driven by direct register indexes and check masks.
+
+    P-bit operations set the register named by their (direct, never
+    rotated) ``ar_offset``; C-bit operations check exactly the registers
+    named by their ``ar_mask``. Precise, store-store capable, but the
+    file is capped at 15 registers by the mask encoding.
+    """
+
+    def __init__(self, num_registers: int = EFFICEON_MAX_REGISTERS) -> None:
+        self.file = BitmaskAliasFile(num_registers)
+
+    def on_region_enter(self, region) -> None:
+        self.file.reset()
+
+    def on_mem_op(self, inst: Instruction, addr: int) -> None:
+        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
+        if inst.c_bit and inst.ar_mask:
+            self.file.check(
+                inst.ar_mask, access, checker_mem_index=inst.mem_index
+            )
+        if inst.p_bit and inst.ar_offset is not None:
+            self.file.set(inst.ar_offset, access, setter_mem_index=inst.mem_index)
+
+    def on_region_exit(self) -> None:
+        self.file.clear()
+
+
+@dataclass
+class Scheme:
+    """A complete alias-detection configuration."""
+
+    name: str
+    machine: MachineModel
+    optimizer_config: OptimizerConfig
+    adapter_factory: Callable[[], HardwareAdapter]
+
+    def make_adapter(self) -> HardwareAdapter:
+        return self.adapter_factory()
+
+
+def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
+    """Build one of the named schemes over ``machine`` (default VLIW)."""
+    base = machine or MachineModel()
+    if name == "smarq":
+        m = base.with_alias_registers(base.alias_registers or 64)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(speculate=True),
+            adapter_factory=lambda: SmarqAdapter(m.alias_registers),
+        )
+    if name == "smarq16":
+        m = base.with_alias_registers(16)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(speculate=True),
+            adapter_factory=lambda: SmarqAdapter(16),
+        )
+    if name == "itanium":
+        m = base.with_alias_registers(base.alias_registers or 64)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(
+                speculate=True,
+                allow_store_reorder=False,
+                speculation_policy="loads_only",
+                enable_store_elimination=False,
+                load_elim_sources="loads",
+            ),
+            adapter_factory=lambda: ItaniumAdapter(num_entries=32),
+        )
+    if name == "efficeon":
+        m = base.with_alias_registers(EFFICEON_MAX_REGISTERS)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(speculate=True, allocator="bitmask"),
+            adapter_factory=lambda: EfficeonAdapter(EFFICEON_MAX_REGISTERS),
+        )
+    if name == "plainorder":
+        # Section 2.4's baseline: order-based hardware, software allocates
+        # one register per memory op in program order, everything checks
+        # everything later. Eliminations are unsupported by construction.
+        m = base.with_alias_registers(base.alias_registers or 64)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(
+                speculate=True,
+                allocator="plainorder",
+                enable_load_elimination=False,
+                enable_store_elimination=False,
+            ),
+            adapter_factory=lambda: SmarqAdapter(m.alias_registers),
+        )
+    if name == "none":
+        return Scheme(
+            name=name,
+            machine=base,
+            optimizer_config=OptimizerConfig(speculate=False),
+            adapter_factory=NullAdapter,
+        )
+    raise ValueError(f"unknown scheme {name!r}; choose from {SCHEME_NAMES}")

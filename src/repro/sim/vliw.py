@@ -1,0 +1,288 @@
+"""Bundle-level in-order VLIW timing simulator.
+
+Executes one optimized region's linear instruction stream functionally
+while accounting cycles with an in-order issue model:
+
+* **scoreboard** — each register has a ready cycle; an instruction issues
+  no earlier than its operands are ready (stall-on-use);
+* **bundling** — per-cycle issue width and per-functional-unit slot limits
+  (this is where ``ROTATE``/``AMOV`` bookkeeping costs real slots);
+* **atomic region semantics** — registers are copied at entry and memory
+  writes are undo-logged; an alias exception or a taken side exit rolls
+  everything back. Side exits abort because speculation may have hoisted
+  operations above them; the runtime then interprets the off-trace path
+  (DESIGN.md records this substitution for the paper's commit-at-exit
+  hardware).
+
+The simulator drives the scheme's :class:`HardwareAdapter` at every memory
+operation, rotation, and alias move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.exceptions import AliasException
+from repro.ir.instruction import Instruction, Opcode
+from repro.sched.machine import FunctionalUnit, MachineModel
+from repro.sim.memory import Memory
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+@dataclass
+class RegionOutcome:
+    """Result of attempting one region execution."""
+
+    status: str  # "commit" | "side_exit" | "alias" | "exit"
+    cycles: int
+    next_pc: Optional[int] = None
+    exit_code: Optional[int] = None
+    #: alias exceptions carry the faulting memory-op pair
+    alias_setter: Optional[int] = None
+    alias_checker: Optional[int] = None
+    false_positive: bool = False
+    instructions_executed: int = 0
+
+
+@dataclass
+class VliwStats:
+    regions_executed: int = 0
+    commits: int = 0
+    side_exit_aborts: int = 0
+    alias_aborts: int = 0
+    false_positive_aborts: int = 0
+    total_cycles: int = 0
+    instructions: int = 0
+
+
+class VliwSimulator:
+    """Executes optimized regions over shared guest memory."""
+
+    def __init__(self, machine: MachineModel, memory: Memory) -> None:
+        self.machine = machine
+        self.memory = memory
+        self.stats = VliwStats()
+
+    # ------------------------------------------------------------------
+    def execute_region(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+    ) -> RegionOutcome:
+        """Run the region once. Mutates ``registers`` and memory only on
+        commit; any abort restores both."""
+        machine = self.machine
+        memory = self.memory
+        self.stats.regions_executed += 1
+
+        # Translated code may use host scratch registers beyond the guest
+        # register file (register renaming in unrolled regions); scratch
+        # state is private to the region and never committed.
+        guest_count = len(registers)
+        regs = list(registers) + [0] * 64
+        undo_log: List[Tuple[int, bytes]] = []
+        adapter.on_region_enter(region)
+
+        reg_ready: Dict[int, int] = {}
+        cycle = machine.checkpoint_cycles
+        slots_used: Dict[FunctionalUnit, int] = {}
+        issued_in_cycle = 0
+        executed = 0
+
+        def advance_to(target_cycle: int) -> None:
+            nonlocal cycle, slots_used, issued_in_cycle
+            if target_cycle > cycle:
+                cycle = target_cycle
+                slots_used = {}
+                issued_in_cycle = 0
+
+        def issue(inst: Instruction) -> None:
+            """Account one instruction's issue cycle and slots."""
+            nonlocal cycle, issued_in_cycle
+            earliest = cycle
+            for reg in inst.uses():
+                earliest = max(earliest, reg_ready.get(reg, 0))
+            advance_to(earliest)
+            unit = machine.unit_of(inst)
+            while (
+                issued_in_cycle >= machine.issue_width
+                or slots_used.get(unit, 0) >= machine.slots_for(unit)
+            ):
+                advance_to(cycle + 1)
+            slots_used[unit] = slots_used.get(unit, 0) + 1
+            issued_in_cycle += 1
+            if inst.dest is not None:
+                reg_ready[inst.dest] = cycle + machine.latency_of(inst)
+
+        def rollback() -> None:
+            for addr, old in reversed(undo_log):
+                memory.write_bytes(addr, old)
+            adapter.on_region_exit()
+
+        outcome_status: Optional[str] = None
+        next_pc: Optional[int] = None
+        exit_code: Optional[int] = None
+
+        try:
+            for inst in region.schedule.linear:
+                op = inst.opcode
+                issue(inst)
+                executed += 1
+
+                if op is Opcode.ROTATE:
+                    adapter.on_rotate(inst)
+                    continue
+                if op is Opcode.AMOV:
+                    adapter.on_amov(inst)
+                    continue
+                if op is Opcode.NOP:
+                    continue
+                if op is Opcode.LD:
+                    addr = regs[inst.base] + inst.disp
+                    adapter.on_mem_op(inst, addr)
+                    regs[inst.dest] = memory.read(addr, inst.size)
+                    continue
+                if op is Opcode.ST:
+                    addr = regs[inst.base] + inst.disp
+                    adapter.on_mem_op(inst, addr)
+                    undo_log.append((addr, memory.read_bytes(addr, inst.size)))
+                    memory.write(addr, regs[inst.srcs[0]], inst.size)
+                    continue
+                if op is Opcode.EXIT:
+                    outcome_status = "exit"
+                    exit_code = inst.target
+                    break
+                if op is Opcode.BR:
+                    outcome_status = "commit"
+                    next_pc = inst.target
+                    break
+                if inst.is_branch:
+                    taken = self._branch_taken(inst, regs)
+                    if taken:
+                        outcome_status = "side_exit"
+                        next_pc = inst.target
+                        break
+                    continue
+                self._execute_alu(inst, regs)
+        except AliasException as exc:
+            rollback()
+            cycles = cycle + machine.rollback_penalty
+            self.stats.alias_aborts += 1
+            if exc.false_positive:
+                self.stats.false_positive_aborts += 1
+            self.stats.total_cycles += cycles
+            self.stats.instructions += executed
+            return RegionOutcome(
+                status="alias",
+                cycles=cycles,
+                alias_setter=exc.setter_mem_index,
+                alias_checker=exc.checker_mem_index,
+                false_positive=exc.false_positive,
+                instructions_executed=executed,
+            )
+
+        if outcome_status is None:
+            # Fell off the end of the region: continue at the instruction
+            # after the last guest pc represented in the region.
+            outcome_status = "commit"
+            last_pc = max(
+                (i.guest_pc for i in region.schedule.linear if i.guest_pc is not None),
+                default=region.block.entry_pc,
+            )
+            next_pc = last_pc + 1
+
+        cycles = cycle + 1
+        self.stats.instructions += executed
+        if outcome_status == "side_exit":
+            rollback()
+            cycles += self.machine.rollback_penalty
+            self.stats.side_exit_aborts += 1
+            self.stats.total_cycles += cycles
+            return RegionOutcome(
+                status="side_exit",
+                cycles=cycles,
+                next_pc=next_pc,
+                instructions_executed=executed,
+            )
+
+        # Commit: make (guest) register effects architectural.
+        adapter.on_region_exit()
+        registers[:] = regs[:guest_count]
+        self.stats.commits += 1
+        self.stats.total_cycles += cycles
+        return RegionOutcome(
+            status=outcome_status,
+            cycles=cycles,
+            next_pc=next_pc,
+            exit_code=exit_code,
+            instructions_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _branch_taken(inst: Instruction, regs: List[int]) -> bool:
+        a = regs[inst.srcs[0]]
+        b = regs[inst.srcs[1]] if len(inst.srcs) > 1 else 0
+        return {
+            Opcode.BEQ: a == b,
+            Opcode.BNE: a != b,
+            Opcode.BLT: a < b,
+            Opcode.BGE: a >= b,
+        }[inst.opcode]
+
+    @staticmethod
+    def _execute_alu(inst: Instruction, regs: List[int]) -> None:
+        op = inst.opcode
+        if op is Opcode.MOVI:
+            regs[inst.dest] = inst.imm or 0
+        elif op is Opcode.MOV:
+            regs[inst.dest] = regs[inst.srcs[0]]
+        elif op in (Opcode.ADD, Opcode.SUB) and inst.imm is not None:
+            delta = inst.imm if op is Opcode.ADD else -inst.imm
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] + delta)
+        elif op is Opcode.ADD:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] + regs[inst.srcs[1]])
+        elif op is Opcode.SUB:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] - regs[inst.srcs[1]])
+        elif op is Opcode.MUL:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] * regs[inst.srcs[1]])
+        elif op is Opcode.AND:
+            regs[inst.dest] = regs[inst.srcs[0]] & regs[inst.srcs[1]]
+        elif op is Opcode.OR:
+            regs[inst.dest] = regs[inst.srcs[0]] | regs[inst.srcs[1]]
+        elif op is Opcode.XOR:
+            regs[inst.dest] = regs[inst.srcs[0]] ^ regs[inst.srcs[1]]
+        elif op is Opcode.SHL:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] << (regs[inst.srcs[1]] & 63))
+        elif op is Opcode.SHR:
+            regs[inst.dest] = (regs[inst.srcs[0]] & _MASK64) >> (
+                regs[inst.srcs[1]] & 63
+            )
+        elif op is Opcode.CMP:
+            a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+            regs[inst.dest] = (a > b) - (a < b)
+        elif op is Opcode.FADD:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] + regs[inst.srcs[1]])
+        elif op is Opcode.FSUB:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] - regs[inst.srcs[1]])
+        elif op is Opcode.FMUL:
+            regs[inst.dest] = _wrap(regs[inst.srcs[0]] * regs[inst.srcs[1]])
+        elif op is Opcode.FDIV:
+            b = regs[inst.srcs[1]]
+            regs[inst.dest] = regs[inst.srcs[0]] // b if b else 0
+        elif op is Opcode.FMA:
+            regs[inst.dest] = _wrap(
+                regs[inst.dest] + regs[inst.srcs[0]] * regs[inst.srcs[1]]
+            )
+        else:
+            raise ValueError(f"VLIW simulator cannot execute {inst!r}")

@@ -1,0 +1,130 @@
+"""FAST ALGORITHM + MAX-BASE rotation on a fixed schedule (Section 5.1).
+
+This is the standalone (non-scheduler-integrated) allocation path. It is
+used when the schedule is already decided — in tests reproducing the
+paper's worked examples, and in the working-set experiments where only the
+allocation (not the timing) matters.
+
+Given the scheduled order of a superblock and an *acyclic* constraint
+graph, the algorithm:
+
+1. traverses memory operations in a topological order of the constraint
+   graph, assigning ``order(X) = next_order`` (incrementing for P-bit
+   operations, sharing for C-only ones);
+2. computes each operation's maximal BASE per the MAX-BASE formula —
+   ``base(X) = min{ order(Y) : Y executes at or after X }`` — so offsets
+   are minimal;
+3. emits ``ROTATE`` pseudo-instructions between consecutive scheduled
+   operations whose bases differ, and rewrites each ``ar_offset`` as
+   ``order - base``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.constraints import ConstraintGraph, ConstraintSet
+from repro.ir.instruction import Instruction, rotate
+
+
+@dataclass
+class FastAllocation:
+    """Result of the standalone fast allocation."""
+
+    #: uid -> absolute register order
+    order: Dict[int, int]
+    #: uid -> BASE value at that operation's execution
+    base: Dict[int, int]
+    #: uid -> offset (order - base); also written into ``inst.ar_offset``
+    offset: Dict[int, int]
+    #: linear instruction list with ROTATE pseudo-ops spliced in
+    linear: List[Instruction]
+    #: total registers allocated (next_order at completion)
+    registers_used: int
+    #: maximum offset + 1 == minimum HW registers needed (Section 3.2)
+    working_set: int
+
+
+def fast_allocate(
+    scheduled: Sequence[Instruction],
+    constraints: ConstraintSet,
+    insert_rotations: bool = True,
+) -> FastAllocation:
+    """Run FAST ALGORITHM + MAX-BASE over an already-scheduled block.
+
+    ``scheduled`` is the full scheduled instruction sequence (memory and
+    non-memory). Raises :class:`ConstraintCycleError` (from the topological
+    sort) if the constraint graph has a cycle — cycles require the
+    integrated allocator's AMOV machinery.
+    """
+    graph = ConstraintGraph.from_constraints(constraints)
+
+    # Mark P/C bits from the constraints.
+    p_ops = {c.target.uid for c in constraints.checks}
+    c_ops = {c.checker.uid for c in constraints.checks}
+    for inst in scheduled:
+        if inst.is_mem:
+            inst.p_bit = inst.uid in p_ops
+            inst.c_bit = inst.uid in c_ops
+
+    participants = [
+        inst for inst in scheduled if inst.is_mem and (inst.p_bit or inst.c_bit)
+    ]
+    for inst in participants:
+        graph.add_node(inst)
+
+    # Step 1: orders by topological traversal.
+    order: Dict[int, int] = {}
+    next_order = 0
+    for inst in graph.topological_order():
+        order[inst.uid] = next_order
+        if inst.p_bit:
+            next_order += 1
+    registers_used = next_order
+
+    # Step 2: MAX-BASE. base(X) = min order over X and everything at or
+    # after X in the schedule (non-participants are transparent).
+    base: Dict[int, int] = {}
+    running_min = registers_used  # orders are < registers_used... see below
+    # C-only tail operations can share order == next_order at their
+    # allocation, which may equal registers_used; account for that.
+    if order:
+        running_min = max(order.values()) + 1
+    for inst in reversed(list(scheduled)):
+        if inst.uid in order:
+            running_min = min(running_min, order[inst.uid])
+            base[inst.uid] = running_min
+
+    # Step 3: offsets and rotation insertion.
+    offset: Dict[int, int] = {}
+    linear: List[Instruction] = []
+    current_base = 0
+    working_set = 0
+    for inst in scheduled:
+        if inst.uid in order:
+            if insert_rotations and base[inst.uid] > current_base:
+                linear.append(rotate(base[inst.uid] - current_base))
+                current_base = base[inst.uid]
+            off = order[inst.uid] - current_base
+            offset[inst.uid] = off
+            inst.ar_offset = off
+            inst.ar_order = order[inst.uid]
+            working_set = max(working_set, off + 1)
+        linear.append(inst)
+    if not insert_rotations:
+        # Offsets equal absolute orders; working set is the order span.
+        working_set = max((o + 1 for o in order.values()), default=0)
+        for inst in scheduled:
+            if inst.uid in order:
+                offset[inst.uid] = order[inst.uid]
+                inst.ar_offset = order[inst.uid]
+
+    return FastAllocation(
+        order=order,
+        base=base,
+        offset=offset,
+        linear=linear,
+        registers_used=registers_used,
+        working_set=working_set,
+    )

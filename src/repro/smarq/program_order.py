@@ -1,0 +1,63 @@
+"""Program-order baseline allocations (Figure 17's first two bars).
+
+The straightforward order-based allocation gives each memory operation an
+alias register in original program order. It supports plain speculative
+reordering (all aliases between reordered operations are detected, no false
+positives — Section 5.2 explains why the constraint graph is acyclic in
+that case) but is wasteful, and cannot express the constraints from
+speculative load/store elimination at all.
+
+Two variants, matching the two baseline bars in Figure 17:
+
+* :func:`program_order_all_allocation` — one register per memory operation;
+* :func:`program_order_pbit_allocation` — one register per memory operation
+  that actually sets a register (has a P bit under the given constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.constraints import ConstraintSet
+from repro.ir.instruction import Instruction
+
+
+@dataclass
+class ProgramOrderAllocation:
+    order: Dict[int, int]
+    registers_used: int
+    #: one register per op, never rotated: the working set is all of them
+    working_set: int
+
+
+def program_order_all_allocation(
+    block_program_order: Sequence[Instruction],
+) -> ProgramOrderAllocation:
+    """Allocate one register per memory operation in program order."""
+    order: Dict[int, int] = {}
+    next_order = 0
+    for inst in block_program_order:
+        if inst.is_mem:
+            order[inst.uid] = next_order
+            next_order += 1
+    return ProgramOrderAllocation(
+        order=order, registers_used=next_order, working_set=next_order
+    )
+
+
+def program_order_pbit_allocation(
+    block_program_order: Sequence[Instruction],
+    constraints: ConstraintSet,
+) -> ProgramOrderAllocation:
+    """Allocate registers in program order, but only to P-bit operations."""
+    p_ops = {c.target.uid for c in constraints.checks}
+    order: Dict[int, int] = {}
+    next_order = 0
+    for inst in block_program_order:
+        if inst.is_mem and inst.uid in p_ops:
+            order[inst.uid] = next_order
+            next_order += 1
+    return ProgramOrderAllocation(
+        order=order, registers_used=next_order, working_set=next_order
+    )

@@ -1,0 +1,191 @@
+"""Allocation validator.
+
+Replays an allocated, scheduled superblock against the
+:class:`~repro.hw.queue_model.AliasRegisterQueue` hardware model with
+*synthetic addresses*, proving the two properties the paper requires of a
+correct allocation:
+
+1. **Completeness** — for every check-constraint ``X ->check Y``, if X and Y
+   touch overlapping memory at runtime, the hardware raises an alias
+   exception. Verified by giving every memory operation a disjoint address
+   except the (X, Y) pair, which is made to collide, then replaying.
+2. **No false positives** — for every anti-constraint ``X ->anti Y``, a
+   runtime overlap between X and Y alone must NOT raise. Same replay with
+   the collision on (X, Y).
+
+Plus a sanity property: with all-disjoint addresses no replay raises, and
+no referenced offset reaches the physical register count.
+
+AMOV-rewired constraints are validated *semantically*: a constraint
+``Z ->check X'`` (X' the AMOV that relocated S's range) is exercised by
+colliding Z with S — the relocation is an implementation detail the replay
+must see through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hw.exceptions import AliasException
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+from repro.ir.instruction import Instruction, Opcode
+
+
+class ValidationError(AssertionError):
+    """The allocation violates a required detection property."""
+
+
+def _replay(
+    linear: Sequence[Instruction],
+    addresses: Dict[int, int],
+    num_registers: int,
+) -> Optional[AliasException]:
+    """Execute the annotated stream against the queue model.
+
+    ``addresses`` maps instruction uid -> start address. Returns the first
+    alias exception, or None. AMOVs and rotations are honoured; ops without
+    P/C bits do not touch the queue.
+    """
+    queue = AliasRegisterQueue(num_registers)
+    for inst in linear:
+        if inst.opcode is Opcode.ROTATE:
+            queue.rotate(inst.rotate_by)
+            continue
+        if inst.opcode is Opcode.AMOV:
+            queue.amov(inst.amov_src, inst.amov_dst)
+            continue
+        if not inst.is_mem or not (inst.p_bit or inst.c_bit):
+            continue
+        if inst.ar_offset is None:
+            raise ValidationError(f"{inst!r} has P/C bits but no offset")
+        access = AccessRange(
+            start=addresses[inst.uid], size=inst.size, is_load=inst.is_load
+        )
+        try:
+            if inst.p_bit and inst.c_bit:
+                queue.check_then_set(inst.ar_offset, access, inst.mem_index)
+            elif inst.p_bit:
+                queue.set(inst.ar_offset, access, inst.mem_index)
+            else:
+                queue.check(inst.ar_offset, access, inst.mem_index)
+        except AliasException as exc:
+            return exc
+    return None
+
+
+def _disjoint_addresses(
+    linear: Sequence[Instruction], stride: int = 0x100
+) -> Dict[int, int]:
+    addresses: Dict[int, int] = {}
+    next_addr = 0x10000
+    for inst in linear:
+        if inst.is_mem:
+            addresses[inst.uid] = next_addr
+            next_addr += stride
+    return addresses
+
+
+def validate_allocation(
+    linear: Sequence[Instruction],
+    check_pairs: Iterable[Tuple[Instruction, Instruction]],
+    anti_pairs: Iterable[Tuple[Instruction, Instruction]],
+    num_registers: int,
+) -> None:
+    """Raise :class:`ValidationError` on any violated property.
+
+    ``check_pairs`` are semantic (checker, target) instruction pairs;
+    ``anti_pairs`` are semantic (protected, checker) pairs. Both use the
+    *original* memory operations (AMOV relocation already resolved by the
+    caller; see :func:`semantic_pairs_from_allocator`).
+    """
+    base = _disjoint_addresses(linear)
+
+    clean = _replay(linear, base, num_registers)
+    if clean is not None:
+        raise ValidationError(
+            f"replay with disjoint addresses raised {clean} — allocation "
+            f"performs a self-colliding or stale check"
+        )
+
+    position = {inst.uid: i for i, inst in enumerate(linear)}
+
+    for checker, target in check_pairs:
+        if position[checker.uid] < position[target.uid]:
+            raise ValidationError(
+                f"check-constraint {checker!r} ->check {target!r}: checker "
+                f"scheduled before target — the hardware rule cannot fire"
+            )
+        addresses = dict(base)
+        addresses[checker.uid] = addresses[target.uid]
+        exc = _replay(linear, addresses, num_registers)
+        if exc is None:
+            raise ValidationError(
+                f"MISSED DETECTION: colliding {checker!r} with {target!r} "
+                f"raised no alias exception"
+            )
+
+    for protected, checker in anti_pairs:
+        addresses = dict(base)
+        addresses[checker.uid] = addresses[protected.uid]
+        exc = _replay(linear, addresses, num_registers)
+        if exc is not None:
+            raise ValidationError(
+                f"FALSE POSITIVE: colliding {protected!r} with {checker!r} "
+                f"(anti-constrained) raised {exc}"
+            )
+
+
+def count_anti_violations(
+    linear: Sequence[Instruction],
+    anti_pairs: Iterable[Tuple[Instruction, Instruction]],
+    num_registers: int,
+) -> int:
+    """How many anti pairs would falsely fire at runtime (ablation metric).
+
+    Each (protected, checker) pair is collided in isolation; a raised
+    exception counts as one false-positive hazard.
+    """
+    base = _disjoint_addresses(linear)
+    violations = 0
+    for protected, checker in anti_pairs:
+        addresses = dict(base)
+        addresses[checker.uid] = addresses[protected.uid]
+        if _replay(linear, addresses, num_registers) is not None:
+            violations += 1
+    return violations
+
+
+def semantic_pairs_from_allocator(
+    allocator,
+) -> Tuple[List[Tuple[Instruction, Instruction]], List[Tuple[Instruction, Instruction]]]:
+    """Extract semantic (checker, target) / (protected, checker) pairs.
+
+    Resolves AMOV indirection: a recorded pair ``(Z, X')`` where X' is an
+    AMOV becomes ``(Z, S)`` with S the instruction whose range the AMOV
+    moved. Anti edges sourced at an AMOV similarly map back to S.
+    """
+    moved_source = {
+        amov_inst.uid: source for amov_inst, source in allocator._amov_fixups
+    }
+    inst_of = allocator._inst
+
+    checks: List[Tuple[Instruction, Instruction]] = []
+    for checker_uid, target_uid in allocator._check_pairs:
+        checker = inst_of[checker_uid]
+        target = inst_of[target_uid]
+        if target.opcode is Opcode.AMOV:
+            target = moved_source[target.uid]
+        checks.append((checker, target))
+
+    antis: List[Tuple[Instruction, Instruction]] = []
+    # Anti constraints are the strict edges; the allocator folds them into
+    # the same adjacency, so recover them from stats by construction: we
+    # track them explicitly on the torder edges via recorded pairs.
+    for protected_uid, checker_uid in getattr(allocator, "_anti_pairs", ()):
+        protected = inst_of[protected_uid]
+        checker = inst_of[checker_uid]
+        if protected.opcode is Opcode.AMOV:
+            protected = moved_source[protected.uid]
+        antis.append((protected, checker))
+    return checks, antis

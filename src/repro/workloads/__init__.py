@@ -1,0 +1,33 @@
+"""Synthetic SPECFP2000-like workloads.
+
+The paper evaluates on SPECFP2000 x86 binaries, which we cannot run (see
+DESIGN.md Section 2). Each generator here builds a
+:class:`~repro.frontend.program.GuestProgram` whose hot loop reproduces the
+*traits that the experiments actually measure*: memory operations per
+superblock, how much of the access stream the binary-level alias analysis
+can disambiguate, reorder/elimination opportunity, store-reorder
+sensitivity, and runtime alias collision rates.
+
+Trait values are chosen per benchmark from the paper's own observations
+(ammp: the largest superblocks and strongest register pressure; mesa: the
+strongest store-reorder sensitivity and slight store-store aliasing; art:
+redundant-load heavy; equake/ammp: pointer-based with unknown bases; the
+dense Fortran codes: streaming with bases reloaded from parameter blocks,
+defeating static disambiguation) plus general knowledge of the suite.
+"""
+
+from repro.workloads.synthetic import ProgramBuilder, WorkloadTraits, build_from_traits
+from repro.workloads.specfp import (
+    SPECFP_BENCHMARKS,
+    make_benchmark,
+    benchmark_traits,
+)
+
+__all__ = [
+    "ProgramBuilder",
+    "SPECFP_BENCHMARKS",
+    "WorkloadTraits",
+    "benchmark_traits",
+    "build_from_traits",
+    "make_benchmark",
+]

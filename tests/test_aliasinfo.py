@@ -1,0 +1,163 @@
+"""Unit tests for static/speculative alias classification."""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis, AliasClass, SymbolicAddress, classify_pair
+from repro.ir.instruction import Instruction, Opcode, binop, load, mov, movi, store
+from repro.ir.superblock import Superblock
+
+REGIONS = {"A": (0x1000, 0x800), "B": (0x2000, 0x800)}
+
+
+def analyze(insts, hints=None, initial=None, banned=None):
+    block = Superblock(instructions=list(insts))
+    return block, AliasAnalysis(
+        block, REGIONS, hints, initial_regions=initial, no_speculate=banned
+    )
+
+
+class TestSameBaseRule:
+    def test_same_base_same_disp_must(self):
+        block, a = analyze([load(1, 5, disp=8, size=8), store(5, 2, disp=8, size=8)])
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MUST
+
+    def test_same_base_disjoint_disp_no(self):
+        block, a = analyze([load(1, 5, disp=0, size=4), store(5, 2, disp=4, size=4)])
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.NO
+
+    def test_same_base_partial_overlap_may(self):
+        block, a = analyze([load(1, 5, disp=0, size=8), store(5, 2, disp=4, size=8)])
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MAY
+
+    def test_base_redefinition_breaks_same_base(self):
+        insts = [
+            load(1, 5, disp=0, size=8),
+            binop(Opcode.ADD, 5, 5, 6),  # redefine base unknown amount
+            store(5, 2, disp=0, size=8),
+        ]
+        block, a = analyze(insts)
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MAY
+
+    def test_different_unknown_bases_may(self):
+        block, a = analyze([load(1, 5), store(6, 2)])
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MAY
+
+
+class TestRegionTracking:
+    def test_movi_resolves_region(self):
+        insts = [movi(5, 0x1000), store(5, 2, disp=0)]
+        block, a = analyze(insts)
+        (op,) = block.memory_ops()
+        sym = a.address_of(op)
+        assert sym.region == "A" and sym.offset == 0
+
+    def test_different_regions_no_alias(self):
+        insts = [movi(5, 0x1000), movi(6, 0x2000), store(5, 1), load(2, 6)]
+        block, a = analyze(insts)
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.NO
+
+    def test_add_immediate_tracks_offset(self):
+        insts = [
+            movi(5, 0x1000),
+            Instruction(Opcode.ADD, dest=6, srcs=(5,), imm=16),
+            store(6, 1, disp=0, size=8),
+            load(2, 5, disp=16, size=8),
+        ]
+        block, a = analyze(insts)
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MUST
+
+    def test_mov_propagates_region(self):
+        insts = [movi(5, 0x1000), mov(6, 5), store(6, 1), load(2, 5)]
+        block, a = analyze(insts)
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MUST
+
+    def test_load_result_unknown(self):
+        insts = [movi(5, 0x1000), load(6, 5), store(6, 1), load(2, 5, disp=8)]
+        block, a = analyze(insts)
+        ops = block.memory_ops()
+        # store through loaded pointer vs load from A: MAY
+        assert a.classify(ops[1], ops[2]) is AliasClass.MAY
+
+    def test_initial_regions_seed(self):
+        insts = [store(5, 1), load(2, 6)]
+        block, a = analyze(insts, initial={5: "A", 6: "B"})
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.NO
+
+    def test_initial_region_offset_unknown_same_region_may(self):
+        insts = [store(5, 1, disp=0, size=8), load(2, 6, disp=0, size=8)]
+        block, a = analyze(insts, initial={5: "A", 6: "A"})
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.MAY
+
+    def test_region_survives_immediate_add(self):
+        insts = [
+            Instruction(Opcode.ADD, dest=7, srcs=(5,), imm=32),
+            store(7, 1),
+            load(2, 6),
+        ]
+        block, a = analyze(insts, initial={5: "A", 6: "B"})
+        ops = block.memory_ops()
+        assert a.classify(ops[0], ops[1]) is AliasClass.NO
+
+
+class TestClassifyPair:
+    def sym(self, region, offset, base=1, disp=0, size=8, version=0):
+        return SymbolicAddress(region, offset, base, disp, size, version)
+
+    def test_resolved_disjoint(self):
+        assert classify_pair(self.sym("A", 0), self.sym("A", 8)) is AliasClass.NO
+
+    def test_resolved_must(self):
+        assert classify_pair(self.sym("A", 0), self.sym("A", 0)) is AliasClass.MUST
+
+    def test_resolved_partial(self):
+        assert classify_pair(self.sym("A", 0), self.sym("A", 4)) is AliasClass.MAY
+
+    def test_cross_region(self):
+        assert classify_pair(self.sym("A", 0), self.sym("B", 0)) is AliasClass.NO
+
+    def test_same_base_different_version_may(self):
+        a = self.sym(None, None, base=3, disp=0, version=0)
+        b = self.sym(None, None, base=3, disp=0, version=1)
+        assert classify_pair(a, b) is AliasClass.MAY
+
+
+class TestHintsAndBans:
+    def test_alias_rate_default_zero(self):
+        block, a = analyze([load(1, 5), store(6, 2)])
+        ops = block.memory_ops()
+        assert a.alias_rate(ops[0], ops[1]) == 0.0
+
+    def test_alias_rate_from_hints(self):
+        block, a = analyze([load(1, 5), store(6, 2)], hints={(0, 1): 0.9})
+        ops = block.memory_ops()
+        assert a.alias_rate(ops[0], ops[1]) == 0.9
+        assert a.alias_rate(ops[1], ops[0]) == 0.9  # order independent
+
+    def test_speculation_banned(self):
+        block, a = analyze([load(1, 5), store(6, 2)], banned={1})
+        ops = block.memory_ops()
+        assert not a.speculation_banned(ops[0])
+        assert a.speculation_banned(ops[1])
+
+    def test_must_alias_pairs(self):
+        insts = [load(1, 5, disp=0, size=8), store(6, 2), load(3, 5, disp=0, size=8)]
+        block, a = analyze(insts)
+        pairs = a.must_alias_pairs(block)
+        assert len(pairs) == 1
+        earlier, later = pairs[0]
+        assert earlier.mem_index == 0 and later.mem_index == 2
+
+    def test_address_of_non_member_raises(self):
+        block, a = analyze([load(1, 5)])
+        with pytest.raises(KeyError):
+            a.address_of(load(9, 9))

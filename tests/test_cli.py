@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ammp" in out and "smarq" in out and "fig15" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "art", "--scheme", "smarq", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "total cycles" in out
+        assert "region commits" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "art", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        for scheme in ("none", "smarq", "itanium", "efficeon"):
+            assert scheme in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--only", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figures_unknown_rejected(self, capsys):
+        assert main(["figures", "--only", "fig99"]) == 2
+
+    def test_figures_subset_suite(self, capsys):
+        rc = main(
+            ["figures", "--only", "fig14", "--suite", "art", "--scale", "0.05"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        data_rows = [
+            line for line in out.splitlines()
+            if line and line[0].isalpha() and "ops" not in line
+            and not line.startswith(("Figure", "Paper", "="))
+        ]
+        assert any(row.startswith("art") for row in data_rows)
+        assert not any(row.startswith("ammp") for row in data_rows)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "art", "--scheme", "bogus"])

@@ -1,0 +1,179 @@
+"""Unit tests for check/anti constraint derivation and the constraint graph."""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.constraints import (
+    AntiConstraint,
+    CheckConstraint,
+    ConstraintGraph,
+    ConstraintCycleError,
+    derive_constraints,
+)
+from repro.analysis.dependence import Dependence, compute_dependences
+from repro.ir.instruction import load, store
+from repro.ir.superblock import Superblock
+
+
+def build(insts):
+    block = Superblock(instructions=list(insts))
+    return block, AliasAnalysis(block)
+
+
+def positions(order):
+    return {inst.uid: i for i, inst in enumerate(order)}
+
+
+class TestCheckConstraintRule:
+    def test_reordered_pair_produces_check(self):
+        block, a = build([store(5, 1), load(2, 6)])
+        st_op, ld_op = block.memory_ops()
+        deps = compute_dependences(block, a)
+        # schedule hoists the load above the store
+        cs = derive_constraints(deps, positions([ld_op, st_op]))
+        assert len(cs.checks) == 1
+        assert cs.checks[0].checker is st_op
+        assert cs.checks[0].target is ld_op
+
+    def test_in_order_pair_produces_no_check(self):
+        block, a = build([store(5, 1), load(2, 6)])
+        st_op, ld_op = block.memory_ops()
+        deps = compute_dependences(block, a)
+        cs = derive_constraints(deps, positions([st_op, ld_op]))
+        assert cs.checks == []
+
+    def test_extended_dep_in_order_produces_check(self):
+        """An extended (backward) dependence yields a check even without
+        reordering — the Figure 8 case."""
+        block, a = build([load(1, 5, disp=0, size=8), store(6, 2)])
+        x, s = block.memory_ops()
+        ext = Dependence(s, x, extended=True)
+        cs = derive_constraints([ext], positions([x, s]))
+        assert len(cs.checks) == 1
+        assert cs.checks[0].checker is s and cs.checks[0].target is x
+
+    def test_p_and_c_bits_from_constraints(self):
+        block, a = build([store(5, 1), load(2, 6)])
+        st_op, ld_op = block.memory_ops()
+        deps = compute_dependences(block, a)
+        cs = derive_constraints(deps, positions([ld_op, st_op]))
+        assert cs.p_bit_ops() == {ld_op}
+        assert cs.c_bit_ops() == {st_op}
+
+
+class TestAntiConstraintRule:
+    def make_fig8_like(self):
+        """Two in-order ops (P-bit target, C-bit checker) plus a reordered
+        pair, reproducing the conditions for an anti-constraint."""
+        block, a = build(
+            [
+                load(1, 5),      # M1: P (checked by M2 via extended dep)
+                store(6, 2),     # M2: C (checks M1)
+                load(3, 7),      # M3: P (reordered above M4)
+                store(8, 4),     # M4: C (checks M3)
+            ]
+        )
+        m1, m2, m3, m4 = block.memory_ops()
+        deps = [
+            Dependence(m2, m1, extended=True),  # M2 ->check M1 (in order)
+            Dependence(m3, m4),                 # base dep; will reorder
+            Dependence(m1, m2),                 # base dep (in order)
+        ]
+        sched = positions([m1, m4, m2, m3])  # hmm: choose below per test
+        return block, (m1, m2, m3, m4), deps
+
+    def test_anti_between_in_order_p_c_pair(self):
+        block, ops, deps = self.make_fig8_like()
+        m1, m2, m3, m4 = ops
+        # schedule: m1, m3, m2, m4 — m3 hoisted above m2?? m3/m4 dep with
+        # m4 after m3: in-order. Use m4 before m3 to create the check.
+        sched = positions([m1, m4, m2, m3])
+        # m4 before m3: wait, dep(m3 -> m4) with m4 scheduled first =>
+        # check m3 ->check m4... directions per CHECK-CONSTRAINT.
+        cs = derive_constraints(deps, sched)
+        pairs = {(c.checker.mem_index, c.target.mem_index) for c in cs.checks}
+        assert (2, 3) in pairs  # m3 checks m4 (reordered)
+        assert (1, 0) in pairs  # m2 checks m1 (extended, in order)
+        # anti: m1 ->anti ... requires P(m1), C-bit checker after it whose
+        # dep stayed in order with no reverse check.
+        for anti in cs.antis:
+            assert anti.protected.mem_index < anti.checker.mem_index
+
+    def test_no_anti_when_reverse_check_exists(self):
+        block, a = build([load(1, 5), store(6, 2)])
+        ld_op, st_op = block.memory_ops()
+        deps = [Dependence(ld_op, st_op), Dependence(st_op, ld_op, extended=True)]
+        # in order: check st->check ld from extended dep; base dep in order
+        cs = derive_constraints(deps, positions([ld_op, st_op]))
+        assert len(cs.checks) == 1
+        # the base dep (ld ->dep st) stays in order; candidate anti
+        # ld ->anti st is suppressed because st ->check ld exists
+        assert cs.antis == []
+
+    def test_anti_requires_p_and_c_bits(self):
+        block, a = build([store(5, 1), load(2, 6)])
+        st_op, ld_op = block.memory_ops()
+        deps = compute_dependences(block, a)
+        cs = derive_constraints(deps, positions([st_op, ld_op]))
+        # in-order, but neither op has P/C bits (no checks at all)
+        assert cs.antis == []
+
+
+class TestConstraintGraph:
+    def test_topological_order_respects_edges(self):
+        a, b, c = load(1, 5), store(6, 2), load(3, 7)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        g.add_check(CheckConstraint(checker=b, target=c))
+        order = g.topological_order()
+        idx = {inst.uid: i for i, inst in enumerate(order)}
+        assert idx[a.uid] < idx[b.uid] < idx[c.uid]
+
+    def test_cycle_detected(self):
+        a, b = load(1, 5), store(6, 2)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        g.add_anti(AntiConstraint(protected=b, checker=a))
+        assert g.find_cycle() is not None
+        with pytest.raises(ConstraintCycleError):
+            g.topological_order()
+
+    def test_acyclic_find_cycle_none(self):
+        a, b = load(1, 5), store(6, 2)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        assert g.find_cycle() is None
+
+    def test_strict_edge_dominates_weak(self):
+        a, b = load(1, 5), store(6, 2)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        g.add_anti(AntiConstraint(protected=a, checker=b))
+        assert g.is_strict(a, b)
+
+    def test_reachable_from(self):
+        a, b, c = load(1, 5), store(6, 2), load(3, 7)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        g.add_check(CheckConstraint(checker=b, target=c))
+        assert g.reachable_from(a) == {a.uid, b.uid, c.uid}
+        assert g.reachable_from(c) == {c.uid}
+
+    def test_edge_count_deduplicates(self):
+        a, b = load(1, 5), store(6, 2)
+        g = ConstraintGraph()
+        g.add_check(CheckConstraint(checker=a, target=b))
+        g.add_check(CheckConstraint(checker=a, target=b))
+        assert g.edge_count() == 1
+
+    def test_deterministic_tie_break_by_program_order(self):
+        block = Superblock(
+            instructions=[load(1, 5), load(2, 6), store(7, 3)]
+        )
+        m0, m1, m2 = block.memory_ops()
+        g = ConstraintGraph()
+        g.add_node(m1)
+        g.add_node(m0)
+        g.add_node(m2)
+        order = g.topological_order()
+        assert [i.mem_index for i in order] == [0, 1, 2]

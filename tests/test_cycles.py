@@ -1,0 +1,113 @@
+"""Unit + property tests for incremental partial-order maintenance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cycles import IncrementalOrder, OrderCycleError
+from repro.ir.instruction import load, nop
+
+
+def nodes(n):
+    return [load(1, 2) for _ in range(n)]
+
+
+class TestCheckEdges:
+    def test_check_edge_lowers_t(self):
+        order = IncrementalOrder()
+        a, b = nodes(2)
+        order.register(a, 5)
+        order.register(b, 3)
+        order.add_check_edge(a, b)
+        assert order.t(a) < order.t(b)
+
+    def test_check_edge_preserved_when_already_ordered(self):
+        order = IncrementalOrder()
+        a, b = nodes(2)
+        order.register(a, 1)
+        order.register(b, 4)
+        order.add_check_edge(a, b)
+        assert order.t(a) == 1 and order.t(b) == 4
+
+    def test_chained_check_edges_hold_invariance(self):
+        order = IncrementalOrder()
+        ns = nodes(4)
+        order.register_program_order(ns)
+        # each later node must check node 0 (lowering happens repeatedly)
+        order.add_check_edge(ns[3], ns[0])
+        order.add_check_edge(ns[2], ns[0])
+        assert order.verify_invariance()
+
+
+class TestAntiEdges:
+    def test_anti_edge_no_shift_when_ordered(self):
+        order = IncrementalOrder()
+        a, b = nodes(2)
+        order.register(a, 0)
+        order.register(b, 5)
+        order.add_anti_edge(a, b)
+        assert order.verify_invariance()
+
+    def test_anti_edge_shifts_reachable_set(self):
+        order = IncrementalOrder()
+        a, b, c = nodes(3)
+        order.register(a, 10)
+        order.register(b, 1)
+        order.register(c, 2)
+        order.add_check_edge(b, c)  # b -> c
+        order.add_anti_edge(a, b)  # forces b (and c) above a
+        assert order.t(a) < order.t(b) < order.t(c)
+        assert order.verify_invariance()
+
+    def test_anti_edge_cycle_detected(self):
+        order = IncrementalOrder()
+        a, b = nodes(2)
+        order.register(a, 0)
+        order.register(b, 1)
+        order.add_check_edge(a, b)  # a -> b, t(a)=0 < t(b)=1
+        # force t(b) >= t(a): adding anti b -> a closes the cycle
+        with pytest.raises(OrderCycleError) as exc:
+            order.add_anti_edge(b, a)
+        assert a.uid in exc.value.witness
+
+    def test_witness_is_reachable_set(self):
+        order = IncrementalOrder()
+        a, b, c = nodes(3)
+        order.register_program_order([a, b, c])
+        order.add_check_edge(a, b)
+        order.add_check_edge(b, c)
+        with pytest.raises(OrderCycleError) as exc:
+            order.add_anti_edge(c, a)
+        assert exc.value.witness >= {a.uid, b.uid, c.uid}
+
+    def test_remove_edges_from(self):
+        order = IncrementalOrder()
+        a, b = nodes(2)
+        order.register(a, 0)
+        order.register(b, 1)
+        order.add_check_edge(a, b)
+        order.remove_edges_from(a)
+        assert order.reachable_from(a) == {a.uid}
+
+
+class TestInvarianceProperty:
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            max_size=30,
+        )
+    )
+    def test_random_edge_insertion_keeps_invariance_or_raises(self, edges):
+        """After any sequence of check-edge insertions onto fresh checkers
+        and anti insertions, either the invariance holds or a cycle was
+        correctly reported."""
+        order = IncrementalOrder()
+        ns = nodes(10)
+        order.register_program_order(ns)
+        for u, v in edges:
+            if u == v:
+                continue
+            try:
+                order.add_anti_edge(ns[u], ns[v])
+            except OrderCycleError:
+                continue
+            assert order.verify_invariance()

@@ -1,0 +1,87 @@
+"""Edge cases for the end-to-end DBT loop."""
+
+import pytest
+
+from repro.frontend.profiler import ProfilerConfig
+from repro.frontend.program import GuestProgram
+from repro.ir.instruction import Instruction, Opcode, binop, branch, load, movi, store
+from repro.sim.dbt import DbtSystem, run_program
+from repro.workloads import make_benchmark
+
+
+class TestColdPrograms:
+    def test_program_without_hot_code_just_interprets(self):
+        insts = [movi(1, 5), movi(2, 6), branch(Opcode.EXIT, 0)]
+        program = GuestProgram(name="cold", instructions=insts)
+        report = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=50)
+        ).run()
+        assert report.translations == 0
+        assert report.total_cycles == report.interp_cycles
+        assert report.exit_code == 0
+
+    def test_memoryless_hot_loop_not_translated(self):
+        """A hot loop without memory ops forms no region (nothing for the
+        alias machinery to do)."""
+        insts = [
+            movi(1, 0),
+            movi(2, 200),
+            Instruction(Opcode.ADD, dest=1, srcs=(1,), imm=1),  # pc 2: head
+            branch(Opcode.BLT, 2, srcs=(1, 2)),
+            branch(Opcode.EXIT, 0),
+        ]
+        program = GuestProgram(name="alu-loop", instructions=insts)
+        report = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=10)
+        ).run()
+        assert report.translations == 0
+        assert report.exit_code == 0
+
+    def test_run_program_convenience(self):
+        program = make_benchmark("art", scale=0.03)
+        report = run_program(
+            program, "smarq",
+            profiler_config=ProfilerConfig(hot_threshold=10),
+        )
+        assert report.exit_code == 0
+
+
+class TestBudget:
+    def test_step_budget_bounds_runaway(self):
+        insts = [
+            movi(1, 0),
+            movi(2, 1 << 40),  # effectively infinite loop
+            Instruction(Opcode.ADD, dest=1, srcs=(1,), imm=1),
+            branch(Opcode.BLT, 2, srcs=(1, 2)),
+            branch(Opcode.EXIT, 0),
+        ]
+        program = GuestProgram(name="forever", instructions=insts)
+        report = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=10)
+        ).run(max_guest_steps=5000)
+        assert report.exit_code is None  # did not finish, did not hang
+
+
+class TestInitialRegisters:
+    def test_initial_registers_visible_to_translated_code(self):
+        insts = [
+            movi(2, 0),
+            movi(3, 100),
+            # loop storing r9 (set via initial_registers) to memory
+            Instruction(Opcode.ADD, dest=2, srcs=(2,), imm=1),  # pc 2
+            store(1, 9),
+            branch(Opcode.BLT, 2, srcs=(2, 3)),
+            branch(Opcode.EXIT, 0),
+        ]
+        program = GuestProgram(
+            name="init",
+            instructions=insts,
+            region_map={"buf": (0x100, 0x100)},
+            initial_registers={1: 0x100, 9: 0xCAFE},
+        )
+        system = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=10)
+        )
+        report = system.run()
+        assert report.exit_code == 0
+        assert system.memory.read(0x100, 8) == 0xCAFE

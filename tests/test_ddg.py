@@ -1,0 +1,136 @@
+"""Unit tests for the data dependence graph."""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import Dependence, compute_dependences
+from repro.ir.instruction import Opcode, binop, branch, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.sched.ddg import DataDependenceGraph, EdgeKind
+from repro.sched.machine import VLIW_DEFAULT
+
+
+def build_ddg(insts, **kwargs):
+    block = Superblock(instructions=list(insts))
+    analysis = AliasAnalysis(block)
+    deps = compute_dependences(block, analysis)
+    return block, DataDependenceGraph(
+        block, VLIW_DEFAULT, memory_dependences=deps, **kwargs
+    )
+
+
+def edges_of_kind(ddg, inst, kind, direction="succ"):
+    edges = ddg.successors(inst) if direction == "succ" else ddg.predecessors(inst)
+    return [e for e in edges if e.kind is kind]
+
+
+class TestRegisterEdges:
+    def test_flow_edge_with_producer_latency(self):
+        block, ddg = build_ddg([load(1, 2), binop(Opcode.ADD, 3, 1, 1)])
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.FLOW)
+        assert edge.dst is block[1]
+        assert edge.latency == 3  # load latency
+
+    def test_anti_edge_use_before_redef(self):
+        block, ddg = build_ddg([binop(Opcode.ADD, 3, 1, 2), movi(1, 0)])
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.ANTI)
+        assert edge.dst is block[1]
+        assert edge.latency == 0
+
+    def test_output_edge_between_defs(self):
+        block, ddg = build_ddg([movi(1, 0), movi(1, 1)])
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.OUTPUT)
+        assert edge.dst is block[1]
+
+    def test_no_self_edges(self):
+        block, ddg = build_ddg([binop(Opcode.ADD, 1, 1, 1)])
+        assert ddg.successors(block[0]) == []
+
+
+class TestControlEdges:
+    def test_store_pinned_below_earlier_branch(self):
+        insts = [branch(Opcode.BEQ, 9, srcs=(1, 2)), store(3, 4)]
+        block, ddg = build_ddg(insts)
+        assert edges_of_kind(ddg, block[0], EdgeKind.CONTROL)
+
+    def test_load_free_to_hoist_above_branch(self):
+        insts = [branch(Opcode.BEQ, 9, srcs=(1, 2)), load(3, 4)]
+        block, ddg = build_ddg(insts)
+        control = [
+            e for e in ddg.predecessors(block[1]) if e.kind is EdgeKind.CONTROL
+        ]
+        assert control == []
+
+    def test_final_branch_pins_everything(self):
+        insts = [movi(1, 0), load(2, 3), branch(Opcode.BR, 0)]
+        block, ddg = build_ddg(insts)
+        for inst in block.instructions[:-1]:
+            kinds = [e.kind for e in ddg.successors(inst)]
+            assert EdgeKind.CONTROL in kinds
+
+    def test_branches_stay_ordered(self):
+        insts = [
+            branch(Opcode.BEQ, 9, srcs=(1, 2)),
+            branch(Opcode.BNE, 8, srcs=(3, 4)),
+        ]
+        block, ddg = build_ddg(insts)
+        (edge,) = [
+            e for e in ddg.successors(block[0])
+            if e.kind is EdgeKind.CONTROL and e.dst is block[1]
+        ]
+        assert edge is not None
+
+
+class TestMemoryEdges:
+    def test_may_alias_edge_breakable(self):
+        block, ddg = build_ddg([store(5, 1), load(2, 6)])
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.MEMORY)
+        assert edge.speculative_breakable
+
+    def test_must_alias_edge_unbreakable(self):
+        block, ddg = build_ddg(
+            [store(5, 1, disp=0, size=8), load(2, 5, disp=0, size=8)]
+        )
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.MEMORY)
+        assert not edge.speculative_breakable
+
+    def test_store_reorder_disabled(self):
+        block, ddg = build_ddg(
+            [store(5, 1), store(6, 2)], allow_store_reorder=False
+        )
+        (edge,) = edges_of_kind(ddg, block[0], EdgeKind.MEMORY)
+        assert not edge.speculative_breakable
+
+    def test_loads_only_policy(self):
+        # store->load breakable, load->store not, store->store not
+        block, ddg = build_ddg(
+            [store(5, 1), load(2, 6), store(7, 3)],
+            speculation_policy="loads_only",
+        )
+        st1 = block.memory_ops()[0]
+        for edge in edges_of_kind(ddg, st1, EdgeKind.MEMORY):
+            assert edge.speculative_breakable == edge.dst.is_load
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            build_ddg([load(1, 2)], speculation_policy="bogus")
+
+    def test_extended_deps_not_scheduling_edges(self):
+        block = Superblock(instructions=[load(1, 5), store(6, 2)])
+        analysis = AliasAnalysis(block)
+        x, s = block.memory_ops()
+        ext = Dependence(s, x, extended=True)
+        ddg = DataDependenceGraph(block, VLIW_DEFAULT, memory_dependences=[ext])
+        assert edges_of_kind(ddg, s, EdgeKind.MEMORY) == []
+
+
+class TestGraphQueries:
+    def test_critical_path_length(self):
+        insts = [load(1, 2), binop(Opcode.ADD, 3, 1, 1), store(4, 3)]
+        block, ddg = build_ddg(insts)
+        # ld(3) -> add(1) -> st = 4 minimum
+        assert ddg.critical_path_length() >= 4
+
+    def test_edge_count(self):
+        block, ddg = build_ddg([load(1, 2), binop(Opcode.ADD, 3, 1, 1)])
+        assert ddg.edge_count() == 1

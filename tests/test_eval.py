@@ -1,0 +1,120 @@
+"""Tests for the experiment harness (small-suite smoke + shape checks)."""
+
+import pytest
+
+from repro.eval import (
+    render_fig14,
+    render_fig15,
+    render_fig16,
+    render_fig17,
+    render_fig18,
+    render_fig19,
+    render_table,
+    render_table1,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_table1,
+)
+from repro.eval.suite import SuiteConfig, SuiteRunner, geomean
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(
+        SuiteConfig(benchmarks=["swim", "ammp", "mesa"], scale=0.08,
+                    hot_threshold=15)
+    )
+
+
+class TestSuiteRunner:
+    def test_reports_cached(self, runner):
+        a = runner.report("swim", "smarq")
+        b = runner.report("swim", "smarq")
+        assert a is b
+
+    def test_speedup_positive(self, runner):
+        assert runner.speedup("swim", "smarq") > 1.0
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+
+class TestTable1:
+    def test_properties_match_paper(self):
+        result = run_table1()
+        assert result.properties["efficeon-bitmask"] == {
+            "scalable": False,
+            "false_positive": False,
+            "store_store": True,
+        }
+        assert result.properties["itanium-alat"] == {
+            "scalable": True,
+            "false_positive": True,
+            "store_store": False,
+        }
+        assert result.properties["order-based"] == {
+            "scalable": True,
+            "false_positive": False,
+            "store_store": True,
+        }
+
+    def test_render(self):
+        text = render_table1(run_table1())
+        assert "order-based" in text and "Poor" in text
+
+
+class TestFigures:
+    def test_fig14_shapes(self, runner):
+        result = run_fig14(runner)
+        assert result.mem_ops["ammp"] > result.mem_ops["swim"]
+        assert "ammp" in render_fig14(result)
+
+    def test_fig15_shapes(self, runner):
+        result = run_fig15(runner)
+        assert result.geomeans["smarq"] > 1.0
+        assert result.geomeans["smarq"] >= result.geomeans["smarq16"]
+        assert result.geomeans["smarq"] > result.geomeans["itanium"]
+        assert "GEOMEAN" in render_fig15(result)
+
+    def test_fig16_shapes(self, runner):
+        result = run_fig16(runner)
+        # mesa is the store-reorder-sensitive benchmark
+        assert result.impact["mesa"] >= result.impact["swim"] - 0.02
+        assert "mesa" in render_fig16(result)
+
+    def test_fig17_shapes(self, runner):
+        result = run_fig17(runner)
+        for bench in result.smarq:
+            assert result.smarq[bench] <= 1.0
+            assert result.lower_bound[bench] <= result.smarq[bench] + 1e-9
+        assert result.mean_reduction_vs_all > 0.3
+        assert "lower bound" in render_fig17(result)
+
+    def test_fig18_shapes(self, runner):
+        result = run_fig18(runner)
+        assert 0 < result.mean_opt_fraction < 0.5
+        assert abs(result.mean_sched_share - 0.5) < 0.01
+        assert "%" in render_fig18(result)
+
+    def test_fig19_shapes(self, runner):
+        result = run_fig19(runner)
+        assert result.mean_checks > 0
+        assert result.mean_antis >= 0
+        assert result.mean_antis < result.mean_checks
+        assert "check/memop" in render_fig19(result)
+
+
+class TestRenderTable:
+    def test_alignment_and_note(self):
+        text = render_table(
+            "T", ["a", "bb"], [[1, 2.5], ["xx", 3]], note="note here"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "note here" in text
+        assert "2.500" in text

@@ -1,0 +1,112 @@
+"""Unit-level tests for the figure modules on handcrafted report data."""
+
+import pytest
+
+from repro.eval.fig14 import run_fig14
+from repro.eval.fig17 import run_fig17
+from repro.eval.fig18 import run_fig18
+from repro.eval.fig19 import run_fig19
+from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.sim.dbt import DbtReport, RegionSnapshot
+
+
+class _FakeRunner:
+    """SuiteRunner stand-in returning canned reports."""
+
+    def __init__(self, reports):
+        self._reports = reports
+        self.config = SuiteConfig(benchmarks=list(reports))
+
+    def report(self, bench, scheme):
+        return self._reports[bench]
+
+
+def make_report(bench, snapshots, **overrides):
+    defaults = dict(
+        scheme="smarq",
+        program=bench,
+        guest_instructions=1000,
+        total_cycles=10_000,
+        interp_cycles=1_000,
+        translated_cycles=8_500,
+        optimization_cycles=500,
+        scheduling_cycles=250,
+        translations=len(snapshots),
+        reoptimizations=0,
+        alias_exceptions=0,
+        false_positive_exceptions=0,
+        side_exits=0,
+        region_commits=100,
+        exit_code=0,
+        region_stats={s.entry_pc: s for s in snapshots},
+    )
+    defaults.update(overrides)
+    return DbtReport(**defaults)
+
+
+def snapshot(pc, mem_ops=10, p_bits=4, checks=5, antis=1, ws=3, lb=2):
+    return RegionSnapshot(
+        entry_pc=pc,
+        instructions=mem_ops * 3,
+        memory_ops=mem_ops,
+        p_bit_ops=p_bits,
+        c_bit_ops=p_bits,
+        check_constraints=checks,
+        anti_constraints=antis,
+        amovs=0,
+        working_set=ws,
+        registers_allocated=p_bits,
+        loads_eliminated=0,
+        stores_eliminated=0,
+        working_set_lower_bound=lb,
+    )
+
+
+class TestFig14Units:
+    def test_averages_over_regions(self):
+        runner = _FakeRunner(
+            {"x": make_report("x", [snapshot(1, mem_ops=10), snapshot(2, mem_ops=20)])}
+        )
+        result = run_fig14(runner)
+        assert result.mem_ops["x"] == 15.0
+        assert result.superblocks["x"] == 2
+
+    def test_no_regions(self):
+        runner = _FakeRunner({"x": make_report("x", [])})
+        result = run_fig14(runner)
+        assert result.mem_ops["x"] == 0.0
+
+
+class TestFig17Units:
+    def test_normalization(self):
+        runner = _FakeRunner(
+            {"x": make_report("x", [snapshot(1, mem_ops=10, p_bits=5, ws=4, lb=3)])}
+        )
+        result = run_fig17(runner)
+        assert result.pbit_only["x"] == pytest.approx(0.5)
+        assert result.smarq["x"] == pytest.approx(0.4)
+        assert result.lower_bound["x"] == pytest.approx(0.3)
+        assert result.mean_reduction_vs_all == pytest.approx(0.6)
+
+    def test_zero_mem_ops_skipped(self):
+        runner = _FakeRunner({"x": make_report("x", [snapshot(1, mem_ops=0)])})
+        result = run_fig17(runner)
+        assert "x" not in result.smarq
+
+
+class TestFig18Units:
+    def test_fractions(self):
+        runner = _FakeRunner({"x": make_report("x", [snapshot(1)])})
+        result = run_fig18(runner)
+        assert result.opt_fraction["x"] == pytest.approx(0.05)
+        assert result.mean_sched_share == pytest.approx(0.5)
+
+
+class TestFig19Units:
+    def test_per_memop_rates(self):
+        runner = _FakeRunner(
+            {"x": make_report("x", [snapshot(1, mem_ops=10, checks=13, antis=1)])}
+        )
+        result = run_fig19(runner)
+        assert result.checks_per_memop["x"] == pytest.approx(1.3)
+        assert result.antis_per_memop["x"] == pytest.approx(0.1)

@@ -1,0 +1,59 @@
+"""Tests for eval infrastructure: region extraction and suite variants."""
+
+import pytest
+
+from repro.eval.regions import form_hot_regions
+from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.opt.pipeline import OptimizerConfig
+from repro.sim.schemes import Scheme, SmarqAdapter, make_scheme
+
+
+class TestFormHotRegions:
+    def test_regions_extracted(self):
+        program, regions = form_hot_regions("swim", scale=0.05)
+        assert regions
+        for region in regions:
+            assert region.memory_ops()
+            region.validate()
+
+    def test_phased_benchmark_yields_multiple_regions(self):
+        program, regions = form_hot_regions("applu", scale=0.05)
+        assert len(regions) >= 2
+
+    def test_program_metadata_exposed(self):
+        program, regions = form_hot_regions("swim", scale=0.05)
+        assert program.region_map
+        assert program.register_regions
+
+
+class TestSuiteVariants:
+    def test_registered_variant_used(self):
+        runner = SuiteRunner(
+            SuiteConfig(benchmarks=["art"], scale=0.05, hot_threshold=15)
+        )
+        base = make_scheme("smarq")
+        variant = Scheme(
+            "smarq-nospec-elim",
+            base.machine,
+            OptimizerConfig(speculate=True, enable_load_elimination=False,
+                            enable_store_elimination=False),
+            lambda: SmarqAdapter(base.machine.alias_registers),
+        )
+        runner.register_variant("myvariant", variant)
+        report = runner.report("art", "myvariant")
+        assert report.scheme == "smarq-nospec-elim"
+
+    def test_sweep_covers_all_cells(self):
+        runner = SuiteRunner(
+            SuiteConfig(benchmarks=["art"], scale=0.05, hot_threshold=15)
+        )
+        table = runner.sweep(["none", "smarq"])
+        assert set(table) == {"art"}
+        assert set(table["art"]) == {"none", "smarq"}
+
+    def test_unknown_scheme_key_raises(self):
+        runner = SuiteRunner(
+            SuiteConfig(benchmarks=["art"], scale=0.05, hot_threshold=15)
+        )
+        with pytest.raises(ValueError):
+            runner.report("art", "not-a-scheme")

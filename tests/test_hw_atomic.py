@@ -1,0 +1,117 @@
+"""Unit tests for atomic-region checkpoint/rollback and guest memory."""
+
+import pytest
+
+from repro.hw.atomic import AtomicRegionSupport
+from repro.sim.memory import Memory, MemoryFault
+
+
+class TestMemory:
+    def test_roundtrip_sizes(self):
+        mem = Memory(256)
+        for size in (1, 2, 4, 8):
+            mem.write(16, 0x0102030405060708, size)
+            assert mem.read(16, size) == 0x0102030405060708 & ((1 << (8 * size)) - 1)
+
+    def test_little_endian(self):
+        mem = Memory(64)
+        mem.write(0, 0x1122, 2)
+        assert mem.read_bytes(0, 2) == bytes([0x22, 0x11])
+
+    def test_value_masked_to_size(self):
+        mem = Memory(64)
+        mem.write(0, 0x1FF, 1)
+        assert mem.read(0, 1) == 0xFF
+
+    def test_out_of_bounds_read(self):
+        mem = Memory(16)
+        with pytest.raises(MemoryFault):
+            mem.read(12, 8)
+
+    def test_negative_address(self):
+        mem = Memory(16)
+        with pytest.raises(MemoryFault):
+            mem.read(-1, 1)
+
+    def test_write_bytes_roundtrip(self):
+        mem = Memory(32)
+        mem.write_bytes(4, b"abcd")
+        assert mem.read_bytes(4, 4) == b"abcd"
+
+    def test_fill(self):
+        mem = Memory(32)
+        mem.fill(8, 4, 0xAB)
+        assert mem.read_bytes(8, 4) == b"\xab" * 4
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+
+
+class TestAtomicRegion:
+    def make(self):
+        mem = Memory(256)
+        mem.write(0x10, 0xDEAD, 8)
+        return mem, AtomicRegionSupport(mem)
+
+    def test_commit_keeps_writes(self):
+        mem, atomic = self.make()
+        atomic.begin([1, 2, 3], guest_pc=5)
+        atomic.log_write(0x10, 8)
+        mem.write(0x10, 0xBEEF, 8)
+        atomic.commit()
+        assert mem.read(0x10, 8) == 0xBEEF
+        assert not atomic.active
+
+    def test_rollback_restores_memory(self):
+        mem, atomic = self.make()
+        atomic.begin([1, 2, 3], guest_pc=5)
+        atomic.log_write(0x10, 8)
+        mem.write(0x10, 0xBEEF, 8)
+        regs, pc = atomic.rollback()
+        assert mem.read(0x10, 8) == 0xDEAD
+        assert regs == [1, 2, 3]
+        assert pc == 5
+
+    def test_rollback_undoes_in_reverse_order(self):
+        mem, atomic = self.make()
+        atomic.begin([], guest_pc=0)
+        atomic.log_write(0x10, 8)
+        mem.write(0x10, 1, 8)
+        atomic.log_write(0x10, 8)
+        mem.write(0x10, 2, 8)
+        atomic.rollback()
+        assert mem.read(0x10, 8) == 0xDEAD
+
+    def test_nested_regions_rejected(self):
+        _, atomic = self.make()
+        atomic.begin([], guest_pc=0)
+        with pytest.raises(RuntimeError):
+            atomic.begin([], guest_pc=1)
+
+    def test_commit_without_begin_rejected(self):
+        _, atomic = self.make()
+        with pytest.raises(RuntimeError):
+            atomic.commit()
+
+    def test_rollback_without_begin_rejected(self):
+        _, atomic = self.make()
+        with pytest.raises(RuntimeError):
+            atomic.rollback()
+
+    def test_log_write_outside_region_ignored(self):
+        mem, atomic = self.make()
+        atomic.log_write(0x10, 8)  # no active region: silently ignored
+
+    def test_stats(self):
+        mem, atomic = self.make()
+        atomic.begin([], guest_pc=0)
+        atomic.commit()
+        atomic.begin([], guest_pc=0)
+        atomic.log_write(0x10, 8)
+        mem.write(0x10, 7, 8)
+        atomic.rollback()
+        assert atomic.stats.checkpoints == 2
+        assert atomic.stats.commits == 1
+        assert atomic.stats.rollbacks == 1
+        assert atomic.stats.undone_bytes == 8

@@ -1,0 +1,74 @@
+"""Unit tests for the Efficeon-like bit-mask alias file."""
+
+import pytest
+
+from repro.hw.efficeon import EFFICEON_MAX_REGISTERS, BitmaskAliasFile
+from repro.hw.exceptions import AliasException, AliasRegisterOverflow
+from repro.hw.ranges import AccessRange
+
+
+def rng(start, size=8):
+    return AccessRange(start, size)
+
+
+class TestBitmask:
+    def test_check_named_register_only(self):
+        hw = BitmaskAliasFile(4)
+        hw.set(0, rng(0x100))
+        hw.set(1, rng(0x200))
+        # mask names only AR1: the AR0 overlap is never examined
+        hw.check(0b10, rng(0x100))
+
+    def test_check_detects_named_overlap(self):
+        hw = BitmaskAliasFile(4)
+        hw.set(2, rng(0x300), setter_mem_index=7)
+        with pytest.raises(AliasException) as exc:
+            hw.check(0b100, rng(0x300), checker_mem_index=1)
+        assert exc.value.setter_mem_index == 7
+
+    def test_multi_register_mask(self):
+        hw = BitmaskAliasFile(4)
+        hw.set(0, rng(0x100))
+        hw.set(3, rng(0x400))
+        with pytest.raises(AliasException):
+            hw.check(0b1001, rng(0x400))
+
+    def test_scaling_cap_enforced(self):
+        """The paper's core criticism: the encoding cannot exceed 15."""
+        with pytest.raises(AliasRegisterOverflow):
+            BitmaskAliasFile(EFFICEON_MAX_REGISTERS + 1)
+
+    def test_max_registers_accepted(self):
+        hw = BitmaskAliasFile(EFFICEON_MAX_REGISTERS)
+        assert hw.num_registers == 15
+
+    def test_mask_out_of_range_rejected(self):
+        hw = BitmaskAliasFile(4)
+        with pytest.raises(AliasRegisterOverflow):
+            hw.check(1 << 4, rng(0x100))
+
+    def test_index_out_of_range_rejected(self):
+        hw = BitmaskAliasFile(4)
+        with pytest.raises(AliasRegisterOverflow):
+            hw.set(4, rng(0x100))
+
+    def test_store_store_detectable(self):
+        """Unlike ALAT, stores can set and be checked."""
+        hw = BitmaskAliasFile(4)
+        hw.set(0, AccessRange(0x100, 8, is_load=False))
+        with pytest.raises(AliasException):
+            hw.check(0b1, AccessRange(0x100, 8, is_load=False))
+
+    def test_clear(self):
+        hw = BitmaskAliasFile(4)
+        hw.set(0, rng(0x100))
+        hw.clear()
+        hw.check(0b1, rng(0x100))  # cleared: no exception
+
+    def test_stats(self):
+        hw = BitmaskAliasFile(4)
+        hw.set(0, rng(0x100))
+        hw.check(0b1, rng(0x900))
+        assert hw.stats.sets == 1
+        assert hw.stats.checks == 1
+        assert hw.stats.comparisons == 1

@@ -1,0 +1,90 @@
+"""Unit tests for the Itanium-like ALAT model."""
+
+import pytest
+
+from repro.hw.exceptions import AliasException
+from repro.hw.itanium import AlatModel
+from repro.hw.ranges import AccessRange
+
+
+def rng(start, size=8, load=False):
+    return AccessRange(start, size, is_load=load)
+
+
+class TestAlat:
+    def test_store_checks_all_entries(self):
+        alat = AlatModel()
+        alat.advanced_load(0, rng(0x100, load=True))
+        alat.advanced_load(1, rng(0x200, load=True))
+        with pytest.raises(AliasException) as exc:
+            alat.store_check(rng(0x200), checker_mem_index=5)
+        assert exc.value.setter_mem_index == 1
+
+    def test_store_disjoint_passes(self):
+        alat = AlatModel()
+        alat.advanced_load(0, rng(0x100, load=True))
+        alat.store_check(rng(0x900))
+
+    def test_false_positive_flag(self):
+        """An overlap against an entry not in required_targets is a false
+        positive — the paper's core Itanium criticism."""
+        alat = AlatModel()
+        alat.advanced_load(3, rng(0x100, load=True))
+        with pytest.raises(AliasException) as exc:
+            alat.store_check(rng(0x100), required_targets={9})
+        assert exc.value.false_positive
+        assert alat.stats.false_positives == 1
+
+    def test_required_target_not_false_positive(self):
+        alat = AlatModel()
+        alat.advanced_load(3, rng(0x100, load=True))
+        with pytest.raises(AliasException) as exc:
+            alat.store_check(rng(0x100), required_targets={3})
+        assert not exc.value.false_positive
+
+    def test_no_required_targets_means_unknown(self):
+        alat = AlatModel()
+        alat.advanced_load(3, rng(0x100, load=True))
+        with pytest.raises(AliasException) as exc:
+            alat.store_check(rng(0x100))
+        assert not exc.value.false_positive
+
+    def test_eviction_when_full(self):
+        alat = AlatModel(num_entries=2)
+        alat.advanced_load(0, rng(0x100, load=True))
+        alat.advanced_load(1, rng(0x200, load=True))
+        alat.advanced_load(2, rng(0x300, load=True))
+        assert alat.live_count == 2
+        assert not alat.check_load(0)  # oldest evicted
+        assert alat.check_load(2)
+
+    def test_check_load_removes_entry(self):
+        alat = AlatModel()
+        alat.advanced_load(4, rng(0x100, load=True))
+        assert alat.check_load(4)
+        assert alat.live_count == 0
+        assert not alat.check_load(4)
+
+    def test_invalidate(self):
+        alat = AlatModel()
+        alat.advanced_load(4, rng(0x100, load=True))
+        alat.invalidate(4)
+        alat.store_check(rng(0x100))  # entry gone: no exception
+
+    def test_clear(self):
+        alat = AlatModel()
+        alat.advanced_load(0, rng(0x100, load=True))
+        alat.clear()
+        assert alat.live_count == 0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            AlatModel(0)
+
+    def test_stats(self):
+        alat = AlatModel()
+        alat.advanced_load(0, rng(0x100, load=True))
+        alat.store_check(rng(0x900))
+        assert alat.stats.inserts == 1
+        assert alat.stats.store_checks == 1
+        assert alat.stats.comparisons == 1

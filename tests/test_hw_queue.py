@@ -1,0 +1,228 @@
+"""Unit + property tests for the order-based alias register queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.exceptions import AliasException, AliasRegisterOverflow
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+
+
+def rng(start, size=8, load=False):
+    return AccessRange(start, size, is_load=load)
+
+
+class TestAccessRange:
+    def test_overlap_identical(self):
+        assert rng(0x100).overlaps(rng(0x100))
+
+    def test_overlap_partial(self):
+        assert rng(0x100, 8).overlaps(rng(0x104, 8))
+
+    def test_disjoint_adjacent(self):
+        assert not rng(0x100, 8).overlaps(rng(0x108, 8))
+
+    def test_one_byte_boundary(self):
+        assert rng(0x100, 8).overlaps(rng(0x107, 1))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            AccessRange(0, 0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            AccessRange(-1, 4)
+
+    @given(
+        a=st.integers(0, 1 << 20),
+        asz=st.integers(1, 64),
+        b=st.integers(0, 1 << 20),
+        bsz=st.integers(1, 64),
+    )
+    def test_overlap_symmetric(self, a, asz, b, bsz):
+        x, y = AccessRange(a, asz), AccessRange(b, bsz)
+        assert x.overlaps(y) == y.overlaps(x)
+
+    @given(a=st.integers(0, 1 << 20), asz=st.integers(1, 64))
+    def test_overlap_reflexive(self, a, asz):
+        x = AccessRange(a, asz)
+        assert x.overlaps(x)
+
+
+class TestQueueBasics:
+    def test_set_then_check_overlap_raises(self):
+        q = AliasRegisterQueue(8)
+        q.set(1, rng(0x100), setter_mem_index=5)
+        with pytest.raises(AliasException) as exc:
+            q.check(0, rng(0x104), checker_mem_index=2)
+        assert exc.value.setter_mem_index == 5
+        assert exc.value.checker_mem_index == 2
+
+    def test_check_disjoint_passes(self):
+        q = AliasRegisterQueue(8)
+        q.set(1, rng(0x100))
+        q.check(0, rng(0x200))  # no exception
+
+    def test_ordered_rule_skips_earlier_registers(self):
+        """A checker at offset k only checks registers at order >= k."""
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100))
+        q.check(1, rng(0x100))  # AR0 is earlier than the checker: skipped
+
+    def test_load_set_not_checked_by_load(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100, load=True))
+        q.check(0, rng(0x100, size=8, load=True))  # load vs load: no check
+
+    def test_load_set_checked_by_store(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100, load=True))
+        with pytest.raises(AliasException):
+            q.check(0, rng(0x100))  # store checks load-set entries
+
+    def test_store_set_checked_by_load(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100, load=False))
+        with pytest.raises(AliasException):
+            q.check(0, rng(0x100, load=True))
+
+    def test_check_then_set_does_not_self_alias(self):
+        q = AliasRegisterQueue(8)
+        q.check_then_set(0, rng(0x100))  # P+C on one op: no self detection
+        assert q.entry_at_offset(0) == rng(0x100)
+
+
+class TestRotation:
+    def test_rotate_frees_earlier_entries(self):
+        q = AliasRegisterQueue(4)
+        q.set(0, rng(0x100))
+        q.rotate(1)
+        assert q.base == 1
+        assert q.entry_at_offset(0) is None
+
+    def test_entry_visible_at_new_offset_after_rotation(self):
+        q = AliasRegisterQueue(4)
+        q.set(1, rng(0x200))
+        q.rotate(1)
+        assert q.entry_at_offset(0) == rng(0x200)
+
+    def test_rotated_entry_not_checked(self):
+        q = AliasRegisterQueue(4)
+        q.set(0, rng(0x100))
+        q.rotate(1)
+        q.check(0, rng(0x100))  # entry released: no exception
+
+    def test_circular_reuse_within_capacity(self):
+        """With 2 physical registers, rotation enables arbitrarily many
+        logical registers (paper Section 3.2)."""
+        q = AliasRegisterQueue(2)
+        for i in range(10):
+            q.set(1, rng(0x1000 + 0x20 * i))
+            q.rotate(1)
+
+    def test_rotate_negative_rejected(self):
+        q = AliasRegisterQueue(4)
+        with pytest.raises(ValueError):
+            q.rotate(-1)
+
+
+class TestAmov:
+    def test_amov_moves_range(self):
+        q = AliasRegisterQueue(4)
+        q.set(0, rng(0x100))
+        q.amov(0, 2)
+        assert q.entry_at_offset(0) is None
+        assert q.entry_at_offset(2) == rng(0x100)
+
+    def test_amov_same_offset_cleans(self):
+        q = AliasRegisterQueue(4)
+        q.set(1, rng(0x100))
+        q.amov(1, 1)
+        assert q.entry_at_offset(1) is None
+
+    def test_amov_preserves_setter_identity(self):
+        q = AliasRegisterQueue(4)
+        q.set(0, rng(0x100), setter_mem_index=7)
+        q.amov(0, 1)
+        with pytest.raises(AliasException) as exc:
+            q.check(1, rng(0x100))
+        assert exc.value.setter_mem_index == 7
+
+    def test_amov_empty_source_is_noop(self):
+        q = AliasRegisterQueue(4)
+        q.amov(0, 1)
+        assert q.entry_at_offset(1) is None
+
+
+class TestOverflow:
+    def test_offset_at_capacity_rejected(self):
+        q = AliasRegisterQueue(4)
+        with pytest.raises(AliasRegisterOverflow):
+            q.set(4, rng(0x100))
+
+    def test_negative_offset_rejected(self):
+        q = AliasRegisterQueue(4)
+        with pytest.raises(AliasRegisterOverflow):
+            q.check(-1, rng(0x100))
+
+    def test_check_beyond_capacity_rejected(self):
+        q = AliasRegisterQueue(4)
+        with pytest.raises(AliasRegisterOverflow):
+            q.check(7, rng(0x100))
+
+
+class TestStatsAndReset:
+    def test_stats_count_operations(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100))
+        q.check(0, rng(0x500))
+        q.rotate(1)
+        q.amov(0, 0)
+        assert q.stats.sets == 1
+        assert q.stats.checks == 1
+        assert q.stats.rotations == 1
+        assert q.stats.amovs == 1
+
+    def test_exception_counted(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100))
+        with pytest.raises(AliasException):
+            q.check(0, rng(0x100))
+        assert q.stats.exceptions == 1
+
+    def test_clear_keeps_base(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, rng(0x100))
+        q.rotate(2)
+        q.clear()
+        assert q.base == 2
+        assert q.live_orders() == []
+
+    def test_reset_restores_base(self):
+        q = AliasRegisterQueue(8)
+        q.rotate(3)
+        q.reset()
+        assert q.base == 0
+
+
+class TestQueueProperties:
+    @given(
+        offsets=st.lists(st.integers(0, 7), min_size=1, max_size=20),
+        check_offset=st.integers(0, 7),
+    )
+    def test_disjoint_addresses_never_raise(self, offsets, check_offset):
+        """With all-disjoint ranges, no sequence of sets raises on check."""
+        q = AliasRegisterQueue(8)
+        for i, off in enumerate(offsets):
+            q.set(off, rng(0x1000 + 0x100 * i))
+        q.check(check_offset, rng(0x900000))
+
+    @given(data=st.data())
+    def test_check_at_own_order_always_sees_own_overlap(self, data):
+        """A range set at order >= checker's order is always visible."""
+        q = AliasRegisterQueue(16)
+        set_off = data.draw(st.integers(0, 15))
+        chk_off = data.draw(st.integers(0, set_off))
+        q.set(set_off, rng(0x100))
+        with pytest.raises(AliasException):
+            q.check(chk_off, rng(0x100))

@@ -1,0 +1,248 @@
+"""Unit tests for the guest interpreter."""
+
+import pytest
+
+from repro.frontend.interpreter import Interpreter, InterpreterLimit
+from repro.frontend.program import GuestProgram
+from repro.ir.instruction import Instruction, Opcode, binop, branch, fbinop, load, mov, movi, store
+from repro.sim.memory import Memory
+
+
+def run(insts, memory_size=4096, max_steps=100000, regions=None):
+    program = GuestProgram(
+        name="t", instructions=list(insts), region_map=regions or {}
+    )
+    memory = Memory(memory_size)
+    interp = Interpreter(program, memory)
+    interp.run(max_steps=max_steps)
+    return interp, memory
+
+
+class TestArithmetic:
+    def test_movi_and_add(self):
+        interp, _ = run(
+            [
+                movi(1, 7),
+                movi(2, 5),
+                binop(Opcode.ADD, 3, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 12
+
+    def test_add_immediate(self):
+        interp, _ = run(
+            [
+                movi(1, 7),
+                Instruction(Opcode.ADD, dest=2, srcs=(1,), imm=10),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[2] == 17
+
+    def test_sub_mul(self):
+        interp, _ = run(
+            [
+                movi(1, 9),
+                movi(2, 4),
+                binop(Opcode.SUB, 3, 1, 2),
+                binop(Opcode.MUL, 4, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 5
+        assert interp.registers[4] == 36
+
+    def test_wraparound_64bit(self):
+        interp, _ = run(
+            [
+                movi(1, (1 << 63) - 1),
+                Instruction(Opcode.ADD, dest=2, srcs=(1,), imm=1),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[2] == -(1 << 63)
+
+    def test_logic_and_shift(self):
+        interp, _ = run(
+            [
+                movi(1, 0b1100),
+                movi(2, 0b1010),
+                binop(Opcode.AND, 3, 1, 2),
+                binop(Opcode.OR, 4, 1, 2),
+                binop(Opcode.XOR, 5, 1, 2),
+                movi(6, 2),
+                binop(Opcode.SHL, 7, 1, 6),
+                binop(Opcode.SHR, 8, 1, 6),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 0b1000
+        assert interp.registers[4] == 0b1110
+        assert interp.registers[5] == 0b0110
+        assert interp.registers[7] == 0b110000
+        assert interp.registers[8] == 0b11
+
+    def test_cmp(self):
+        interp, _ = run(
+            [
+                movi(1, 3),
+                movi(2, 5),
+                binop(Opcode.CMP, 3, 1, 2),
+                binop(Opcode.CMP, 4, 2, 1),
+                binop(Opcode.CMP, 5, 1, 1),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == -1
+        assert interp.registers[4] == 1
+        assert interp.registers[5] == 0
+
+    def test_fma(self):
+        interp, _ = run(
+            [
+                movi(1, 3),
+                movi(2, 4),
+                movi(3, 10),
+                Instruction(Opcode.FMA, dest=3, srcs=(1, 2)),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 22
+
+    def test_fdiv_by_zero_yields_zero(self):
+        interp, _ = run(
+            [
+                movi(1, 5),
+                movi(2, 0),
+                fbinop(Opcode.FDIV, 3, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 0
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self):
+        interp, mem = run(
+            [
+                movi(1, 0x100),
+                movi(2, 0xABCD),
+                store(1, 2, disp=8),
+                load(3, 1, disp=8),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 0xABCD
+        assert mem.read(0x108, 8) == 0xABCD
+
+    def test_sized_access(self):
+        interp, mem = run(
+            [
+                movi(1, 0x100),
+                movi(2, 0x11223344),
+                store(1, 2, size=2),
+                load(3, 1, size=2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.registers[3] == 0x3344
+
+    def test_stats_count_loads_stores(self):
+        interp, _ = run(
+            [
+                movi(1, 0x100),
+                store(1, 1),
+                load(2, 1),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert interp.stats.loads == 1
+        assert interp.stats.stores == 1
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        insts = [
+            movi(1, 0),          # counter
+            movi(2, 5),          # limit
+            movi(3, 0),          # acc
+            Instruction(Opcode.ADD, dest=3, srcs=(3,), imm=2),  # pc 3: head
+            Instruction(Opcode.ADD, dest=1, srcs=(1,), imm=1),
+            branch(Opcode.BLT, 3, srcs=(1, 2)),
+            branch(Opcode.EXIT, 0),
+        ]
+        interp, _ = run(insts)
+        assert interp.registers[3] == 10
+        assert interp.stats.branches_taken == 4
+
+    def test_unconditional_branch(self):
+        insts = [
+            branch(Opcode.BR, 2),
+            movi(1, 99),  # skipped
+            branch(Opcode.EXIT, 0),
+        ]
+        interp, _ = run(insts)
+        assert interp.registers[1] == 0
+
+    def test_conditional_variants(self):
+        for op, a, b, taken in [
+            (Opcode.BEQ, 5, 5, True),
+            (Opcode.BEQ, 5, 6, False),
+            (Opcode.BNE, 5, 6, True),
+            (Opcode.BLT, 4, 5, True),
+            (Opcode.BGE, 5, 5, True),
+            (Opcode.BGE, 4, 5, False),
+        ]:
+            insts = [
+                movi(1, a),
+                movi(2, b),
+                branch(op, 4, srcs=(1, 2)),
+                movi(3, 111),  # executed only when not taken
+                branch(Opcode.EXIT, 0),
+            ]
+            interp, _ = run(insts)
+            assert (interp.registers[3] == 0) == taken, op
+
+    def test_exit_code(self):
+        program = GuestProgram(name="t", instructions=[branch(Opcode.EXIT, 7)])
+        interp = Interpreter(program, Memory(64))
+        assert interp.run() == 7
+
+    def test_step_limit(self):
+        insts = [branch(Opcode.BR, 0)]
+        program = GuestProgram(name="t", instructions=insts)
+        interp = Interpreter(program, Memory(64))
+        with pytest.raises(InterpreterLimit):
+            interp.run(max_steps=100)
+
+    def test_run_until_stops_at_pc(self):
+        insts = [
+            movi(1, 0),
+            Instruction(Opcode.ADD, dest=1, srcs=(1,), imm=1),  # pc 1
+            branch(Opcode.BLT, 1, srcs=(1, 2)),
+            branch(Opcode.EXIT, 0),
+        ]
+        program = GuestProgram(name="t", instructions=insts)
+        interp = Interpreter(program, Memory(64))
+        interp.registers[2] = 100
+        stop = interp.run_until({1}, max_steps=10)
+        assert stop == 1
+
+    def test_trace_hook_sees_every_pc(self):
+        seen = []
+        insts = [movi(1, 0), movi(2, 0), branch(Opcode.EXIT, 0)]
+        program = GuestProgram(name="t", instructions=insts)
+        interp = Interpreter(program, Memory(64))
+        interp.trace_hook = seen.append
+        interp.run()
+        assert seen == [0, 1, 2]
+
+    def test_initial_registers_applied(self):
+        program = GuestProgram(
+            name="t",
+            instructions=[branch(Opcode.EXIT, 0)],
+            initial_registers={5: 42},
+        )
+        interp = Interpreter(program, Memory(64))
+        assert interp.registers[5] == 42

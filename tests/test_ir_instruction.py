@@ -1,0 +1,143 @@
+"""Unit tests for the IR instruction layer."""
+
+import pytest
+
+from repro.ir.instruction import (
+    BRANCH_OPCODES,
+    Instruction,
+    MEMORY_OPCODES,
+    Opcode,
+    OperandError,
+    amov,
+    binop,
+    branch,
+    fbinop,
+    load,
+    mov,
+    movi,
+    nop,
+    rotate,
+    store,
+)
+
+
+class TestConstruction:
+    def test_load_builder(self):
+        inst = load(3, 1, disp=8, size=4)
+        assert inst.opcode is Opcode.LD
+        assert inst.dest == 3
+        assert inst.base == 1
+        assert inst.disp == 8
+        assert inst.size == 4
+
+    def test_store_builder(self):
+        inst = store(2, 5, disp=-4, size=8)
+        assert inst.opcode is Opcode.ST
+        assert inst.srcs == (5,)
+        assert inst.base == 2
+        assert inst.disp == -4
+
+    def test_memory_requires_base(self):
+        with pytest.raises(OperandError):
+            Instruction(Opcode.LD, dest=1)
+
+    def test_memory_requires_positive_size(self):
+        with pytest.raises(OperandError):
+            load(1, 2, size=0)
+
+    def test_rotate_rejects_negative(self):
+        with pytest.raises(OperandError):
+            Instruction(Opcode.ROTATE, rotate_by=-1)
+
+    def test_amov_requires_operands(self):
+        with pytest.raises(OperandError):
+            Instruction(Opcode.AMOV)
+
+    def test_amov_builder(self):
+        inst = amov(2, 0)
+        assert inst.amov_src == 2
+        assert inst.amov_dst == 0
+
+    def test_fbinop_rejects_integer_opcode(self):
+        with pytest.raises(OperandError):
+            fbinop(Opcode.ADD, 1, 2, 3)
+
+    def test_branch_rejects_non_branch(self):
+        with pytest.raises(OperandError):
+            branch(Opcode.ADD, 5)
+
+    def test_movi(self):
+        inst = movi(4, 1234)
+        assert inst.imm == 1234
+        assert inst.dest == 4
+
+
+class TestClassification:
+    def test_load_is_mem_and_load(self):
+        inst = load(1, 2)
+        assert inst.is_load and inst.is_mem and not inst.is_store
+
+    def test_store_is_mem_and_store(self):
+        inst = store(1, 2)
+        assert inst.is_store and inst.is_mem and not inst.is_load
+
+    def test_branch_flags(self):
+        for opcode in BRANCH_OPCODES:
+            inst = Instruction(opcode, target=0)
+            assert inst.is_branch
+
+    def test_queue_ops(self):
+        assert rotate(1).is_queue_op
+        assert amov(0, 0).is_queue_op
+        assert not nop().is_queue_op
+
+    def test_float_flag(self):
+        assert fbinop(Opcode.FMUL, 1, 2, 3).is_float
+        assert not binop(Opcode.MUL, 1, 2, 3).is_float
+
+
+class TestUsesDefs:
+    def test_load_uses_base_defines_dest(self):
+        inst = load(3, 1)
+        assert inst.defs() == (3,)
+        assert inst.uses() == (1,)
+
+    def test_store_uses_value_and_base(self):
+        inst = store(2, 5)
+        assert inst.defs() == ()
+        assert set(inst.uses()) == {2, 5}
+
+    def test_binop_uses(self):
+        inst = binop(Opcode.ADD, 1, 2, 3)
+        assert inst.defs() == (1,)
+        assert inst.uses() == (2, 3)
+
+    def test_nop_has_no_registers(self):
+        inst = nop()
+        assert inst.defs() == ()
+        assert inst.uses() == ()
+
+
+class TestIdentity:
+    def test_uids_unique(self):
+        a, b = nop(), nop()
+        assert a.uid != b.uid
+
+    def test_copy_gets_fresh_uid(self):
+        a = load(1, 2)
+        a.p_bit = True
+        a.ar_offset = 3
+        b = a.copy()
+        assert b.uid != a.uid
+        assert b.p_bit and b.ar_offset == 3
+        assert b.opcode is Opcode.LD
+
+    def test_equality_is_identity(self):
+        a = load(1, 2)
+        b = load(1, 2)
+        assert a != b
+        assert a == a
+
+    def test_hash_is_uid(self):
+        a = load(1, 2)
+        assert hash(a) == a.uid

@@ -1,0 +1,166 @@
+"""Unit tests for the list scheduler."""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import compute_dependences
+from repro.ir.instruction import Instruction, Opcode, binop, fbinop, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import (
+    AllocatorHook,
+    ListScheduler,
+    SchedulerConfig,
+)
+from repro.sched.machine import MachineModel, VLIW_DEFAULT
+
+
+def schedule(insts, config=None, hook=None, machine=None, **ddg_kwargs):
+    block = Superblock(instructions=list(insts))
+    analysis = AliasAnalysis(block)
+    deps = compute_dependences(block, analysis)
+    machine = machine or VLIW_DEFAULT
+    ddg = DataDependenceGraph(
+        block, machine, memory_dependences=deps, **ddg_kwargs
+    )
+    scheduler = ListScheduler(machine, config or SchedulerConfig(), hook)
+    return block, scheduler.schedule(ddg, alias_analysis=analysis)
+
+
+class TestOrderingCorrectness:
+    def test_flow_dependence_respected(self):
+        block, result = schedule([load(1, 2), binop(Opcode.ADD, 3, 1, 1)])
+        pos = result.position()
+        assert pos[block[0].uid] < pos[block[1].uid]
+        # load latency respected in cycles
+        assert (
+            result.cycle_of[block[1].uid] >= result.cycle_of[block[0].uid] + 3
+        )
+
+    def test_speculation_reorders_may_alias(self):
+        # store's data arrives late (fed by a load): the later load hoists
+        insts = [load(9, 8), store(5, 9), load(2, 6)]
+        block, result = schedule(insts)
+        pos = result.position()
+        st_op = block.memory_ops()[1]
+        ld_op = block.memory_ops()[2]
+        assert pos[ld_op.uid] < pos[st_op.uid]
+        assert result.speculated_pairs >= 1
+
+    def test_no_speculation_keeps_order(self):
+        block, result = schedule(
+            [store(5, 1), load(2, 6)], config=SchedulerConfig(speculate=False)
+        )
+        pos = result.position()
+        st_op, ld_op = block.memory_ops()
+        assert pos[st_op.uid] < pos[ld_op.uid]
+
+    def test_must_alias_never_reordered(self):
+        block, result = schedule(
+            [store(5, 1, disp=0, size=8), load(2, 5, disp=0, size=8)]
+        )
+        pos = result.position()
+        st_op, ld_op = block.memory_ops()
+        assert pos[st_op.uid] < pos[ld_op.uid]
+
+    def test_high_alias_rate_pair_not_reordered(self):
+        block = Superblock(instructions=[store(5, 1), load(2, 6)])
+        analysis = AliasAnalysis(block, alias_hints={(0, 1): 0.9})
+        deps = compute_dependences(block, analysis)
+        ddg = DataDependenceGraph(block, VLIW_DEFAULT, memory_dependences=deps)
+        result = ListScheduler(VLIW_DEFAULT, SchedulerConfig()).schedule(
+            ddg, alias_analysis=analysis
+        )
+        pos = result.position()
+        st_op, ld_op = block.memory_ops()
+        assert pos[st_op.uid] < pos[ld_op.uid]
+
+    def test_all_instructions_scheduled(self):
+        insts = [movi(i % 8, i) for i in range(20)]
+        block, result = schedule(insts)
+        assert len(result.linear) == 20
+
+
+class TestResources:
+    def test_memory_port_limit(self):
+        # 6 independent loads, 2 mem ports: at least 3 cycles
+        insts = [load(i, 10 + i) for i in range(6)]
+        block, result = schedule(insts)
+        cycles = {result.cycle_of[i.uid] for i in block}
+        assert len(cycles) >= 3
+
+    def test_issue_width_limit(self):
+        machine = MachineModel(issue_width=1)
+        insts = [movi(i, i) for i in range(4)]
+        block, result = schedule(insts, machine=machine)
+        cycles = [result.cycle_of[i.uid] for i in block]
+        assert sorted(cycles) == [0, 1, 2, 3]
+
+    def test_fpu_slots(self):
+        # 4 independent FP ops, 2 FPU slots: 2 cycles minimum
+        insts = [fbinop(Opcode.FADD, 10 + i, 1, 2) for i in range(4)]
+        block, result = schedule(insts)
+        cycles = {result.cycle_of[i.uid] for i in block}
+        assert len(cycles) >= 2
+
+
+class RecordingHook(AllocatorHook):
+    def __init__(self, allow=True):
+        self.scheduled = []
+        self.allow = allow
+        self.finished = None
+
+    def speculation_allowed(self, inst):
+        return self.allow
+
+    def on_scheduled(self, inst, cycle):
+        self.scheduled.append((inst, cycle))
+        return ([], [])
+
+    def on_finish(self, linear):
+        self.finished = list(linear)
+
+
+class TestHookIntegration:
+    def test_hook_called_per_instruction(self):
+        hook = RecordingHook()
+        block, result = schedule([movi(1, 0), load(2, 3)], hook=hook)
+        assert len(hook.scheduled) == 2
+        assert hook.finished == result.linear
+
+    def test_hook_denies_speculation(self):
+        hook = RecordingHook(allow=False)
+        block, result = schedule([store(5, 1), load(2, 6)], hook=hook)
+        pos = result.position()
+        st_op, ld_op = block.memory_ops()
+        # without permission, the load cannot pass the store
+        assert pos[st_op.uid] < pos[ld_op.uid]
+
+    def test_hook_splices_pseudo_ops(self):
+        from repro.ir.instruction import rotate
+
+        class Splicer(AllocatorHook):
+            def on_scheduled(self, inst, cycle):
+                if inst.is_store:
+                    return ([], [rotate(1)])
+                return ([], [])
+
+        block, result = schedule([store(5, 1)], hook=Splicer())
+        assert [i.opcode for i in result.linear] == [Opcode.ST, Opcode.ROTATE]
+
+
+class TestScheduleResult:
+    def test_length_cycles_positive(self):
+        block, result = schedule([movi(1, 0)])
+        assert result.length_cycles >= 1
+
+    def test_pseudo_ops_get_cycles(self):
+        from repro.ir.instruction import rotate
+
+        class Splicer(AllocatorHook):
+            def on_scheduled(self, inst, cycle):
+                return ([rotate(1)], [rotate(2)])
+
+        block, result = schedule([movi(1, 0)], hook=Splicer())
+        for inst in result.linear:
+            assert inst.uid in result.cycle_of

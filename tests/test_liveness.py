@@ -1,0 +1,71 @@
+"""Unit tests for the alias-register live-range lower bound."""
+
+from repro.analysis.constraints import CheckConstraint
+from repro.analysis.liveness import live_ranges, working_set_lower_bound
+from repro.ir.instruction import load, store
+
+
+def make_ops(n):
+    return [load(1, 2) for _ in range(n)]
+
+
+def pos(order):
+    return {inst.uid: i for i, inst in enumerate(order)}
+
+
+class TestLiveRanges:
+    def test_single_constraint_single_range(self):
+        target, checker = make_ops(2)
+        order = [target, checker]
+        ranges = live_ranges([CheckConstraint(checker, target)], pos(order))
+        assert ranges == [(0, 1)]
+
+    def test_multiple_checkers_merge(self):
+        target, c1, c2 = make_ops(3)
+        order = [target, c1, c2]
+        constraints = [CheckConstraint(c1, target), CheckConstraint(c2, target)]
+        ranges = live_ranges(constraints, pos(order))
+        assert ranges == [(0, 2)]
+
+    def test_no_constraints_empty(self):
+        assert live_ranges([], {}) == []
+
+
+class TestLowerBound:
+    def test_disjoint_ranges_bound_one(self):
+        t1, c1, t2, c2 = make_ops(4)
+        order = [t1, c1, t2, c2]
+        constraints = [CheckConstraint(c1, t1), CheckConstraint(c2, t2)]
+        assert working_set_lower_bound(constraints, pos(order)) == 1
+
+    def test_nested_ranges_bound_two(self):
+        t1, t2, c2, c1 = make_ops(4)
+        order = [t1, t2, c2, c1]
+        constraints = [CheckConstraint(c1, t1), CheckConstraint(c2, t2)]
+        assert working_set_lower_bound(constraints, pos(order)) == 2
+
+    def test_interleaved_ranges(self):
+        # ranges (0,2) and (1,3): both live at point 1-2
+        t1, t2, c1, c2 = make_ops(4)
+        order = [t1, t2, c1, c2]
+        constraints = [CheckConstraint(c1, t1), CheckConstraint(c2, t2)]
+        assert working_set_lower_bound(constraints, pos(order)) == 2
+
+    def test_back_to_back_ranges_not_overlapping(self):
+        # range (0,1) ends before (2,3) starts
+        t1, c1, t2, c2 = make_ops(4)
+        order = [t1, c1, t2, c2]
+        constraints = [CheckConstraint(c1, t1), CheckConstraint(c2, t2)]
+        assert working_set_lower_bound(constraints, pos(order)) == 1
+
+    def test_k_simultaneous_ranges(self):
+        targets = make_ops(5)
+        checkers = make_ops(5)
+        order = targets + checkers
+        constraints = [
+            CheckConstraint(checkers[i], targets[i]) for i in range(5)
+        ]
+        assert working_set_lower_bound(constraints, pos(order)) == 5
+
+    def test_empty(self):
+        assert working_set_lower_bound([], {}) == 0

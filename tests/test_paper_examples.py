@@ -1,0 +1,268 @@
+"""The paper's worked examples (Figures 2-12), asserted end to end.
+
+Each test reconstructs a figure's program, runs it through the real
+pipeline (analysis -> constraints -> scheduling -> allocation), and checks
+the properties the paper derives for that figure.
+"""
+
+import pytest
+
+from repro.analysis.aliasinfo import AliasAnalysis, AliasClass
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceSet,
+    compute_dependences,
+)
+from repro.hw.exceptions import AliasException
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+from repro.ir.instruction import Opcode, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.opt.load_elim import LoadElimination
+from repro.opt.store_elim import StoreElimination
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import ListScheduler, SchedulerConfig
+from repro.sched.machine import MachineModel
+from repro.smarq.allocator import SmarqAllocator
+from repro.smarq.validator import (
+    semantic_pairs_from_allocator,
+    validate_allocation,
+)
+
+MACHINE = MachineModel()
+
+
+def pipeline(block, extra_deps=(), hints=None):
+    analysis = AliasAnalysis(block, alias_hints=hints)
+    deps = DependenceSet(compute_dependences(block, analysis))
+    for dep in extra_deps:
+        deps.add(dep)
+    allocator = SmarqAllocator(MACHINE, deps, list(block.instructions))
+    ddg = DataDependenceGraph(block, MACHINE, memory_dependences=list(deps))
+    result = ListScheduler(MACHINE, SchedulerConfig(), allocator).schedule(
+        ddg, alias_analysis=analysis
+    )
+    return analysis, allocator, result
+
+
+class TestFigure2:
+    """M0 st [r0+4]; M1 ld [r1]; M2 st [r0]; M3 ld [r2] — loads hoist,
+    the stores get C bits and check the load-set registers."""
+
+    def make(self):
+        block = Superblock(name="fig2")
+        block.append(movi(10, 99))
+        # make the store data late so the schedule actually hoists loads
+        block.append(load(10, 9))
+        block.append(store(0, 10, disp=4, size=4))  # M0
+        block.append(load(3, 1, size=4))            # M1
+        block.append(store(0, 10, disp=0, size=4))  # M2
+        block.append(load(4, 2, size=4))            # M3
+        return block
+
+    def test_store_pair_disambiguated(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        m0 = block.memory_ops()[1]
+        m2 = block.memory_ops()[3]
+        assert analysis.classify(m0, m2) is AliasClass.NO
+
+    def test_loads_protected_stores_check(self):
+        block = self.make()
+        _, allocator, result = pipeline(block)
+        mem = {op.mem_index: op for op in block.memory_ops()}
+        # stores are mem ops 1 (st [r0+4]) and 3 (st [r0]); the hoisted
+        # loads get P bits and the stores get C bits
+        assert mem[1].c_bit or mem[3].c_bit
+        p_loads = [op for op in block.memory_ops() if op.is_load and op.p_bit]
+        assert p_loads
+
+    def test_hardware_replay_validates(self):
+        block = self.make()
+        _, allocator, result = pipeline(block)
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(result.linear, checks, antis, 64)
+
+
+class TestFigure4OrderedRule:
+    """Order-based detection: the hardware checks only registers at order
+    >= the checker's — replayed directly on the queue model."""
+
+    def test_earlier_register_not_checked(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, AccessRange(0x100, 4, is_load=True))   # M1's register
+        q.set(1, AccessRange(0x200, 4, is_load=True))   # M3's register
+        # a checker at offset 1 skips AR0 even when it would overlap
+        q.check(1, AccessRange(0x100, 4))
+        # but sees AR1 overlaps
+        with pytest.raises(AliasException):
+            q.check(1, AccessRange(0x202, 4))
+
+    def test_loads_skip_load_set_registers(self):
+        q = AliasRegisterQueue(8)
+        q.set(0, AccessRange(0x100, 4, is_load=True))
+        q.check(0, AccessRange(0x100, 4, is_load=True))  # ld vs ld: silent
+
+
+class TestFigure5And8LoadElimination:
+    """ld [r0+4] forwarded to a later ld [r0+4] across st [r1]: the store
+    must check the forwarding source without any reordering."""
+
+    def make(self):
+        block = Superblock(name="fig5")
+        block.append(load(2, 0, disp=4, size=4))   # M1: source
+        block.append(store(1, 9, disp=0, size=4))  # M2: may-alias barrier
+        block.append(load(4, 0, disp=4, size=4))   # M3: eliminated
+        return block
+
+    def test_elimination_replaces_load_with_mov(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        result = LoadElimination().run(block, analysis)
+        assert result.eliminated == 1
+        opcodes = [i.opcode for i in block.instructions]
+        assert opcodes == [Opcode.LD, Opcode.ST, Opcode.MOV]
+
+    def test_extended_dep_targets_source(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        result = LoadElimination().run(block, analysis)
+        (dep,) = result.extended_deps
+        assert dep.src.is_store and dep.dst.is_load
+        assert dep.extended
+
+    def test_check_constraint_without_reordering(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        elim = LoadElimination().run(block, analysis)
+        _, allocator, result = pipeline(block, extra_deps=elim.extended_deps)
+        source = block.memory_ops()[0]
+        barrier = block.memory_ops()[1]
+        assert source.p_bit and barrier.c_bit
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        assert any(c is barrier and t is source for c, t in checks)
+        validate_allocation(result.linear, checks, antis, 64)
+
+    def test_runtime_alias_detected_by_queue(self):
+        """If the barrier store really writes [r0+4], the queue raises."""
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        elim = LoadElimination().run(block, analysis)
+        _, allocator, result = pipeline(block, extra_deps=elim.extended_deps)
+        q = AliasRegisterQueue(64)
+        source = block.memory_ops()[0]
+        barrier = block.memory_ops()[1]
+        with pytest.raises(AliasException):
+            for inst in result.linear:
+                if inst.opcode is Opcode.ROTATE:
+                    q.rotate(inst.rotate_by)
+                elif inst is source:
+                    q.set(inst.ar_offset, AccessRange(0x104, 4, True), 0)
+                elif inst is barrier and inst.c_bit:
+                    q.check(inst.ar_offset, AccessRange(0x104, 4), 1)
+
+
+class TestFigure9StoreElimination:
+    """st [r4] overwritten by a later st [r4]: the earlier store dies; the
+    overwriting store must check intervening may-alias loads."""
+
+    def make(self):
+        block = Superblock(name="fig9")
+        block.append(store(4, 9, disp=0, size=4))  # X: eliminated
+        block.append(load(1, 0, disp=4, size=4))   # Y: may observe X
+        block.append(store(4, 8, disp=0, size=4))  # Z: overwrites
+        return block
+
+    def test_store_removed(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        result = StoreElimination().run(block, analysis)
+        assert result.eliminated == 1
+        stores = [i for i in block.instructions if i.is_store]
+        assert len(stores) == 1
+
+    def test_overwriter_checks_intervening_load(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        elim = StoreElimination().run(block, analysis)
+        (dep,) = elim.extended_deps
+        assert dep.src.is_store and dep.dst.is_load
+
+    def test_full_pipeline_validates(self):
+        block = self.make()
+        analysis = AliasAnalysis(block)
+        elim = StoreElimination().run(block, analysis)
+        block.renumber_memory_ops()
+        _, allocator, result = pipeline(block, extra_deps=elim.extended_deps)
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(result.linear, checks, antis, 64)
+
+
+class TestFigure6PCBitSelectivity:
+    """P/C bits avoid unnecessary detection: operations without
+    constraints touch no alias registers at all (the energy argument of
+    Sections 2.4 and 3.1)."""
+
+    def test_unconstrained_ops_perform_no_hardware_work(self):
+        from repro.hw.queue_model import AliasRegisterQueue
+        from repro.hw.ranges import AccessRange
+
+        block = Superblock(name="fig6")
+        block.append(movi(5, 0x1000))
+        block.append(movi(6, 0x2000))
+        # provably disjoint accesses: compiler disambiguates everything
+        block.append(store(5, 9, disp=0, size=4))
+        block.append(load(1, 6, disp=0, size=4))
+        _, allocator, result = pipeline(block)
+        assert allocator.stats.check_constraints == 0
+        queue = AliasRegisterQueue(8)
+        for inst in result.linear:
+            if inst.is_mem and (inst.p_bit or inst.c_bit):
+                pytest.fail("disambiguated op received P/C bits")
+        assert queue.stats.sets == 0 and queue.stats.checks == 0
+
+    def test_constrained_subset_only(self):
+        """Only the genuinely MAY-alias pair gets hardware traffic; a
+        load the analysis places in a different region than the store
+        carries no P bit even when reordered."""
+        block = Superblock(name="fig6b")
+        block.append(load(9, 8))           # slow store data
+        block.append(store(7, 9))          # region A, offset unknown
+        block.append(load(1, 5, disp=0))   # region B: disambiguated
+        block.append(load(2, 6))           # unknown region: must speculate
+        analysis = AliasAnalysis(
+            block, initial_regions={7: "A", 5: "B"}
+        )
+        deps = DependenceSet(compute_dependences(block, analysis))
+        allocator = SmarqAllocator(MACHINE, deps, list(block.instructions))
+        ddg = DataDependenceGraph(block, MACHINE, memory_dependences=list(deps))
+        result = ListScheduler(MACHINE, SchedulerConfig(), allocator).schedule(
+            ddg, alias_analysis=analysis
+        )
+        mem = block.memory_ops()
+        known_load = mem[2]
+        unknown_load = mem[3]
+        assert not known_load.p_bit  # provably disjoint from the store
+        if result.position()[unknown_load.uid] < result.position()[mem[1].uid]:
+            assert unknown_load.p_bit
+
+
+class TestFigure7Rotation:
+    """Rotation lets 2 physical registers run code needing 3 logical ones
+    (paper Section 3.2: max offset + 1 == minimum register count)."""
+
+    def test_offset_window_smaller_than_order_span(self):
+        block = Superblock(name="fig7")
+        block.append(load(9, 8))             # slow data for the stores
+        block.append(store(20, 9))           # barrier 1
+        block.append(load(1, 10))
+        block.append(store(21, 9))           # barrier 2
+        block.append(load(2, 11))
+        block.append(load(3, 12))
+        _, allocator, result = pipeline(block)
+        if allocator.stats.registers_allocated > 1:
+            assert allocator.stats.working_set < (
+                allocator.stats.registers_allocated + 1
+            )
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(result.linear, checks, antis, 64)

@@ -1,0 +1,73 @@
+"""Unit tests for IR text rendering."""
+
+from repro.ir.instruction import Instruction, Opcode, amov, binop, branch, load, mov, movi, nop, rotate, store
+from repro.ir.printer import format_annotated, format_instruction, format_superblock
+from repro.ir.superblock import Superblock
+
+
+class TestFormatInstruction:
+    def test_load(self):
+        assert format_instruction(load(3, 1, disp=8, size=4)) == "r3 = ld4 [r1+8]"
+
+    def test_load_negative_disp(self):
+        assert format_instruction(load(3, 1, disp=-8)) == "r3 = ld8 [r1-8]"
+
+    def test_load_zero_disp(self):
+        assert format_instruction(load(3, 1)) == "r3 = ld8 [r1]"
+
+    def test_store(self):
+        assert format_instruction(store(1, 5, disp=4, size=8)) == "st8 [r1+4] = r5"
+
+    def test_movi(self):
+        assert format_instruction(movi(2, 7)) == "r2 = 7"
+
+    def test_mov(self):
+        assert format_instruction(mov(2, 3)) == "r2 = r3"
+
+    def test_binop(self):
+        assert format_instruction(binop(Opcode.ADD, 1, 2, 3)) == "r1 = add r2, r3"
+
+    def test_rotate(self):
+        assert format_instruction(rotate(2)) == "rotate 2"
+
+    def test_amov(self):
+        assert format_instruction(amov(2, 0)) == "amov 2, 0"
+
+    def test_nop(self):
+        assert format_instruction(nop()) == "nop"
+
+    def test_branch(self):
+        text = format_instruction(branch(Opcode.BEQ, 0x40, srcs=(1, 2)))
+        assert "beq" in text and "0x40" in text
+
+    def test_exit(self):
+        assert format_instruction(branch(Opcode.EXIT, 3)) == "exit 3"
+
+
+class TestAnnotated:
+    def test_pc_bits_rendered(self):
+        inst = load(1, 2)
+        inst.p_bit = True
+        inst.ar_offset = 3
+        text = format_annotated(inst)
+        assert text.rstrip().endswith("3  P")
+
+    def test_both_bits(self):
+        inst = store(1, 2)
+        inst.p_bit = inst.c_bit = True
+        inst.ar_offset = 0
+        assert "PC" in format_annotated(inst)
+
+    def test_no_bits_dash(self):
+        inst = load(1, 2)
+        assert format_annotated(inst).rstrip().endswith("-")
+
+    def test_superblock_listing(self):
+        block = Superblock(name="x")
+        block.append(movi(1, 5))
+        block.append(load(2, 1))
+        text = format_superblock(block, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "; demo"
+        assert lines[1].startswith("  0:")
+        assert "ld8" in lines[2]

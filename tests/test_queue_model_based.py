@@ -1,0 +1,127 @@
+"""Model-based property test of the alias register queue.
+
+A hypothesis state machine drives the real
+:class:`~repro.hw.queue_model.AliasRegisterQueue` and a deliberately
+naive oracle (a dict of order -> range, with the ORDERED-ALIAS-DETECTION
+rule evaluated by brute force) through random set / check / rotate / amov
+sequences, asserting they always agree on what is detected.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hw.exceptions import AliasException
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+
+NUM_REGISTERS = 8
+
+
+class _Oracle:
+    """Brute-force reference semantics of the ordered queue."""
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.entries = {}  # order -> AccessRange
+
+    def set(self, offset, access):
+        self.entries[self.base + offset] = access
+
+    def check_hits(self, offset, access):
+        own = self.base + offset
+        hits = []
+        for order in sorted(self.entries):
+            if order < own:
+                continue
+            entry = self.entries[order]
+            if access.is_load and entry.is_load:
+                continue
+            if entry.overlaps(access):
+                hits.append(order)
+        return hits
+
+    def rotate(self, amount):
+        self.base += amount
+        self.entries = {
+            order: entry
+            for order, entry in self.entries.items()
+            if order >= self.base
+        }
+
+    def amov(self, src, dst):
+        entry = self.entries.pop(self.base + src, None)
+        if entry is not None and src != dst:
+            self.entries[self.base + dst] = entry
+
+
+class QueueMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.queue = AliasRegisterQueue(NUM_REGISTERS)
+        self.oracle = _Oracle()
+
+    @rule(
+        offset=st.integers(0, NUM_REGISTERS - 1),
+        start=st.integers(0, 64),
+        size=st.integers(1, 16),
+        is_load=st.booleans(),
+    )
+    def set_entry(self, offset, start, size, is_load):
+        access = AccessRange(0x1000 + start * 4, size, is_load)
+        self.queue.set(offset, access)
+        self.oracle.set(offset, access)
+
+    @rule(
+        offset=st.integers(0, NUM_REGISTERS - 1),
+        start=st.integers(0, 64),
+        size=st.integers(1, 16),
+        is_load=st.booleans(),
+    )
+    def check_entry(self, offset, start, size, is_load):
+        access = AccessRange(0x1000 + start * 4, size, is_load)
+        expected = self.oracle.check_hits(offset, access)
+        if expected:
+            with pytest.raises(AliasException):
+                self.queue.check(offset, access)
+        else:
+            self.queue.check(offset, access)
+
+    @rule(amount=st.integers(0, 3))
+    def rotate(self, amount):
+        self.queue.rotate(amount)
+        self.oracle.rotate(amount)
+
+    @rule(
+        src=st.integers(0, NUM_REGISTERS - 1),
+        dst=st.integers(0, NUM_REGISTERS - 1),
+    )
+    def amov(self, src, dst):
+        self.queue.amov(src, dst)
+        self.oracle.amov(src, dst)
+
+    @invariant()
+    def same_live_set(self):
+        if not hasattr(self, "queue"):
+            return
+        assert self.queue.base == self.oracle.base
+        assert self.queue.live_orders() == sorted(self.oracle.entries)
+        for order in self.oracle.entries:
+            offset = order - self.queue.base
+            if 0 <= offset < NUM_REGISTERS:
+                assert (
+                    self.queue.entry_at_offset(offset)
+                    == self.oracle.entries[order]
+                )
+
+
+TestQueueModelBased = QueueMachine.TestCase
+TestQueueModelBased.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,117 @@
+"""Unit tests for hotness profiling and superblock formation."""
+
+import pytest
+
+from repro.frontend.interpreter import Interpreter
+from repro.frontend.profiler import HotnessProfiler, ProfilerConfig
+from repro.frontend.program import GuestProgram
+from repro.frontend.region import RegionFormationConfig, RegionFormer
+from repro.ir.instruction import Instruction, Opcode, branch, load, movi, store
+from repro.sim.memory import Memory
+
+
+def loop_program(iterations=100):
+    """movi/loop/exit program with one conditional back edge."""
+    insts = [
+        movi(1, 0),                                         # 0
+        movi(2, iterations),                                # 1
+        movi(3, 0x100),                                     # 2
+        load(4, 3),                                         # 3: loop head
+        Instruction(Opcode.ADD, dest=4, srcs=(4,), imm=1),  # 4
+        store(3, 4),                                        # 5
+        Instruction(Opcode.ADD, dest=1, srcs=(1,), imm=1),  # 6
+        branch(Opcode.BLT, 3, srcs=(1, 2)),                 # 7
+        branch(Opcode.EXIT, 0),                             # 8
+    ]
+    return GuestProgram(name="loop", instructions=insts)
+
+
+def run_profiled(program, max_steps=100000):
+    profiler = HotnessProfiler(program, ProfilerConfig(hot_threshold=10))
+    interp = Interpreter(program, Memory(4096))
+    interp.trace_hook = profiler.observe
+    interp.run(max_steps=max_steps)
+    return profiler
+
+
+class TestProfiler:
+    def test_block_heads_identified(self):
+        program = loop_program()
+        heads = program.block_heads()
+        assert 0 in heads   # entry
+        assert 3 in heads   # branch target
+        assert 8 in heads   # fall-through after branch
+
+    def test_loop_head_becomes_hot(self):
+        program = loop_program(50)
+        profiler = run_profiled(program)
+        assert profiler.is_hot(3)
+        assert 3 in profiler.hot_heads()
+
+    def test_cold_exit_block(self):
+        program = loop_program(50)
+        profiler = run_profiled(program)
+        assert profiler.is_cold(8)
+
+    def test_edge_counts_track_taken_branches(self):
+        program = loop_program(50)
+        profiler = run_profiled(program)
+        assert profiler.taken_count(7, 3) == 49
+
+    def test_prefer_taken_on_loop_branch(self):
+        program = loop_program(50)
+        profiler = run_profiled(program)
+        assert profiler.prefer_taken(7, 3)
+
+
+class TestRegionFormer:
+    def form(self, program, head=3):
+        profiler = run_profiled(program)
+        former = RegionFormer(program, profiler)
+        return former.form(head)
+
+    def test_loop_region_covers_body(self):
+        program = loop_program(50)
+        region = self.form(program)
+        assert region.entry_pc == 3
+        assert len(region.memory_ops()) == 2
+
+    def test_taken_backedge_inverted_to_side_exit(self):
+        """The loop branch is inverted: fall-through continues the loop,
+        the inverted condition exits."""
+        program = loop_program(50)
+        region = self.form(program)
+        branches = [i for i in region if i.is_branch]
+        # inverted BLT -> BGE side exit + closing BR
+        assert branches[0].opcode is Opcode.BGE
+        assert branches[0].target == 8
+        assert branches[-1].opcode is Opcode.BR
+        assert branches[-1].target == 3
+
+    def test_region_instructions_are_copies(self):
+        program = loop_program(50)
+        region = self.form(program)
+        originals = {i.uid for i in program.instructions}
+        assert all(i.uid not in originals for i in region)
+
+    def test_mem_indices_renumbered(self):
+        program = loop_program(50)
+        region = self.form(program)
+        assert [op.mem_index for op in region.memory_ops()] == [0, 1]
+
+    def test_max_instructions_cap(self):
+        insts = [movi(1, 0)] * 50 + [branch(Opcode.EXIT, 0)]
+        program = GuestProgram(name="big", instructions=list(insts))
+        profiler = HotnessProfiler(program)
+        former = RegionFormer(
+            program, profiler, RegionFormationConfig(max_instructions=10)
+        )
+        region = former.form(0)
+        assert len(region) <= 12  # cap + closing branch slack
+
+    def test_exit_terminates_region(self):
+        insts = [movi(1, 0), branch(Opcode.EXIT, 0)]
+        program = GuestProgram(name="tiny", instructions=insts)
+        profiler = HotnessProfiler(program)
+        region = RegionFormer(program, profiler).form(0)
+        assert region[-1].opcode is Opcode.EXIT

@@ -1,0 +1,44 @@
+"""Tests for the one-call reproduction summary."""
+
+import pytest
+
+from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.eval.summary import headline, run_all
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(
+        SuiteConfig(benchmarks=["swim", "ammp"], scale=0.05, hot_threshold=12)
+    )
+
+
+class TestRunAll:
+    def test_every_section_present(self, runner):
+        report = run_all(runner)
+        for marker in (
+            "Table 1",
+            "Figure 14",
+            "Figure 15",
+            "Figure 16",
+            "Figure 17",
+            "Figure 18",
+            "Figure 19",
+        ):
+            assert marker in report
+
+    def test_benchmarks_listed(self, runner):
+        report = run_all(runner)
+        assert "swim" in report and "ammp" in report
+
+
+class TestHeadline:
+    def test_headline_shapes(self, runner):
+        h = headline(runner)
+        assert h.smarq_speedup > 1.0
+        assert h.smarq16_gap >= 0.0
+        assert h.itanium_gap > 0.0
+        assert 0.0 < h.working_set_reduction < 1.0
+        assert h.checks_per_memop > 0
+        assert h.antis_per_memop >= 0
+        assert h.antis_per_memop < h.checks_per_memop

@@ -1,0 +1,83 @@
+"""Unit tests for superblocks."""
+
+import pytest
+
+from repro.ir.instruction import Opcode, branch, load, movi, store
+from repro.ir.superblock import Superblock
+
+
+def make_block():
+    block = Superblock(entry_pc=0x40, name="t")
+    block.append(movi(1, 7))
+    block.append(store(1, 1))
+    block.append(load(2, 1))
+    block.append(branch(Opcode.BR, 0x40))
+    return block
+
+
+class TestNumbering:
+    def test_mem_index_assigned_in_order(self):
+        block = make_block()
+        indices = [i.mem_index for i in block.memory_ops()]
+        assert indices == [0, 1]
+
+    def test_non_memory_unnumbered(self):
+        block = make_block()
+        assert block[0].mem_index is None
+
+    def test_renumber_after_mutation(self):
+        block = make_block()
+        block.instructions.insert(1, load(3, 1))
+        block.renumber_memory_ops()
+        assert [i.mem_index for i in block.memory_ops()] == [0, 1, 2]
+
+    def test_program_order_view_sorts_by_index(self):
+        block = make_block()
+        # simulate a schedule that reversed the two memory ops
+        ops = block.memory_ops()
+        block.instructions = [block[0], ops[1], ops[0], block[3]]
+        in_order = block.memory_ops_in_program_order()
+        assert [i.mem_index for i in in_order] == [0, 1]
+
+
+class TestStructure:
+    def test_len_and_iter(self):
+        block = make_block()
+        assert len(block) == 4
+        assert list(block) == block.instructions
+
+    def test_position_of(self):
+        block = make_block()
+        assert block.position_of(block[2]) == 2
+
+    def test_position_of_missing_raises(self):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.position_of(load(9, 9))
+
+    def test_side_exits_exclude_terminator(self):
+        block = Superblock()
+        block.append(branch(Opcode.BEQ, 5, srcs=(1, 2)))
+        block.append(movi(1, 0))
+        block.append(branch(Opcode.BR, 0))
+        assert len(block.side_exits()) == 1
+
+    def test_copy_preserves_mem_indices_fresh_uids(self):
+        block = make_block()
+        clone = block.copy()
+        assert [i.mem_index for i in clone.memory_ops()] == [0, 1]
+        assert all(
+            c.uid != o.uid for c, o in zip(clone.instructions, block.instructions)
+        )
+
+    def test_validate_rejects_duplicate_mem_index(self):
+        block = make_block()
+        block.memory_ops()[1].mem_index = 0
+        with pytest.raises(ValueError):
+            block.validate()
+
+    def test_validate_rejects_unnumbered(self):
+        block = make_block()
+        block.memory_ops()[0].mem_index = None
+        with pytest.raises(ValueError):
+            block.validate()

@@ -1,0 +1,108 @@
+"""Negative tests: the validator must catch broken allocations."""
+
+import pytest
+
+from repro.ir.instruction import load, rotate, store
+from repro.smarq.validator import ValidationError, validate_allocation
+
+
+def annotated_pair():
+    """A correct (target, checker) pair: load sets AR0, store checks it."""
+    target = load(1, 5)
+    target.mem_index = 1
+    target.p_bit = True
+    target.ar_offset = 0
+    checker = store(6, 2)
+    checker.mem_index = 0
+    checker.c_bit = True
+    checker.ar_offset = 0
+    return target, checker
+
+
+class TestValidatorAcceptsCorrect:
+    def test_valid_allocation_passes(self):
+        target, checker = annotated_pair()
+        validate_allocation(
+            [target, checker], [(checker, target)], [], num_registers=8
+        )
+
+
+class TestValidatorCatchesBroken:
+    def test_checker_offset_too_high_missed_detection(self):
+        """If the checker's offset is later than the target's register, the
+        hardware rule never fires — the validator must flag it."""
+        target, checker = annotated_pair()
+        checker.ar_offset = 1  # later than target's AR0: check misses
+        with pytest.raises(ValidationError, match="MISSED DETECTION"):
+            validate_allocation(
+                [target, checker], [(checker, target)], [], num_registers=8
+            )
+
+    def test_missing_p_bit_missed_detection(self):
+        target, checker = annotated_pair()
+        target.p_bit = False
+        target.ar_offset = None
+        with pytest.raises(ValidationError, match="MISSED DETECTION"):
+            validate_allocation(
+                [target, checker], [(checker, target)], [], num_registers=8
+            )
+
+    def test_checker_scheduled_before_target_rejected(self):
+        target, checker = annotated_pair()
+        with pytest.raises(ValidationError, match="scheduled before"):
+            validate_allocation(
+                [checker, target], [(checker, target)], [], num_registers=8
+            )
+
+    def test_false_positive_detected(self):
+        """An anti-constrained pair that the hardware would check is a
+        false-positive hazard the validator must flag."""
+        protected = load(1, 5)
+        protected.mem_index = 0
+        protected.p_bit = True
+        protected.ar_offset = 0
+        checker = store(6, 2)
+        checker.mem_index = 1
+        checker.c_bit = True
+        checker.ar_offset = 0  # same order: hardware WILL check it
+        with pytest.raises(ValidationError, match="FALSE POSITIVE"):
+            validate_allocation(
+                [protected, checker],
+                [],
+                [(protected, checker)],
+                num_registers=8,
+            )
+
+    def test_anti_satisfied_by_strict_order(self):
+        protected = load(1, 5)
+        protected.mem_index = 0
+        protected.p_bit = True
+        protected.ar_offset = 0
+        checker = store(6, 2)
+        checker.mem_index = 1
+        checker.c_bit = True
+        checker.ar_offset = 1  # strictly later: never checks AR0
+        validate_allocation(
+            [protected, checker], [], [(protected, checker)], num_registers=8
+        )
+
+    def test_premature_rotation_missed_detection(self):
+        """Rotating the target's register away before the checker runs
+        loses the detection."""
+        target, checker = annotated_pair()
+        checker.ar_offset = 0
+        with pytest.raises(ValidationError, match="MISSED DETECTION"):
+            validate_allocation(
+                [target, rotate(1), checker],
+                [(checker, target)],
+                [],
+                num_registers=8,
+            )
+
+    def test_pc_bits_without_offset_rejected(self):
+        target, checker = annotated_pair()
+        target.ar_offset = None
+        with pytest.raises(ValidationError):
+            validate_allocation(
+                [target, checker], [(checker, target)], [], num_registers=8
+            )

@@ -1,0 +1,71 @@
+"""Tests for schedule visualization and report export."""
+
+import json
+
+from repro.frontend.profiler import ProfilerConfig
+from repro.ir.instruction import load, movi, store
+from repro.ir.superblock import Superblock
+from repro.opt.pipeline import OptimizationPipeline
+from repro.sched.machine import MachineModel
+from repro.sim.dbt import DbtSystem
+from repro.sim.visualize import render_bundles, render_region_summary
+from repro.workloads import make_benchmark
+
+
+def optimized_region():
+    block = Superblock(entry_pc=9)
+    block.append(movi(1, 0x100))
+    block.append(load(9, 8))
+    block.append(store(1, 9))
+    block.append(load(2, 6))
+    return OptimizationPipeline(MachineModel()).optimize(block)
+
+
+class TestRenderBundles:
+    def test_rows_per_cycle(self):
+        region = optimized_region()
+        text = render_bundles(
+            region.schedule.linear, region.schedule.cycle_of
+        )
+        assert text.startswith("cycle   0:")
+        assert text.count("cycle") == len(
+            {region.schedule.cycle_of[i.uid] for i in region.schedule.linear}
+        )
+
+    def test_annotations_shown(self):
+        region = optimized_region()
+        text = render_bundles(
+            region.schedule.linear, region.schedule.cycle_of
+        )
+        if any(i.p_bit for i in region.schedule.linear):
+            assert "[P" in text or " P " in text or "P @" in text or "[P @" in text
+
+    def test_max_cycles_truncates(self):
+        region = optimized_region()
+        text = render_bundles(
+            region.schedule.linear, region.schedule.cycle_of, max_cycles=1
+        )
+        assert "more cycles" in text
+
+
+class TestRegionSummary:
+    def test_summary_fields(self):
+        region = optimized_region()
+        text = render_region_summary(region)
+        assert "memory ops" in text
+        assert "constraints" in text
+
+
+class TestReportExport:
+    def test_to_dict_is_json_serializable(self):
+        program = make_benchmark("art", scale=0.05)
+        report = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=15)
+        ).run()
+        payload = json.dumps(report.to_dict())
+        decoded = json.loads(payload)
+        assert decoded["scheme"] == "smarq"
+        assert decoded["total_cycles"] == report.total_cycles
+        assert decoded["regions"]
+        first = next(iter(decoded["regions"].values()))
+        assert "working_set" in first

@@ -1,0 +1,168 @@
+"""Edge-case tests for the VLIW simulator's functional execution."""
+
+import pytest
+
+from repro.ir.instruction import Instruction, Opcode, binop, branch, fbinop, load, mov, movi, store
+from repro.ir.superblock import Superblock
+from repro.opt.pipeline import OptimizationPipeline, OptimizerConfig
+from repro.sched.machine import MachineModel
+from repro.sim.memory import Memory
+from repro.sim.schemes import SmarqAdapter
+from repro.sim.vliw import VliwSimulator
+
+MACHINE = MachineModel()
+
+
+def run_region(insts, registers=None, memory=None):
+    block = Superblock(entry_pc=0, instructions=list(insts))
+    region = OptimizationPipeline(MACHINE).optimize(block)
+    memory = memory or Memory(4096)
+    regs = registers if registers is not None else [0] * 64
+    sim = VliwSimulator(MACHINE, memory)
+    outcome = sim.execute_region(region, SmarqAdapter(64), regs)
+    return outcome, regs, memory
+
+
+class TestAluSemantics:
+    def test_mov_and_logic(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 0b1100),
+                movi(2, 0b1010),
+                mov(3, 1),
+                binop(Opcode.AND, 4, 1, 2),
+                binop(Opcode.OR, 5, 1, 2),
+                binop(Opcode.XOR, 6, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert regs[3] == 0b1100
+        assert regs[4] == 0b1000
+        assert regs[5] == 0b1110
+        assert regs[6] == 0b0110
+
+    def test_shifts(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 5),
+                movi(2, 2),
+                binop(Opcode.SHL, 3, 1, 2),
+                binop(Opcode.SHR, 4, 3, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert regs[3] == 20
+        assert regs[4] == 5
+
+    def test_cmp(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 7),
+                movi(2, 9),
+                binop(Opcode.CMP, 3, 1, 2),
+                binop(Opcode.CMP, 4, 2, 1),
+                binop(Opcode.CMP, 5, 1, 1),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert (regs[3], regs[4], regs[5]) == (-1, 1, 0)
+
+    def test_fp_family(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 6),
+                movi(2, 3),
+                fbinop(Opcode.FADD, 3, 1, 2),
+                fbinop(Opcode.FSUB, 4, 1, 2),
+                fbinop(Opcode.FMUL, 5, 1, 2),
+                fbinop(Opcode.FDIV, 6, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert (regs[3], regs[4], regs[5], regs[6]) == (9, 3, 18, 2)
+
+    def test_fdiv_by_zero(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 6),
+                movi(2, 0),
+                fbinop(Opcode.FDIV, 3, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert regs[3] == 0
+
+    def test_fma_accumulates(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, 3),
+                movi(2, 4),
+                movi(3, 100),
+                Instruction(Opcode.FMA, dest=3, srcs=(1, 2)),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert regs[3] == 112
+
+    def test_wrap_to_signed_64(self):
+        outcome, regs, _ = run_region(
+            [
+                movi(1, (1 << 63) - 1),
+                movi(2, 1),
+                binop(Opcode.ADD, 3, 1, 2),
+                branch(Opcode.EXIT, 0),
+            ]
+        )
+        assert regs[3] == -(1 << 63)
+
+    def test_matches_interpreter_semantics(self):
+        """The same ALU program yields identical registers both ways."""
+        from repro.frontend.interpreter import Interpreter
+        from repro.frontend.program import GuestProgram
+
+        insts = [
+            movi(1, 123),
+            movi(2, 45),
+            binop(Opcode.MUL, 3, 1, 2),
+            binop(Opcode.SUB, 4, 3, 1),
+            fbinop(Opcode.FADD, 5, 4, 2),
+            binop(Opcode.SHR, 6, 5, 2),
+            branch(Opcode.EXIT, 0),
+        ]
+        program = GuestProgram(
+            name="t", instructions=[i.copy() for i in insts]
+        )
+        interp = Interpreter(program, Memory(64))
+        interp.run()
+        outcome, regs, _ = run_region(insts)
+        assert regs[:8] == interp.registers[:8]
+
+
+class TestRegionShape:
+    def test_fall_off_end_computes_next_pc(self):
+        block = Superblock(entry_pc=0)
+        inst = movi(1, 5)
+        inst.guest_pc = 7
+        block.append(inst)
+        region = OptimizationPipeline(MACHINE).optimize(block)
+        sim = VliwSimulator(MACHINE, Memory(256))
+        outcome = sim.execute_region(region, SmarqAdapter(64), [0] * 64)
+        assert outcome.status == "commit"
+        assert outcome.next_pc == 8
+
+    def test_scratch_registers_not_committed(self):
+        """Host scratch registers (>= 64) stay private to the region."""
+        outcome, regs, _ = run_region([movi(1, 5), branch(Opcode.EXIT, 0)])
+        assert len(regs) == 64
+
+    def test_stats_accumulate_across_regions(self):
+        memory = Memory(4096)
+        sim = VliwSimulator(MACHINE, memory)
+        block = Superblock(entry_pc=0)
+        block.append(movi(1, 5))
+        block.append(branch(Opcode.EXIT, 0))
+        region = OptimizationPipeline(MACHINE).optimize(block)
+        sim.execute_region(region, SmarqAdapter(64), [0] * 64)
+        sim.execute_region(region, SmarqAdapter(64), [0] * 64)
+        assert sim.stats.regions_executed == 2
+        assert sim.stats.commits == 2
