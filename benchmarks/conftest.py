@@ -1,16 +1,26 @@
 """Shared fixtures for the experiment benchmarks.
 
 One :class:`SuiteRunner` is shared across the whole benchmark session so
-every figure reuses the same (benchmark x scheme) reports. Set
-``SMARQ_BENCH_SCALE`` to scale workload iteration counts (default 0.25 —
-big enough for stable ratios, small enough for a pure-Python run) and
-``SMARQ_BENCH_SUITE`` to a comma-separated benchmark subset.
+every figure reuses the same (benchmark x scheme) reports. The runner
+rides on the execution engine; environment knobs:
+
+``SMARQ_BENCH_SCALE``
+    workload iteration scale (default 0.25 — big enough for stable
+    ratios, small enough for a pure-Python run);
+``SMARQ_BENCH_SUITE``
+    comma-separated benchmark subset;
+``SMARQ_BENCH_JOBS``
+    worker processes for the sweep (default 1 = serial);
+``SMARQ_BENCH_CACHE``
+    set to ``1`` to serve reports from the persistent cache under
+    ``~/.cache/repro`` (off by default so code edits always re-measure).
 """
 
 import os
 
 import pytest
 
+from repro.engine import ExecutionEngine, ReportCache, make_executor
 from repro.eval.suite import SuiteConfig, SuiteRunner
 from repro.workloads import SPECFP_BENCHMARKS
 
@@ -26,6 +36,16 @@ def _config() -> SuiteConfig:
     return SuiteConfig(benchmarks=benchmarks, scale=scale, hot_threshold=20)
 
 
+def _engine() -> ExecutionEngine:
+    jobs = int(os.environ.get("SMARQ_BENCH_JOBS", "1"))
+    cache = (
+        ReportCache()
+        if os.environ.get("SMARQ_BENCH_CACHE", "0") == "1"
+        else None
+    )
+    return ExecutionEngine(executor=make_executor(jobs), cache=cache)
+
+
 @pytest.fixture(scope="session")
 def runner() -> SuiteRunner:
-    return SuiteRunner(_config())
+    return SuiteRunner(_config(), engine=_engine())

@@ -6,10 +6,18 @@ Commands
     Show available benchmarks and schemes.
 ``run BENCH [--scheme S] [--scale F]``
     Run one benchmark under one scheme; print the run report.
-``compare BENCH [--scale F]``
+``compare BENCH [--scale F] [--jobs N] [--no-cache] [--stats]``
     Run one benchmark under every scheme; print a speedup table.
-``figures [--only figN] [--scale F] [--suite a,b,c]``
+``figures [--only figN] [--scale F] [--suite a,b,c] [--jobs N]
+[--no-cache] [--stats]``
     Regenerate the paper's tables/figures and print them.
+
+``figures`` and ``compare`` route every simulation through the
+:mod:`repro.engine` execution engine: ``--jobs N`` fans (benchmark,
+scheme) cells across N worker processes, reports are cached persistently
+under ``~/.cache/repro`` (disable with ``--no-cache``), and ``--stats``
+prints the engine's cache/instrumentation summary after the output.
+Figure output is byte-identical across ``--jobs`` settings.
 """
 
 from __future__ import annotations
@@ -34,22 +42,47 @@ from repro.eval import (
     run_fig19,
     run_table1,
 )
+from repro.eval import fig15 as _fig15
+from repro.eval import fig16 as _fig16
 from repro.eval.report import render_table
 from repro.eval.suite import SuiteConfig, SuiteRunner
+from repro.engine import (
+    ExecutionEngine,
+    NullCache,
+    ReportCache,
+    make_executor,
+)
 from repro.frontend.profiler import ProfilerConfig
 from repro.sim.dbt import DbtSystem
 from repro.sim.schemes import SCHEME_NAMES
 from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
 
+#: figure name -> (run, render, scheme keys to prefetch, runner setup)
 _FIGURES = {
-    "table1": (lambda runner: run_table1(), render_table1),
-    "fig14": (run_fig14, render_fig14),
-    "fig15": (run_fig15, render_fig15),
-    "fig16": (run_fig16, render_fig16),
-    "fig17": (run_fig17, render_fig17),
-    "fig18": (run_fig18, render_fig18),
-    "fig19": (run_fig19, render_fig19),
+    "table1": (lambda runner: run_table1(), render_table1, (), None),
+    "fig14": (run_fig14, render_fig14, ("smarq",), None),
+    "fig15": (
+        run_fig15,
+        render_fig15,
+        ("none",) + tuple(_fig15.SCHEMES),
+        None,
+    ),
+    "fig16": (
+        run_fig16,
+        render_fig16,
+        ("none", "smarq", _fig16.NO_STORE_REORDER_KEY),
+        _fig16.register_variant,
+    ),
+    "fig17": (run_fig17, render_fig17, ("smarq",), None),
+    "fig18": (run_fig18, render_fig18, ("smarq",), None),
+    "fig19": (run_fig19, render_fig19, ("smarq",), None),
 }
+
+
+def _make_engine(args: argparse.Namespace) -> ExecutionEngine:
+    """Engine configured from the shared --jobs/--no-cache flags."""
+    cache = NullCache() if args.no_cache else ReportCache()
+    return ExecutionEngine(executor=make_executor(args.jobs), cache=cache)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -87,8 +120,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    runner = SuiteRunner(
+        SuiteConfig(
+            benchmarks=[args.benchmark], scale=args.scale, hot_threshold=20
+        ),
+        engine=_make_engine(args),
+    )
+    runner.prefetch(SCHEME_NAMES)
     reports = {
-        scheme: _run_one(args.benchmark, scheme, args.scale)
+        scheme: runner.report(args.benchmark, scheme)
         for scheme in SCHEME_NAMES
     }
     baseline = reports["none"].total_cycles
@@ -109,6 +149,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.stats:
+        print()
+        print(runner.engine.render_stats())
     return 0
 
 
@@ -119,7 +162,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         else list(SPECFP_BENCHMARKS)
     )
     runner = SuiteRunner(
-        SuiteConfig(benchmarks=benchmarks, scale=args.scale, hot_threshold=20)
+        SuiteConfig(benchmarks=benchmarks, scale=args.scale, hot_threshold=20),
+        engine=_make_engine(args),
     )
     names = [args.only] if args.only else list(_FIGURES)
     for name in names:
@@ -127,10 +171,40 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print(f"unknown figure {name!r}; choose from {list(_FIGURES)}",
                   file=sys.stderr)
             return 2
-        run, render = _FIGURES[name]
+
+    # Register variants and batch every needed cell up front so the
+    # executor can fan them out; rendering below then hits the memo.
+    keys: List[str] = []
+    for name in names:
+        _run, _render, needed, setup = _FIGURES[name]
+        if setup is not None:
+            setup(runner)
+        keys.extend(k for k in needed if k not in keys)
+    if keys:
+        runner.prefetch(keys)
+
+    for name in names:
+        run, render, _needed, _setup = _FIGURES[name]
         print(render(run(runner)))
         print()
+    if args.stats:
+        print(runner.engine.render_stats())
     return 0
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation sweep (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent report cache (~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print engine cache/instrumentation statistics",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,11 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="run one benchmark on all schemes")
     cmp_p.add_argument("benchmark", choices=SPECFP_BENCHMARKS)
     cmp_p.add_argument("--scale", type=float, default=0.25)
+    _add_engine_flags(cmp_p)
 
     fig_p = sub.add_parser("figures", help="regenerate tables/figures")
     fig_p.add_argument("--only", default=None, help="one of: " + " ".join(_FIGURES))
     fig_p.add_argument("--scale", type=float, default=0.25)
     fig_p.add_argument("--suite", default="", help="comma-separated subset")
+    _add_engine_flags(fig_p)
 
     return parser
 

@@ -1,0 +1,49 @@
+"""Execution engine: how (benchmark x scheme) simulation jobs get run.
+
+Three cooperating layers, each independently replaceable:
+
+* **executors** (:mod:`repro.engine.executor`) — a common
+  :class:`Executor` interface with a serial implementation and a
+  process-pool implementation that fans jobs across cores with
+  deterministic result ordering and graceful per-job fallback to serial
+  execution;
+* **persistent report cache** (:mod:`repro.engine.cache`) — content-hashed
+  :class:`~repro.sim.dbt.DbtReport` storage under ``~/.cache/repro`` (or
+  ``$REPRO_CACHE_DIR``), so regenerating figures after an unrelated edit
+  is near-instant;
+* **instrumentation** (:mod:`repro.engine.instrumentation`) — a
+  lightweight :class:`Tracer` threaded through
+  :class:`~repro.sim.dbt.DbtSystem`, the runtime, and the VLIW simulator,
+  collecting per-phase wall time and event counters per job.
+
+:class:`~repro.engine.core.ExecutionEngine` ties the layers together and
+is what :class:`~repro.eval.suite.SuiteRunner` and the CLI drive.
+"""
+
+from repro.engine.cache import NullCache, ReportCache
+from repro.engine.core import EngineStats, ExecutionEngine
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.instrumentation import NullTracer, Tracer
+from repro.engine.jobs import JobResult, JobSpec, execute_job, job_fingerprint
+
+__all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "Executor",
+    "JobResult",
+    "JobSpec",
+    "NullCache",
+    "NullTracer",
+    "ParallelExecutor",
+    "ReportCache",
+    "SerialExecutor",
+    "Tracer",
+    "execute_job",
+    "job_fingerprint",
+    "make_executor",
+]

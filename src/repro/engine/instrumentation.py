@@ -1,0 +1,84 @@
+"""Lightweight counters and per-phase wall-clock timing.
+
+A :class:`Tracer` is threaded through :class:`~repro.sim.dbt.DbtSystem`,
+:class:`~repro.sim.runtime.DynamicOptimizationRuntime` and
+:class:`~repro.sim.vliw.VliwSimulator`; each simulation job gets its own
+instance and the engine merges the snapshots afterwards. The default
+:class:`NullTracer` makes every hook a no-op so uninstrumented runs pay
+(almost) nothing.
+
+Counter names used by the simulation stack:
+
+``dbt.runs``
+    completed :meth:`DbtSystem.run` invocations (the number the warm-cache
+    acceptance check asserts is zero);
+``runtime.translations`` / ``runtime.reoptimizations``
+    region (re)translation counts;
+``runtime.alias_exceptions`` / ``runtime.false_positive_exceptions``
+    alias-exception rates;
+``vliw.regions_executed``
+    translated-region entries.
+
+Phase names: ``run`` (whole DBT loop), ``optimize`` (translation +
+scheduling + allocation), ``execute`` (translated-region simulation).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+
+class Tracer:
+    """Accumulates named counters and per-phase wall time (seconds)."""
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, float] = {}
+
+    # -- counters ------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- phases --------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    # -- aggregation ---------------------------------------------------
+    def merge(
+        self,
+        counters: Mapping[str, int],
+        timings: Mapping[str, float],
+    ) -> None:
+        """Fold another tracer's snapshot into this one."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + value
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"counters": dict(self.counters), "timings": dict(self.timings)}
+
+
+class NullTracer(Tracer):
+    """Tracer whose hooks do nothing (the default everywhere)."""
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+
+#: shared default instance; safe because it keeps no state
+NULL_TRACER = NullTracer()

@@ -1,8 +1,14 @@
-"""Shared (scheme x benchmark) sweep with report caching.
+"""Shared (scheme x benchmark) sweep riding on the execution engine.
 
 Figures 14-19 all consume the same per-run :class:`DbtReport` data; the
-runner executes each (benchmark, scheme-key) pair once and caches the
-report, so regenerating every figure costs one suite sweep.
+runner turns each (benchmark, scheme-key) cell into an engine
+:class:`~repro.engine.jobs.JobSpec` and memoizes the resulting report, so
+regenerating every figure costs one suite sweep. The engine underneath
+decides *how* the cells run: serially, fanned across a process pool, or
+served from the persistent report cache (see :mod:`repro.engine`).
+
+:meth:`SuiteRunner.prefetch` submits every missing cell as one batch — the
+hook parallel executors need to actually overlap work.
 """
 
 from __future__ import annotations
@@ -10,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.frontend.profiler import ProfilerConfig
-from repro.sim.dbt import DbtReport, DbtSystem
-from repro.sim.schemes import Scheme, make_scheme
-from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+from repro.engine.core import ExecutionEngine
+from repro.engine.jobs import JobSpec
+from repro.sim.dbt import DbtReport
+from repro.sim.schemes import Scheme
+from repro.workloads import SPECFP_BENCHMARKS
 
 
 @dataclass
@@ -27,33 +34,89 @@ class SuiteConfig:
 
 
 class SuiteRunner:
-    """Runs and caches DBT reports keyed by (benchmark, scheme_key)."""
+    """Runs and caches DBT reports keyed by (benchmark, scheme_key).
 
-    def __init__(self, config: Optional[SuiteConfig] = None) -> None:
+    ``engine`` defaults to a serial, non-persistent
+    :class:`~repro.engine.core.ExecutionEngine`; pass a configured one
+    for parallel execution, persistent caching, or instrumentation.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SuiteConfig] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> None:
         self.config = config or SuiteConfig()
+        self.engine = engine or ExecutionEngine()
         self._cache: Dict[Tuple[str, str], DbtReport] = {}
-        #: scheme variants beyond the four standard names, registered by
+        #: scheme variants beyond the standard names, registered by
         #: experiments (e.g. smarq with store reordering disabled)
         self._variants: Dict[str, Scheme] = {}
 
     def register_variant(self, key: str, scheme: Scheme) -> None:
+        """Register (or replace) the scheme behind ``key``.
+
+        Re-registering a key with a *different* scheme invalidates any
+        memoized reports for it: cached results for the old variant must
+        never be served for the new one. Equality is judged on the
+        scheme's canonical configuration, so re-registering an identical
+        variant (as ``run_fig16`` does on every call) keeps warm reports.
+        (The engine's persistent cache needs no flush — variant
+        parameters are part of the job fingerprint.)
+        """
+        from repro.engine.jobs import canonical_config
+
+        old = self._variants.get(key)
+        if old is not scheme and (
+            old is None or canonical_config(old) != canonical_config(scheme)
+        ):
+            for cell in [c for c in self._cache if c[1] == key]:
+                del self._cache[cell]
         self._variants[key] = scheme
+
+    # ------------------------------------------------------------------
+    def _spec(self, benchmark: str, scheme_key: str) -> JobSpec:
+        spec = JobSpec(
+            benchmark=benchmark,
+            scheme_key=scheme_key,
+            scale=self.config.scale,
+            hot_threshold=self.config.hot_threshold,
+            scheme=self._variants.get(scheme_key),
+        )
+        spec.validate()
+        return spec
 
     def report(self, benchmark: str, scheme_key: str) -> DbtReport:
         """The cached report for one (benchmark, scheme) cell."""
-        cache_key = (benchmark, scheme_key)
-        if cache_key not in self._cache:
-            program = make_benchmark(benchmark, scale=self.config.scale)
-            scheme = self._variants.get(scheme_key)
-            system = DbtSystem(
-                program,
-                scheme if scheme is not None else scheme_key,
-                profiler_config=ProfilerConfig(
-                    hot_threshold=self.config.hot_threshold
-                ),
+        cell = (benchmark, scheme_key)
+        if cell not in self._cache:
+            self._cache[cell] = self.engine.run_one(
+                self._spec(benchmark, scheme_key)
             )
-            self._cache[cache_key] = system.run()
-        return self._cache[cache_key]
+        return self._cache[cell]
+
+    def prefetch(
+        self,
+        scheme_keys: Iterable[str],
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Run every missing (benchmark, scheme) cell as one engine batch.
+
+        This is where parallel executors get their fan-out: figures that
+        follow hit the in-process memo and render in input order.
+        """
+        benches = list(benchmarks) if benchmarks else self.config.benchmarks
+        cells = [
+            (bench, key)
+            for bench in benches
+            for key in scheme_keys
+            if (bench, key) not in self._cache
+        ]
+        if not cells:
+            return
+        reports = self.engine.run([self._spec(b, k) for b, k in cells])
+        for cell, report in zip(cells, reports):
+            self._cache[cell] = report
 
     def speedup(self, benchmark: str, scheme_key: str) -> float:
         """Speedup of ``scheme_key`` over the no-alias-hardware baseline."""
@@ -65,10 +128,12 @@ class SuiteRunner:
         self, scheme_keys: Iterable[str]
     ) -> Dict[str, Dict[str, DbtReport]]:
         """Reports for every benchmark under every given scheme."""
-        out: Dict[str, Dict[str, DbtReport]] = {}
-        for bench in self.config.benchmarks:
-            out[bench] = {key: self.report(bench, key) for key in scheme_keys}
-        return out
+        keys = list(scheme_keys)
+        self.prefetch(keys)
+        return {
+            bench: {key: self.report(bench, key) for key in keys}
+            for bench in self.config.benchmarks
+        }
 
 
 def geomean(values: Iterable[float]) -> float:

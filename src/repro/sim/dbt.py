@@ -30,6 +30,10 @@ from repro.sim.runtime import DynamicOptimizationRuntime, RuntimeConfig
 from repro.sim.schemes import Scheme, make_scheme
 from repro.sim.vliw import VliwSimulator
 
+#: bumped whenever the DbtReport dict layout changes; persisted by the
+#: engine's report cache and checked on load
+REPORT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class DbtReport:
@@ -69,6 +73,7 @@ class DbtReport:
     def to_dict(self) -> dict:
         """Plain-dict form for JSON export / external tooling."""
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "scheme": self.scheme,
             "program": self.program,
             "guest_instructions": self.guest_instructions,
@@ -89,6 +94,43 @@ class DbtReport:
                 for pc, snapshot in self.region_stats.items()
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DbtReport":
+        """Inverse of :meth:`to_dict`; raises ValueError on a schema or
+        shape mismatch so callers (the report cache) can treat damaged
+        payloads as misses."""
+        version = data.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported DbtReport schema {version!r} "
+                f"(expected {REPORT_SCHEMA_VERSION})"
+            )
+        try:
+            region_stats = {
+                int(pc): RegionSnapshot(**snapshot)
+                for pc, snapshot in data["regions"].items()
+            }
+            return cls(
+                scheme=data["scheme"],
+                program=data["program"],
+                guest_instructions=data["guest_instructions"],
+                total_cycles=data["total_cycles"],
+                interp_cycles=data["interp_cycles"],
+                translated_cycles=data["translated_cycles"],
+                optimization_cycles=data["optimization_cycles"],
+                scheduling_cycles=data["scheduling_cycles"],
+                translations=data["translations"],
+                reoptimizations=data["reoptimizations"],
+                alias_exceptions=data["alias_exceptions"],
+                false_positive_exceptions=data["false_positive_exceptions"],
+                side_exits=data["side_exits"],
+                region_commits=data["region_commits"],
+                exit_code=data["exit_code"],
+                region_stats=region_stats,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed DbtReport payload: {exc}") from exc
 
 
 @dataclass
@@ -124,14 +166,21 @@ class DbtSystem:
         region_config: Optional[RegionFormationConfig] = None,
         memory_slack: int = 4096,
         alias_profiling: bool = False,
+        tracer=None,
     ) -> None:
         """``scheme_name`` is a scheme name string or a prebuilt
         :class:`~repro.sim.schemes.Scheme` (for experiment variants).
         ``alias_profiling`` observes runtime addresses during
         interpretation and pre-pins frequently-aliasing pairs, trading
-        profiling work for fewer first-translation rollbacks."""
+        profiling work for fewer first-translation rollbacks.
+        ``tracer`` is an optional
+        :class:`~repro.engine.instrumentation.Tracer` collecting event
+        counters and per-phase wall time across the whole stack."""
+        from repro.engine.instrumentation import NULL_TRACER
+
         program.validate()
         self.program = program
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if isinstance(scheme_name, Scheme):
             self.scheme = scheme_name
         else:
@@ -143,7 +192,9 @@ class DbtSystem:
             region_map=program.region_map,
             register_regions=program.register_regions,
         )
-        self.simulator = VliwSimulator(self.scheme.machine, self.memory)
+        self.simulator = VliwSimulator(
+            self.scheme.machine, self.memory, tracer=self.tracer
+        )
         self.runtime = DynamicOptimizationRuntime(
             program,
             self.memory,
@@ -151,6 +202,7 @@ class DbtSystem:
             self.pipeline,
             self.simulator,
             runtime_config,
+            tracer=self.tracer,
         )
         self.profiler = HotnessProfiler(program, profiler_config)
         self.region_former = RegionFormer(program, self.profiler, region_config)
@@ -168,6 +220,12 @@ class DbtSystem:
     # ------------------------------------------------------------------
     def run(self, max_guest_steps: int = 5_000_000) -> DbtReport:
         """Execute the guest program to completion under the DBT loop."""
+        with self.tracer.phase("run"):
+            report = self._run(max_guest_steps)
+        self.tracer.count("dbt.runs")
+        return report
+
+    def _run(self, max_guest_steps: int) -> DbtReport:
         interp = self.interpreter
         runtime = self.runtime
         steps_budget = max_guest_steps

@@ -92,13 +92,17 @@ class DynamicOptimizationRuntime:
         pipeline: OptimizationPipeline,
         simulator: VliwSimulator,
         config: Optional[RuntimeConfig] = None,
+        tracer=None,
     ) -> None:
+        from repro.engine.instrumentation import NULL_TRACER
+
         self.program = program
         self.memory = memory
         self.scheme = scheme
         self.pipeline = pipeline
         self.simulator = simulator
         self.config = config or RuntimeConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = RuntimeStats()
         self._regions: Dict[int, _RegionEntry] = {}
         self._blacklist: Set[int] = set()
@@ -117,6 +121,7 @@ class DynamicOptimizationRuntime:
             return
         self._regions[original.entry_pc] = _RegionEntry(original, translation)
         self.stats.translations += 1
+        self.tracer.count("runtime.translations")
 
     def _optimize_charged(self, original: Superblock) -> Optional[OptimizedRegion]:
         """Optimize, charging simulated optimization cycles; None on
@@ -127,7 +132,8 @@ class DynamicOptimizationRuntime:
             cycles * self.config.scheduling_fraction
         )
         try:
-            return self.pipeline.optimize(original)
+            with self.tracer.phase("optimize"):
+                return self.pipeline.optimize(original)
         except AliasRegisterOverflow:
             return None
 
@@ -141,8 +147,10 @@ class DynamicOptimizationRuntime:
         self.stats.translated_cycles += outcome.cycles
         if outcome.status == "alias":
             self.stats.alias_exceptions += 1
+            self.tracer.count("runtime.alias_exceptions")
             if outcome.false_positive:
                 self.stats.false_positive_exceptions += 1
+                self.tracer.count("runtime.false_positive_exceptions")
             self._handle_alias(entry, outcome)
         elif outcome.status == "side_exit":
             self.stats.side_exits += 1
@@ -169,6 +177,7 @@ class DynamicOptimizationRuntime:
             pc, outcome.alias_setter, outcome.alias_checker, reordered=reordered
         )
         self.stats.reoptimizations += 1
+        self.tracer.count("runtime.reoptimizations")
         translation = self._optimize_charged(entry.original)
         if translation is None:
             self._blacklist.add(pc)

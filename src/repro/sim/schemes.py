@@ -18,6 +18,7 @@ the VLIW simulator drives during region execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Optional, Set
 
 from repro.hw.efficeon import EFFICEON_MAX_REGISTERS, BitmaskAliasFile
@@ -163,7 +164,13 @@ class EfficeonAdapter(HardwareAdapter):
 
 @dataclass
 class Scheme:
-    """A complete alias-detection configuration."""
+    """A complete alias-detection configuration.
+
+    ``adapter_factory`` should be a picklable callable (a class or a
+    :func:`functools.partial` over one, not a lambda) so the scheme can
+    ship to process-pool workers; unpicklable schemes still work but
+    force the engine's per-job serial fallback.
+    """
 
     name: str
     machine: MachineModel
@@ -183,7 +190,7 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
             name=name,
             machine=m,
             optimizer_config=OptimizerConfig(speculate=True),
-            adapter_factory=lambda: SmarqAdapter(m.alias_registers),
+            adapter_factory=partial(SmarqAdapter, m.alias_registers),
         )
     if name == "smarq16":
         m = base.with_alias_registers(16)
@@ -191,7 +198,7 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
             name=name,
             machine=m,
             optimizer_config=OptimizerConfig(speculate=True),
-            adapter_factory=lambda: SmarqAdapter(16),
+            adapter_factory=partial(SmarqAdapter, 16),
         )
     if name == "itanium":
         m = base.with_alias_registers(base.alias_registers or 64)
@@ -205,7 +212,7 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
                 enable_store_elimination=False,
                 load_elim_sources="loads",
             ),
-            adapter_factory=lambda: ItaniumAdapter(num_entries=32),
+            adapter_factory=partial(ItaniumAdapter, num_entries=32),
         )
     if name == "efficeon":
         m = base.with_alias_registers(EFFICEON_MAX_REGISTERS)
@@ -213,7 +220,7 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
             name=name,
             machine=m,
             optimizer_config=OptimizerConfig(speculate=True, allocator="bitmask"),
-            adapter_factory=lambda: EfficeonAdapter(EFFICEON_MAX_REGISTERS),
+            adapter_factory=partial(EfficeonAdapter, EFFICEON_MAX_REGISTERS),
         )
     if name == "plainorder":
         # Section 2.4's baseline: order-based hardware, software allocates
@@ -229,7 +236,7 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
                 enable_load_elimination=False,
                 enable_store_elimination=False,
             ),
-            adapter_factory=lambda: SmarqAdapter(m.alias_registers),
+            adapter_factory=partial(SmarqAdapter, m.alias_registers),
         )
     if name == "none":
         return Scheme(

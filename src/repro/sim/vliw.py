@@ -67,10 +67,15 @@ class VliwStats:
 class VliwSimulator:
     """Executes optimized regions over shared guest memory."""
 
-    def __init__(self, machine: MachineModel, memory: Memory) -> None:
+    def __init__(
+        self, machine: MachineModel, memory: Memory, tracer=None
+    ) -> None:
+        from repro.engine.instrumentation import NULL_TRACER
+
         self.machine = machine
         self.memory = memory
         self.stats = VliwStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def execute_region(
@@ -81,9 +86,19 @@ class VliwSimulator:
     ) -> RegionOutcome:
         """Run the region once. Mutates ``registers`` and memory only on
         commit; any abort restores both."""
+        with self.tracer.phase("execute"):
+            return self._execute_region(region, adapter, registers)
+
+    def _execute_region(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+    ) -> RegionOutcome:
         machine = self.machine
         memory = self.memory
         self.stats.regions_executed += 1
+        self.tracer.count("vliw.regions_executed")
 
         # Translated code may use host scratch registers beyond the guest
         # register file (register renaming in unrolled regions); scratch
