@@ -10,7 +10,10 @@ rides on the execution engine; environment knobs:
 ``SMARQ_BENCH_SUITE``
     comma-separated benchmark subset;
 ``SMARQ_BENCH_JOBS``
-    worker processes for the sweep (default 1 = serial);
+    worker processes for the sweep; ``0`` (or any value <= 0) explicitly
+    forces the serial executor, unset/empty means the default of 1
+    (also serial today, but ``0`` stays serial even if the default ever
+    changes);
 ``SMARQ_BENCH_CACHE``
     set to ``1`` to serve reports from the persistent cache under
     ``~/.cache/repro`` (off by default so code edits always re-measure).
@@ -36,8 +39,21 @@ def _config() -> SuiteConfig:
     return SuiteConfig(benchmarks=benchmarks, scale=scale, hot_threshold=20)
 
 
+def _jobs() -> int:
+    """Worker count from ``SMARQ_BENCH_JOBS``.
+
+    ``0`` is a deliberate "force serial" request, not a falsy value to be
+    replaced with a default; only unset or empty falls back to 1.
+    """
+    raw = os.environ.get("SMARQ_BENCH_JOBS", "").strip()
+    if not raw:
+        return 1
+    jobs = int(raw)
+    return 0 if jobs <= 0 else jobs
+
+
 def _engine() -> ExecutionEngine:
-    jobs = int(os.environ.get("SMARQ_BENCH_JOBS", "1"))
+    jobs = _jobs()
     cache = (
         ReportCache()
         if os.environ.get("SMARQ_BENCH_CACHE", "0") == "1"

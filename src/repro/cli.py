@@ -11,6 +11,11 @@ Commands
 ``figures [--only figN] [--scale F] [--suite a,b,c] [--jobs N]
 [--no-cache] [--stats]``
     Regenerate the paper's tables/figures and print them.
+``perf [--scale F] [--output BENCH.json] [--baseline BENCH.json]``
+    Run the perf-benchmark harness (:mod:`repro.perf`): time each
+    (benchmark, scheme) cell's interpret/translate/simulate phases plus
+    the end-to-end serial cold ``figures`` path, and write a
+    ``BENCH_*.json`` trajectory point (see ``docs/PERF.md``).
 
 ``figures`` and ``compare`` route every simulation through the
 :mod:`repro.engine` execution engine: ``--jobs N`` fans (benchmark,
@@ -192,6 +197,36 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import PerfConfig, load_bench, run_perf, write_bench
+    from repro.perf.harness import attach_baseline, render_summary
+
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        if args.benchmarks
+        else None
+    )
+    schemes = (
+        [s.strip() for s in args.schemes.split(",") if s.strip()]
+        if args.schemes
+        else None
+    )
+    config = PerfConfig(scale=args.scale, repeats=args.repeats)
+    if benchmarks:
+        config.benchmarks = benchmarks
+    if schemes:
+        config.schemes = schemes
+    config.figures_scale = None if args.skip_figures else args.figures_scale
+
+    payload = run_perf(config)
+    if args.baseline:
+        attach_baseline(payload, load_bench(args.baseline))
+    write_bench(args.output, payload)
+    print(render_summary(payload))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -233,6 +268,32 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--suite", default="", help="comma-separated subset")
     _add_engine_flags(fig_p)
 
+    perf_p = sub.add_parser(
+        "perf", help="run the perf harness; write a BENCH_*.json"
+    )
+    perf_p.add_argument("--scale", type=float, default=0.1)
+    perf_p.add_argument(
+        "--figures-scale", type=float, default=0.1,
+        help="scale for the end-to-end cold figures timing",
+    )
+    perf_p.add_argument(
+        "--skip-figures", action="store_true",
+        help="skip the end-to-end figures timing (quick cell sweep only)",
+    )
+    perf_p.add_argument("--repeats", type=int, default=3)
+    perf_p.add_argument(
+        "--benchmarks", default="",
+        help="comma-separated benchmark subset (default: swim,art,equake)",
+    )
+    perf_p.add_argument(
+        "--schemes", default="",
+        help="comma-separated scheme subset (default: smarq,itanium,none)",
+    )
+    perf_p.add_argument("--output", default="BENCH_pr2.json")
+    perf_p.add_argument(
+        "--baseline", default="",
+        help="previous BENCH json to embed and compute speedups against",
+    )
     return parser
 
 
@@ -243,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figures": _cmd_figures,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

@@ -16,8 +16,9 @@ The model keys entries by the setter's mem_index so invalidation semantics
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.hw.exceptions import AliasException
 from repro.hw.ranges import AccessRange
@@ -40,7 +41,15 @@ class AlatModel:
             raise ValueError("ALAT needs at least one entry")
         self.num_entries = num_entries
         self._entries: Dict[int, AccessRange] = {}  # mem_index -> range
+        #: mem_index keys kept sorted, so every store's full-table check
+        #: walks them directly instead of re-sorting the dict
+        self._keys: List[int] = []
         self.stats = AlatStats()
+
+    def _drop_key(self, mem_index: int) -> None:
+        idx = bisect_left(self._keys, mem_index)
+        if idx < len(self._keys) and self._keys[idx] == mem_index:
+            del self._keys[idx]
 
     def advanced_load(self, mem_index: int, access: AccessRange) -> None:
         """``ld.a`` — insert an entry; evicts the oldest when full.
@@ -51,8 +60,11 @@ class AlatModel:
         uniform: see :meth:`check_load`.
         """
         if len(self._entries) >= self.num_entries:
-            oldest = min(self._entries)
+            oldest = self._keys[0]
+            del self._keys[0]
             del self._entries[oldest]
+        if mem_index not in self._entries:
+            insort(self._keys, mem_index)
         self._entries[mem_index] = access
         self.stats.inserts += 1
 
@@ -69,22 +81,45 @@ class AlatModel:
         accounting, letting the model label an exception as a false positive
         when the overlapping entry was not a required target.
         """
-        self.stats.store_checks += 1
-        for mem_index, entry in sorted(self._entries.items()):
-            self.stats.comparisons += 1
-            if entry.overlaps(access):
-                false_positive = (
-                    required_targets is not None and mem_index not in required_targets
-                )
-                self.stats.exceptions += 1
-                if false_positive:
-                    self.stats.false_positives += 1
-                raise AliasException(
-                    f"ALAT alias: store {access} overlaps entry {entry}",
-                    setter_mem_index=mem_index,
-                    checker_mem_index=checker_mem_index,
-                    false_positive=false_positive,
-                )
+        stats = self.stats
+        stats.store_checks += 1
+        entries = self._entries
+        a_start = access.start
+        a_top = a_start + access.size
+        compared = 0
+        try:
+            for mem_index in self._keys:
+                entry = entries[mem_index]
+                compared += 1
+                e_start = entry.start
+                if e_start < a_top and a_start < e_start + entry.size:
+                    self._raise_overlap(
+                        entry, access, mem_index, checker_mem_index, required_targets
+                    )
+        finally:
+            stats.comparisons += compared
+
+    def _raise_overlap(
+        self,
+        entry: AccessRange,
+        access: AccessRange,
+        mem_index: int,
+        checker_mem_index: Optional[int],
+        required_targets: Optional[Set[int]],
+    ) -> None:
+        """Account for and raise a store-check hit (cold path)."""
+        false_positive = (
+            required_targets is not None and mem_index not in required_targets
+        )
+        self.stats.exceptions += 1
+        if false_positive:
+            self.stats.false_positives += 1
+        raise AliasException(
+            f"ALAT alias: store {access} overlaps entry {entry}",
+            setter_mem_index=mem_index,
+            checker_mem_index=checker_mem_index,
+            false_positive=false_positive,
+        )
 
     def check_load(self, mem_index: int) -> bool:
         """``ld.c`` / ``chk.a`` — verify the advanced load's entry survives.
@@ -92,17 +127,23 @@ class AlatModel:
         Returns True (and removes the entry) if the entry is intact; False
         means the entry was evicted and the speculation must be recovered.
         """
-        return self._entries.pop(mem_index, None) is not None
+        if self._entries.pop(mem_index, None) is not None:
+            self._drop_key(mem_index)
+            return True
+        return False
 
     def invalidate(self, mem_index: int) -> None:
         """Drop an entry without checking (region exit cleanup)."""
-        self._entries.pop(mem_index, None)
+        if self._entries.pop(mem_index, None) is not None:
+            self._drop_key(mem_index)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._keys.clear()
 
     def reset(self) -> None:
         self._entries.clear()
+        self._keys.clear()
 
     @property
     def live_count(self) -> int:

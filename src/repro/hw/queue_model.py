@@ -26,6 +26,7 @@ guarantees this never happens; the check catches allocator bugs.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -64,6 +65,9 @@ class AliasRegisterQueue:
         self.num_registers = num_registers
         self._base = 0  # absolute order of offset 0
         self._entries: Dict[int, _Entry] = {}  # keyed by absolute order
+        #: live orders kept sorted incrementally, so a check scans only
+        #: the suffix at >= its own order instead of sorting every call
+        self._orders: List[int] = []
         self.stats = QueueStats()
 
     # ------------------------------------------------------------------
@@ -76,7 +80,7 @@ class AliasRegisterQueue:
 
     def live_orders(self) -> List[int]:
         """Absolute orders of currently live entries (sorted)."""
-        return sorted(self._entries)
+        return list(self._orders)
 
     def entry_at_offset(self, offset: int) -> Optional[AccessRange]:
         """The access range stored at ``offset``, if any."""
@@ -104,9 +108,12 @@ class AliasRegisterQueue:
         """P-bit action: record ``access`` in the register at ``offset``."""
         self._check_offset(offset)
         order = self._base + offset
+        if order not in self._entries:
+            insort(self._orders, order)
         self._entries[order] = _Entry(access, setter_mem_index)
         self.stats.sets += 1
-        self.stats.max_live = max(self.stats.max_live, len(self._entries))
+        if len(self._entries) > self.stats.max_live:
+            self.stats.max_live = len(self._entries)
 
     def check(
         self,
@@ -124,22 +131,33 @@ class AliasRegisterQueue:
         """
         self._check_offset(offset)
         own_order = self._base + offset
-        for order in sorted(self._entries):
-            if order < own_order:
-                continue
-            entry = self._entries[order]
-            if access.is_load and entry.access.is_load:
-                continue
-            self.stats.comparisons += 1
-            if entry.access.overlaps(access):
-                self.stats.exceptions += 1
-                raise AliasException(
-                    f"alias: {access} overlaps {entry.access} "
-                    f"(order {order}, base {self._base})",
-                    setter_mem_index=entry.setter_mem_index,
-                    checker_mem_index=checker_mem_index,
-                )
-        self.stats.checks += 1
+        orders = self._orders
+        entries = self._entries
+        stats = self.stats
+        is_load = access.is_load
+        a_start = access.start
+        a_top = a_start + access.size
+        compared = 0
+        try:
+            for idx in range(bisect_left(orders, own_order), len(orders)):
+                order = orders[idx]
+                entry = entries[order]
+                stored = entry.access
+                if is_load and stored.is_load:
+                    continue
+                compared += 1
+                s_start = stored.start
+                if s_start < a_top and a_start < s_start + stored.size:
+                    stats.exceptions += 1
+                    raise AliasException(
+                        f"alias: {access} overlaps {stored} "
+                        f"(order {order}, base {self._base})",
+                        setter_mem_index=entry.setter_mem_index,
+                        checker_mem_index=checker_mem_index,
+                    )
+        finally:
+            stats.comparisons += compared
+        stats.checks += 1
 
     def check_then_set(
         self,
@@ -157,9 +175,11 @@ class AliasRegisterQueue:
         if amount < 0:
             raise ValueError("rotate amount must be non-negative")
         new_base = self._base + amount
-        released = [order for order in self._entries if order < new_base]
-        for order in released:
-            del self._entries[order]
+        released = bisect_left(self._orders, new_base)
+        if released:
+            for order in self._orders[:released]:
+                del self._entries[order]
+            del self._orders[:released]
         self._base = new_base
         self.stats.rotations += 1
         self.stats.rotated_registers += amount
@@ -174,17 +194,25 @@ class AliasRegisterQueue:
         self._check_offset(dst_offset)
         src_order = self._base + src_offset
         entry = self._entries.pop(src_order, None)
-        if entry is not None and src_offset != dst_offset:
-            self._entries[self._base + dst_offset] = entry
+        if entry is not None:
+            idx = bisect_left(self._orders, src_order)
+            del self._orders[idx]
+            if src_offset != dst_offset:
+                dst_order = self._base + dst_offset
+                if dst_order not in self._entries:
+                    insort(self._orders, dst_order)
+                self._entries[dst_order] = entry
         self.stats.amovs += 1
 
     def clear(self) -> None:
         """Flush all entries (atomic region commit/rollback)."""
         self._entries.clear()
+        self._orders.clear()
 
     def reset(self) -> None:
         """Full reset including BASE (new region entry)."""
         self._entries.clear()
+        self._orders.clear()
         self._base = 0
 
     def __repr__(self) -> str:

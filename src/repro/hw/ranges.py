@@ -30,8 +30,18 @@ class AccessRange:
         return self.start + self.size - 1
 
     def overlaps(self, other: "AccessRange") -> bool:
-        """True if the two byte ranges share at least one byte."""
-        return self.start <= other.end and other.start <= self.end
+        """True if the two byte ranges share at least one byte.
+
+        Spelled with open upper bounds (``start + size``) rather than the
+        :attr:`end` property so the hottest predicate in the simulator
+        pays plain attribute reads instead of two property descriptors;
+        for positive sizes ``a <= e`` with ``e = s + n - 1`` is exactly
+        ``a < s + n``.
+        """
+        return (
+            self.start < other.start + other.size
+            and other.start < self.start + self.size
+        )
 
     def __repr__(self) -> str:
         kind = "ld" if self.is_load else "st"

@@ -1,0 +1,27 @@
+"""Performance-benchmark harness (``python -m repro perf``).
+
+Times the simulation core's phases through the engine's
+:class:`~repro.engine.instrumentation.Tracer` and writes a ``BENCH_*.json``
+trajectory point at the repo root. See :mod:`repro.perf.harness` and
+``docs/PERF.md``.
+"""
+
+from repro.perf.harness import (
+    DEFAULT_BENCHMARKS,
+    DEFAULT_SCHEMES,
+    PerfConfig,
+    load_bench,
+    run_perf,
+    time_figures_cold,
+    write_bench,
+)
+
+__all__ = [
+    "DEFAULT_BENCHMARKS",
+    "DEFAULT_SCHEMES",
+    "PerfConfig",
+    "load_bench",
+    "run_perf",
+    "time_figures_cold",
+    "write_bench",
+]

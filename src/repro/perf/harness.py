@@ -1,0 +1,221 @@
+"""Wall-clock perf harness over the instrumented simulation core.
+
+Two measurements, both designed to be comparable across commits:
+
+* **cells** — each (benchmark, scheme) cell simulated in-process with a
+  fresh :class:`~repro.engine.instrumentation.Tracer`; the tracer's phase
+  timings split the wall time into ``optimize`` (translation + scheduling
+  + allocation), ``execute`` (translated-region VLIW simulation), and the
+  derived ``interpret`` remainder of the ``run`` phase. Best-of-N repeats
+  so one GC pause cannot poison a trajectory point.
+* **figures_cold** — the end-to-end serial cold path (``figures
+  --scale S --jobs 1 --no-cache``), the number the ROADMAP's perf
+  acceptance criteria are written against.
+
+The output JSON (``BENCH_pr2.json`` and successors at the repo root) is
+self-describing: config, per-cell numbers, end-to-end numbers, and — when
+``--baseline`` names a previous BENCH file — the embedded baseline plus
+computed speedups.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import platform
+import time
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+#: three representative workloads: regular streams (swim), small hot loop
+#: with heavy aliasing (art), pointer-chasing stores (equake)
+DEFAULT_BENCHMARKS = ("swim", "art", "equake")
+#: three hardware families: precise queue, imprecise ALAT, no hardware
+DEFAULT_SCHEMES = ("smarq", "itanium", "none")
+
+
+@dataclass
+class PerfConfig:
+    benchmarks: List[str] = field(
+        default_factory=lambda: list(DEFAULT_BENCHMARKS)
+    )
+    schemes: List[str] = field(default_factory=lambda: list(DEFAULT_SCHEMES))
+    scale: float = 0.1
+    hot_threshold: int = 20
+    repeats: int = 3
+    #: also time the end-to-end serial cold `figures` run at this scale
+    figures_scale: Optional[float] = 0.1
+
+
+def _time_cell(
+    benchmark: str, scheme: str, scale: float, hot_threshold: int
+) -> Dict[str, object]:
+    """One in-process simulation of a cell, fully instrumented."""
+    from repro.engine.instrumentation import Tracer
+    from repro.frontend.profiler import ProfilerConfig
+    from repro.sim.dbt import DbtSystem
+    from repro.workloads import make_benchmark
+
+    tracer = Tracer()
+    program = make_benchmark(benchmark, scale=scale)
+    system = DbtSystem(
+        program,
+        scheme,
+        profiler_config=ProfilerConfig(hot_threshold=hot_threshold),
+        tracer=tracer,
+    )
+    start = time.perf_counter()
+    report = system.run()
+    wall = time.perf_counter() - start
+
+    timings = dict(tracer.timings)
+    run_s = timings.get("run", wall)
+    optimize_s = timings.get("optimize", 0.0)
+    execute_s = timings.get("execute", 0.0)
+    return {
+        "wall_s": wall,
+        "phases": {
+            "run": run_s,
+            "optimize": optimize_s,
+            "execute": execute_s,
+            # interpretation has no explicit tracer phase: it is the DBT
+            # loop's remainder once translation and region execution are
+            # subtracted out
+            "interpret_derived": max(0.0, run_s - optimize_s - execute_s),
+        },
+        "counters": dict(tracer.counters),
+        "report": {
+            "guest_instructions": report.guest_instructions,
+            "total_cycles": report.total_cycles,
+            "translations": report.translations,
+            "region_commits": report.region_commits,
+            "alias_exceptions": report.alias_exceptions,
+        },
+    }
+
+
+def time_figures_cold(scale: float = 0.1) -> Dict[str, float]:
+    """Wall time of the serial cold figures path, in-process.
+
+    Equivalent to ``python -m repro figures --scale S --jobs 1
+    --no-cache`` minus interpreter start-up, which would only add noise to
+    a cross-commit comparison.
+    """
+    from repro.cli import main
+
+    sink = io.StringIO()
+    start = time.perf_counter()
+    with redirect_stdout(sink):
+        rc = main(
+            ["figures", "--scale", str(scale), "--jobs", "1", "--no-cache"]
+        )
+    wall = time.perf_counter() - start
+    if rc != 0:  # pragma: no cover - defensive
+        raise RuntimeError(f"figures run failed with exit code {rc}")
+    return {"scale": scale, "jobs": 1, "wall_s": wall}
+
+
+def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
+    """Measure every configured cell (plus the end-to-end figures path)."""
+    config = config or PerfConfig()
+    cells: Dict[str, Dict[str, object]] = {}
+    for benchmark in config.benchmarks:
+        for scheme in config.schemes:
+            best: Optional[Dict[str, object]] = None
+            for _ in range(max(1, config.repeats)):
+                sample = _time_cell(
+                    benchmark, scheme, config.scale, config.hot_threshold
+                )
+                if best is None or sample["wall_s"] < best["wall_s"]:
+                    best = sample
+            cells[f"{benchmark}/{scheme}"] = best
+
+    payload: Dict[str, object] = {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "config": {
+            "benchmarks": list(config.benchmarks),
+            "schemes": list(config.schemes),
+            "scale": config.scale,
+            "hot_threshold": config.hot_threshold,
+            "repeats": config.repeats,
+        },
+        "cells": cells,
+        "total_cell_wall_s": sum(c["wall_s"] for c in cells.values()),
+    }
+    if config.figures_scale is not None:
+        payload["figures_cold"] = time_figures_cold(config.figures_scale)
+    return payload
+
+
+def attach_baseline(
+    payload: Dict[str, object], baseline: Dict[str, object]
+) -> None:
+    """Embed a previous BENCH payload and compute speedups against it."""
+    payload["baseline"] = baseline
+    speedups: Dict[str, float] = {}
+    base_cells = baseline.get("cells", {})
+    for key, cell in payload.get("cells", {}).items():
+        base = base_cells.get(key)
+        if base and cell["wall_s"] > 0:
+            speedups[key] = base["wall_s"] / cell["wall_s"]
+    summary: Dict[str, object] = {"cells": speedups}
+    base_fig = baseline.get("figures_cold")
+    this_fig = payload.get("figures_cold")
+    if base_fig and this_fig and this_fig["wall_s"] > 0:
+        summary["figures_cold"] = base_fig["wall_s"] / this_fig["wall_s"]
+    base_total = baseline.get("total_cell_wall_s")
+    this_total = payload.get("total_cell_wall_s")
+    if base_total and this_total:
+        summary["total_cells"] = base_total / this_total
+    payload["speedup"] = summary
+
+
+def write_bench(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def render_summary(payload: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a BENCH payload."""
+    lines = ["Perf harness results", "===================="]
+    fig = payload.get("figures_cold")
+    if fig:
+        lines.append(
+            f"figures cold (scale {fig['scale']}, serial) : "
+            f"{fig['wall_s']:.2f}s"
+        )
+    lines.append(
+        f"cell sweep total                    : "
+        f"{payload['total_cell_wall_s']:.2f}s"
+    )
+    for key in sorted(payload["cells"]):
+        cell = payload["cells"][key]
+        p = cell["phases"]
+        lines.append(
+            f"  {key:<18} {cell['wall_s']:7.3f}s  "
+            f"(opt {p['optimize']:.3f}s, exec {p['execute']:.3f}s, "
+            f"interp {p['interpret_derived']:.3f}s)"
+        )
+    speedup = payload.get("speedup")
+    if speedup:
+        lines.append("speedup vs baseline:")
+        if "figures_cold" in speedup:
+            lines.append(
+                f"  figures cold : {speedup['figures_cold']:.2f}x"
+            )
+        if "total_cells" in speedup:
+            lines.append(
+                f"  cell sweep   : {speedup['total_cells']:.2f}x"
+            )
+    return "\n".join(lines)

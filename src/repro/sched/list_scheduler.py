@@ -101,9 +101,17 @@ class ListScheduler:
         n = len(instructions)
         program_pos = {inst.uid: i for i, inst in enumerate(instructions)}
         by_uid = {inst.uid: inst for inst in instructions}
+        speculating = self.config.speculate
 
-        def edge_honoured(edge, speculating: bool) -> bool:
-            """Is this edge a hard ordering requirement right now?"""
+        def edge_honoured(edge) -> bool:
+            """Is this edge a hard ordering requirement?
+
+            Every input (the speculation mode, the store-reorder policy,
+            the alias analysis) is fixed for the duration of one schedule,
+            so the answer is a per-edge constant and is evaluated exactly
+            once below — the readiness loop then tests a precomputed bool
+            instead of re-deriving this chain per instruction per cycle.
+            """
             if edge.kind is not EdgeKind.MEMORY:
                 return True
             if not edge.speculative_breakable:
@@ -124,50 +132,68 @@ class ListScheduler:
                     return True
             return False
 
+        # Readiness is maintained incrementally instead of re-derived by
+        # walking predecessor lists every cycle: per uid we keep the count
+        # of honoured/breakable predecessor edges whose source is still
+        # unscheduled, plus a running earliest-issue cycle updated when a
+        # source is placed. The per-candidate test is then O(1). Each edge
+        # contributes one successor-adjacency entry (with its honoured flag
+        # and latency baked in), and the functional unit and latency are
+        # resolved once per instruction (no enum hashing per cycle).
+        hard_left: Dict[int, int] = {}
+        spec_left: Dict[int, int] = {}
+        earliest_at: Dict[int, int] = {}
+        succ_adj: Dict[int, List[Tuple[int, int, bool]]] = {
+            inst.uid: [] for inst in instructions
+        }
+        for inst in instructions:
+            hard = spec = 0
+            for edge in ddg.predecessors(inst):
+                honoured = edge_honoured(edge)
+                if honoured:
+                    hard += 1
+                else:
+                    spec += 1
+                succ_adj[edge.src.uid].append((inst.uid, edge.latency, honoured))
+            hard_left[inst.uid] = hard
+            spec_left[inst.uid] = spec
+            earliest_at[inst.uid] = 0
+        op_table = self.machine.op_table
+        unit_lat = {inst.uid: op_table[inst.opcode] for inst in instructions}
+
         # Priority: latency-weighted height over always-honoured edges,
         # computed with speculation on (optimistic heights pull loads up).
         height: Dict[int, int] = {}
         for inst in reversed(instructions):
             best = 0
             for edge in ddg.successors(inst):
-                if edge_honoured(edge, speculating=self.config.speculate):
-                    best = max(
-                        best, edge.latency + height.get(edge.dst.uid, 0)
-                    )
+                if edge_honoured(edge):
+                    candidate = edge.latency + height.get(edge.dst.uid, 0)
+                    if candidate > best:
+                        best = candidate
             height[inst.uid] = best
 
         scheduled: Dict[int, int] = {}  # uid -> cycle
-        finish: Dict[int, int] = {}  # uid -> cycle operand becomes available
         linear: List[Instruction] = []
         speculated_pairs = 0
         mode_switches = 0
-        speculating = self.config.speculate
 
         cycle = 0
         remaining = set(inst.uid for inst in instructions)
 
-        def ready_info(inst: Instruction) -> Tuple[bool, int, bool]:
+        def ready_info(uid: int) -> Tuple[bool, int, bool]:
             """(deps_satisfied, earliest_cycle, is_speculative_now)."""
-            earliest = 0
-            speculative = False
-            for edge in ddg.predecessors(inst):
-                honoured = edge_honoured(edge, speculating)
-                if edge.src.uid in scheduled:
-                    if honoured:
-                        earliest = max(
-                            earliest, scheduled[edge.src.uid] + edge.latency
-                        )
-                    continue
-                if honoured:
-                    return (False, 0, False)
-                speculative = True
-            return (True, earliest, speculative)
+            if hard_left[uid]:
+                return (False, 0, False)
+            return (True, earliest_at[uid], spec_left[uid] > 0)
 
         safety_limit = 50 * (n + 1) + 10000
         iterations = 0
         # Per-cycle resource state persists until the cycle advances.
         slots_used: Dict[object, int] = {}
         issued = 0
+        issue_width = self.machine.issue_width
+        slots_for = self.machine.slots_for
         while remaining:
             iterations += 1
             if iterations > safety_limit:
@@ -176,14 +202,15 @@ class ListScheduler:
             # Collect instructions issuable this cycle.
             candidates: List[Tuple[int, int, Instruction, bool]] = []
             for uid in remaining:
-                inst = by_uid[uid]
-                ok, earliest, speculative = ready_info(inst)
-                if not ok or earliest > cycle:
+                if hard_left[uid] or earliest_at[uid] > cycle:
                     continue
-                if speculative and not self.hook.speculation_allowed(inst):
+                speculative = spec_left[uid] > 0
+                if speculative and not self.hook.speculation_allowed(
+                    by_uid[uid]
+                ):
                     continue
                 candidates.append(
-                    (-height[uid], program_pos[uid], inst, speculative)
+                    (-height[uid], program_pos[uid], by_uid[uid], speculative)
                 )
             if not candidates:
                 cycle += 1
@@ -195,24 +222,31 @@ class ListScheduler:
             # Fill what remains of this cycle's slots.
             issued_any = False
             for _, _, inst, speculative in candidates:
-                if issued >= self.machine.issue_width:
+                if issued >= issue_width:
                     break
-                unit = self.machine.unit_of(inst)
-                if slots_used.get(unit, 0) >= self.machine.slots_for(unit):
+                unit, _latency = unit_lat[inst.uid]
+                if slots_used.get(unit, 0) >= slots_for(unit):
                     continue
                 # Re-verify: an issue earlier in this pass may have changed
                 # speculation permission (allocator register pressure).
                 if speculative and not self.hook.speculation_allowed(inst):
                     continue
-                ok, earliest, speculative_now = ready_info(inst)
+                ok, earliest, speculative_now = ready_info(inst.uid)
                 if not ok or earliest > cycle:
                     continue
                 slots_used[unit] = slots_used.get(unit, 0) + 1
                 issued += 1
                 issued_any = True
                 scheduled[inst.uid] = cycle
-                finish[inst.uid] = cycle + self.machine.latency_of(inst)
                 remaining.discard(inst.uid)
+                for dst_uid, latency, honoured in succ_adj[inst.uid]:
+                    if honoured:
+                        hard_left[dst_uid] -= 1
+                        available = cycle + latency
+                        if available > earliest_at[dst_uid]:
+                            earliest_at[dst_uid] = available
+                    else:
+                        spec_left[dst_uid] -= 1
                 if speculative_now and inst.is_mem:
                     speculated_pairs += 1
                 before, after = self.hook.on_scheduled(inst, cycle)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from functools import cached_property
+from typing import Dict, Mapping, Tuple
 
 from repro.ir.instruction import Instruction, Opcode
 
@@ -91,6 +92,24 @@ class MachineModel:
         if lat is not None:
             return lat
         return _DEFAULT_LATENCIES[inst.opcode]
+
+    @cached_property
+    def op_table(self) -> Dict[Opcode, Tuple[FunctionalUnit, int]]:
+        """opcode -> (functional unit, result latency), fully resolved.
+
+        The scheduler and the VLIW trace compiler look every instruction
+        up here exactly once instead of hashing ``Opcode`` members through
+        :meth:`unit_of`/:meth:`latency_of` on every issue — those two
+        lookups dominated the profile of the simulation core. (Lazy and
+        cached via the instance ``__dict__``, which a frozen dataclass
+        still permits.)"""
+        return {
+            op: (
+                _UNIT_OF[op],
+                self.latencies.get(op, _DEFAULT_LATENCIES[op]),
+            )
+            for op in _UNIT_OF
+        }
 
     def with_alias_registers(self, count: int) -> "MachineModel":
         """A copy of this model with a different alias register count."""

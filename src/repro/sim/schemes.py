@@ -32,9 +32,23 @@ from repro.sched.machine import MachineModel
 
 SCHEME_NAMES = ("smarq", "smarq16", "itanium", "none", "efficeon", "plainorder")
 
+#: shared empty required-target set (avoids one allocation per store check)
+_EMPTY_SET: Set[int] = frozenset()
+
 
 class HardwareAdapter:
-    """Drives one region execution's alias hardware. Stateful per region."""
+    """Drives one region execution's alias hardware. Stateful per region.
+
+    The two ``skip_unannotated_*`` class attributes are a fast-path
+    contract for the VLIW trace compiler: when True, :meth:`on_mem_op` is
+    promised to be a no-op (no state change, no stats, no exception) for
+    loads/stores carrying neither a P nor a C bit, so the simulator may
+    elide those calls entirely. Subclasses default to False (always
+    called) unless they opt in.
+    """
+
+    skip_unannotated_loads = False
+    skip_unannotated_stores = False
 
     def on_region_enter(self, region) -> None:
         """Reset hardware state; ``region`` is the OptimizedRegion."""
@@ -56,9 +70,16 @@ class HardwareAdapter:
 class NullAdapter(HardwareAdapter):
     """No alias hardware (and queue pseudo-ops must not appear)."""
 
+    skip_unannotated_loads = True
+    skip_unannotated_stores = True
+
 
 class SmarqAdapter(HardwareAdapter):
     """Order-based queue driven by P/C bits, offsets, ROTATE and AMOV."""
+
+    # on_mem_op returns immediately without P or C bit
+    skip_unannotated_loads = True
+    skip_unannotated_stores = True
 
     def __init__(self, num_registers: int) -> None:
         self.queue = AliasRegisterQueue(num_registers)
@@ -94,24 +115,40 @@ class ItaniumAdapter(HardwareAdapter):
     (detections SMARQ's precise constraints would not have performed).
     """
 
+    # a load without a P bit never inserts an ALAT entry; stores always
+    # check, annotated or not
+    skip_unannotated_loads = True
+    skip_unannotated_stores = False
+
     def __init__(self, num_entries: int = 32) -> None:
         self.alat = AlatModel(num_entries)
         self._required: Dict[int, Set[int]] = {}
 
     def on_region_enter(self, region) -> None:
         self.alat.reset()
-        self._required = {}
-        if region.allocator is not None:
-            for checker_uid, target_uid in region.allocator._check_pairs:
-                checker = region.allocator._inst[checker_uid]
-                target = region.allocator._inst[target_uid]
-                if checker.mem_index is None:
-                    continue
-                if target.opcode is Opcode.AMOV:
-                    continue
-                self._required.setdefault(checker.mem_index, set()).add(
-                    target.mem_index
-                )
+        # The required-target map is a pure function of the region's
+        # allocation; regions re-enter thousands of times, so it is built
+        # once and cached on the region object (a re-optimized schedule is
+        # a fresh region and recomputes).
+        cached = getattr(region, "_alat_required", None)
+        if cached is None:
+            cached = {}
+            if region.allocator is not None:
+                for checker_uid, target_uid in region.allocator._check_pairs:
+                    checker = region.allocator._inst[checker_uid]
+                    target = region.allocator._inst[target_uid]
+                    if checker.mem_index is None:
+                        continue
+                    if target.opcode is Opcode.AMOV:
+                        continue
+                    cached.setdefault(checker.mem_index, set()).add(
+                        target.mem_index
+                    )
+            try:
+                region._alat_required = cached
+            except AttributeError:  # slotted region: rebuild per entry
+                pass
+        self._required = cached
 
     def on_mem_op(self, inst: Instruction, addr: int) -> None:
         access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
@@ -119,7 +156,7 @@ class ItaniumAdapter(HardwareAdapter):
             self.alat.store_check(
                 access,
                 checker_mem_index=inst.mem_index,
-                required_targets=self._required.get(inst.mem_index, set()),
+                required_targets=self._required.get(inst.mem_index, _EMPTY_SET),
             )
         elif inst.p_bit:
             self.alat.advanced_load(inst.mem_index, access)
@@ -142,6 +179,11 @@ class EfficeonAdapter(HardwareAdapter):
     named by their ``ar_mask``. Precise, store-store capable, but the
     file is capped at 15 registers by the mask encoding.
     """
+
+    # without a C bit there is no mask to check and without a P bit no
+    # register to set: unannotated memory ops never touch the file
+    skip_unannotated_loads = True
+    skip_unannotated_stores = True
 
     def __init__(self, num_registers: int = EFFICEON_MAX_REGISTERS) -> None:
         self.file = BitmaskAliasFile(num_registers)

@@ -16,12 +16,23 @@ while accounting cycles with an in-order issue model:
 
 The simulator drives the scheme's :class:`HardwareAdapter` at every memory
 operation, rotation, and alias move.
+
+Hot-path organisation: a region's linear stream is *compiled once* into a
+flat trace of tuples — operand register indices, latency, functional-unit
+index, and a specialized ALU closure — and cached on the region object.
+Re-executions (the common case: a hot region runs thousands of times)
+then run a tight loop over plain ints and lists with no per-step opcode
+dispatch, enum hashing, or method calls. Adapter calls for memory
+operations that the scheme's hardware provably ignores (no P/C bit, see
+:class:`~repro.sim.schemes.HardwareAdapter` fast-path flags) are elided at
+compile time. The compiled timing and functional behaviour are identical
+to the original interpretive loop — locked by ``tests/goldens/``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.hw.exceptions import AliasException
 from repro.ir.instruction import Instruction, Opcode
@@ -64,6 +75,213 @@ class VliwStats:
     instructions: int = 0
 
 
+# Trace entry kinds (plain ints: no enum hashing on the execution path).
+_K_ALU = 0
+_K_LD = 1
+_K_ST = 2
+_K_CBR = 3
+_K_BR = 4
+_K_EXIT = 5
+_K_ROTATE = 6
+_K_AMOV = 7
+_K_NOP = 8
+
+#: functional-unit index order used by the compiled trace's slot vectors
+_UNIT_ORDER = (
+    FunctionalUnit.MEM,
+    FunctionalUnit.ALU,
+    FunctionalUnit.FPU,
+    FunctionalUnit.BRANCH,
+)
+_UNIT_INDEX = {unit: idx for idx, unit in enumerate(_UNIT_ORDER)}
+
+_CBR_CODE = {Opcode.BEQ: 0, Opcode.BNE: 1, Opcode.BLT: 2, Opcode.BGE: 3}
+
+
+def _compile_alu_fn(inst: Instruction) -> Callable[[List[int]], None]:
+    """Specialized register-effect closure for one ALU instruction.
+
+    Mirrors the opcode dispatch of :meth:`VliwSimulator._execute_alu`
+    exactly; unsupported opcodes compile to a closure that raises the same
+    error at execution time (not compile time), preserving any partial
+    side effects of the instructions before it.
+    """
+    op = inst.opcode
+    dest = inst.dest
+    srcs = inst.srcs
+    imm = inst.imm
+
+    if op is Opcode.MOVI:
+        value = imm or 0
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = value
+
+        return fn
+    if op is Opcode.MOV:
+        s0 = srcs[0]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = regs[s0]
+
+        return fn
+    if op in (Opcode.ADD, Opcode.SUB) and imm is not None:
+        s0 = srcs[0]
+        delta = imm if op is Opcode.ADD else -imm
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[s0] + delta)
+
+        return fn
+    if op in (Opcode.ADD, Opcode.FADD):
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[s0] + regs[s1])
+
+        return fn
+    if op in (Opcode.SUB, Opcode.FSUB):
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[s0] - regs[s1])
+
+        return fn
+    if op in (Opcode.MUL, Opcode.FMUL):
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[s0] * regs[s1])
+
+        return fn
+    if op is Opcode.AND:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = regs[s0] & regs[s1]
+
+        return fn
+    if op is Opcode.OR:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = regs[s0] | regs[s1]
+
+        return fn
+    if op is Opcode.XOR:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = regs[s0] ^ regs[s1]
+
+        return fn
+    if op is Opcode.SHL:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[s0] << (regs[s1] & 63))
+
+        return fn
+    if op is Opcode.SHR:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = (regs[s0] & _MASK64) >> (regs[s1] & 63)
+
+        return fn
+    if op is Opcode.CMP:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            a, b = regs[s0], regs[s1]
+            regs[dest] = (a > b) - (a < b)
+
+        return fn
+    if op is Opcode.FDIV:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            b = regs[s1]
+            regs[dest] = regs[s0] // b if b else 0
+
+        return fn
+    if op is Opcode.FMA:
+        s0, s1 = srcs[0], srcs[1]
+
+        def fn(regs: List[int]) -> None:
+            regs[dest] = _wrap(regs[dest] + regs[s0] * regs[s1])
+
+        return fn
+
+    def fn(regs: List[int]) -> None:
+        raise ValueError(f"VLIW simulator cannot execute {inst!r}")
+
+    return fn
+
+
+def _compile_trace(machine: MachineModel, linear: List[Instruction], adapter_cls):
+    """Flatten a linear instruction stream into execution tuples.
+
+    Each entry is ``(kind, uses, dest, latency, unit_idx, aux)`` where
+    ``uses`` is a tuple of scoreboard register indices, ``dest`` is the
+    written register (or None), and ``aux`` carries kind-specific
+    precomputed operands.
+    """
+    skip_loads = getattr(adapter_cls, "skip_unannotated_loads", False)
+    skip_stores = getattr(adapter_cls, "skip_unannotated_stores", False)
+    op_table = machine.op_table
+    trace = []
+    for inst in linear:
+        op = inst.opcode
+        unit, latency = op_table[op]
+        unit_idx = _UNIT_INDEX[unit]
+        uses = tuple(inst.uses())
+        dest = inst.dest
+        if op is Opcode.LD:
+            call_adapter = (inst.p_bit or inst.c_bit) or not skip_loads
+            aux = (inst.base, inst.disp, inst.size, inst.dest, inst,
+                   call_adapter)
+            kind = _K_LD
+        elif op is Opcode.ST:
+            call_adapter = (inst.p_bit or inst.c_bit) or not skip_stores
+            aux = (inst.base, inst.disp, inst.size, inst.srcs[0], inst,
+                   call_adapter)
+            kind = _K_ST
+        elif op is Opcode.ROTATE:
+            aux = inst
+            kind = _K_ROTATE
+        elif op is Opcode.AMOV:
+            aux = inst
+            kind = _K_AMOV
+        elif op is Opcode.NOP:
+            aux = None
+            kind = _K_NOP
+        elif op is Opcode.EXIT:
+            aux = inst.target
+            kind = _K_EXIT
+        elif op is Opcode.BR:
+            aux = inst.target
+            kind = _K_BR
+        elif op in _CBR_CODE:
+            b = inst.srcs[1] if len(inst.srcs) > 1 else None
+            aux = (_CBR_CODE[op], inst.srcs[0], b, inst.target)
+            kind = _K_CBR
+        else:
+            aux = _compile_alu_fn(inst)
+            kind = _K_ALU
+        trace.append((kind, uses, dest, latency, unit_idx, aux))
+
+    # Fall-off-the-end continuation pc (precomputed; see _execute_region).
+    fall_through = None
+    last_pc = max(
+        (i.guest_pc for i in linear if i.guest_pc is not None),
+        default=None,
+    )
+    if last_pc is not None:
+        fall_through = last_pc + 1
+    return trace, fall_through
+
+
 class VliwSimulator:
     """Executes optimized regions over shared guest memory."""
 
@@ -89,6 +307,33 @@ class VliwSimulator:
         with self.tracer.phase("execute"):
             return self._execute_region(region, adapter, registers)
 
+    def _trace_for(self, region, adapter):
+        """The compiled trace for ``region``, cached on the region object.
+
+        The cache is keyed on the identity of the linear stream, the
+        adapter class, and the machine model, so a re-optimized schedule
+        (a fresh region/linear list) or a different execution context
+        never sees a stale trace.
+        """
+        linear = region.schedule.linear
+        adapter_cls = type(adapter)
+        cached = getattr(region, "_vliw_trace", None)
+        if (
+            cached is not None
+            and cached[0] is linear
+            and cached[1] is adapter_cls
+            and cached[2] is self.machine
+        ):
+            return cached[3], cached[4]
+        trace, fall_through = _compile_trace(self.machine, linear, adapter_cls)
+        try:
+            region._vliw_trace = (
+                linear, adapter_cls, self.machine, trace, fall_through
+            )
+        except AttributeError:  # slotted/frozen region: skip caching
+            pass
+        return trace, fall_through
+
     def _execute_region(
         self,
         region,
@@ -97,8 +342,11 @@ class VliwSimulator:
     ) -> RegionOutcome:
         machine = self.machine
         memory = self.memory
-        self.stats.regions_executed += 1
+        stats = self.stats
+        stats.regions_executed += 1
         self.tracer.count("vliw.regions_executed")
+
+        trace, fall_through = self._trace_for(region, adapter)
 
         # Translated code may use host scratch registers beyond the guest
         # register file (register renaming in unrolled regions); scratch
@@ -108,95 +356,102 @@ class VliwSimulator:
         undo_log: List[Tuple[int, bytes]] = []
         adapter.on_region_enter(region)
 
-        reg_ready: Dict[int, int] = {}
+        reg_ready = [0] * len(regs)
         cycle = machine.checkpoint_cycles
-        slots_used: Dict[FunctionalUnit, int] = {}
+        issue_width = machine.issue_width
+        limits = [machine.slots_for(unit) for unit in _UNIT_ORDER]
+        slots_used = [0, 0, 0, 0]
         issued_in_cycle = 0
         executed = 0
 
-        def advance_to(target_cycle: int) -> None:
-            nonlocal cycle, slots_used, issued_in_cycle
-            if target_cycle > cycle:
-                cycle = target_cycle
-                slots_used = {}
-                issued_in_cycle = 0
-
-        def issue(inst: Instruction) -> None:
-            """Account one instruction's issue cycle and slots."""
-            nonlocal cycle, issued_in_cycle
-            earliest = cycle
-            for reg in inst.uses():
-                earliest = max(earliest, reg_ready.get(reg, 0))
-            advance_to(earliest)
-            unit = machine.unit_of(inst)
-            while (
-                issued_in_cycle >= machine.issue_width
-                or slots_used.get(unit, 0) >= machine.slots_for(unit)
-            ):
-                advance_to(cycle + 1)
-            slots_used[unit] = slots_used.get(unit, 0) + 1
-            issued_in_cycle += 1
-            if inst.dest is not None:
-                reg_ready[inst.dest] = cycle + machine.latency_of(inst)
-
-        def rollback() -> None:
-            for addr, old in reversed(undo_log):
-                memory.write_bytes(addr, old)
-            adapter.on_region_exit()
+        mem_read = memory.read
+        mem_write = memory.write
+        on_mem_op = adapter.on_mem_op
 
         outcome_status: Optional[str] = None
         next_pc: Optional[int] = None
         exit_code: Optional[int] = None
 
         try:
-            for inst in region.schedule.linear:
-                op = inst.opcode
-                issue(inst)
+            for kind, uses, dest, latency, unit_idx, aux in trace:
+                # -- issue accounting (scoreboard + bundling) ----------
+                earliest = cycle
+                for reg in uses:
+                    ready = reg_ready[reg]
+                    if ready > earliest:
+                        earliest = ready
+                if earliest > cycle:
+                    cycle = earliest
+                    slots_used = [0, 0, 0, 0]
+                    issued_in_cycle = 0
+                while (
+                    issued_in_cycle >= issue_width
+                    or slots_used[unit_idx] >= limits[unit_idx]
+                ):
+                    cycle += 1
+                    slots_used = [0, 0, 0, 0]
+                    issued_in_cycle = 0
+                slots_used[unit_idx] += 1
+                issued_in_cycle += 1
+                if dest is not None:
+                    reg_ready[dest] = cycle + latency
                 executed += 1
 
-                if op is Opcode.ROTATE:
-                    adapter.on_rotate(inst)
-                    continue
-                if op is Opcode.AMOV:
-                    adapter.on_amov(inst)
-                    continue
-                if op is Opcode.NOP:
-                    continue
-                if op is Opcode.LD:
-                    addr = regs[inst.base] + inst.disp
-                    adapter.on_mem_op(inst, addr)
-                    regs[inst.dest] = memory.read(addr, inst.size)
-                    continue
-                if op is Opcode.ST:
-                    addr = regs[inst.base] + inst.disp
-                    adapter.on_mem_op(inst, addr)
-                    undo_log.append((addr, memory.read_bytes(addr, inst.size)))
-                    memory.write(addr, regs[inst.srcs[0]], inst.size)
-                    continue
-                if op is Opcode.EXIT:
-                    outcome_status = "exit"
-                    exit_code = inst.target
-                    break
-                if op is Opcode.BR:
-                    outcome_status = "commit"
-                    next_pc = inst.target
-                    break
-                if inst.is_branch:
-                    taken = self._branch_taken(inst, regs)
+                # -- functional effect ---------------------------------
+                if kind == _K_ALU:
+                    aux(regs)
+                elif kind == _K_LD:
+                    base, disp, size, dreg, inst, call_adapter = aux
+                    addr = regs[base] + disp
+                    if call_adapter:
+                        on_mem_op(inst, addr)
+                    regs[dreg] = mem_read(addr, size)
+                elif kind == _K_ST:
+                    base, disp, size, sreg, inst, call_adapter = aux
+                    addr = regs[base] + disp
+                    if call_adapter:
+                        on_mem_op(inst, addr)
+                    undo_log.append((addr, memory.read_bytes(addr, size)))
+                    mem_write(addr, regs[sreg], size)
+                elif kind == _K_CBR:
+                    code, a, b, target = aux
+                    av = regs[a]
+                    bv = regs[b] if b is not None else 0
+                    if code == 0:
+                        taken = av == bv
+                    elif code == 1:
+                        taken = av != bv
+                    elif code == 2:
+                        taken = av < bv
+                    else:
+                        taken = av >= bv
                     if taken:
                         outcome_status = "side_exit"
-                        next_pc = inst.target
+                        next_pc = target
                         break
-                    continue
-                self._execute_alu(inst, regs)
+                elif kind == _K_BR:
+                    outcome_status = "commit"
+                    next_pc = aux
+                    break
+                elif kind == _K_EXIT:
+                    outcome_status = "exit"
+                    exit_code = aux
+                    break
+                elif kind == _K_ROTATE:
+                    adapter.on_rotate(aux)
+                elif kind == _K_AMOV:
+                    adapter.on_amov(aux)
+                # _K_NOP: issue accounting only
         except AliasException as exc:
-            rollback()
+            for addr, old in reversed(undo_log):
+                memory.write_bytes(addr, old)
+            adapter.on_region_exit()
             cycles = cycle + machine.rollback_penalty
-            self.stats.alias_aborts += 1
+            stats.alias_aborts += 1
             if exc.false_positive:
-                self.stats.false_positive_aborts += 1
-            self.stats.total_cycles += cycles
-            self.stats.instructions += executed
+                stats.false_positive_aborts += 1
+            stats.total_cycles += cycles
+            stats.instructions += executed
             return RegionOutcome(
                 status="alias",
                 cycles=cycles,
@@ -209,20 +464,21 @@ class VliwSimulator:
         if outcome_status is None:
             # Fell off the end of the region: continue at the instruction
             # after the last guest pc represented in the region.
+            if fall_through is not None:
+                next_pc = fall_through
+            else:
+                next_pc = region.block.entry_pc + 1
             outcome_status = "commit"
-            last_pc = max(
-                (i.guest_pc for i in region.schedule.linear if i.guest_pc is not None),
-                default=region.block.entry_pc,
-            )
-            next_pc = last_pc + 1
 
         cycles = cycle + 1
-        self.stats.instructions += executed
+        stats.instructions += executed
         if outcome_status == "side_exit":
-            rollback()
-            cycles += self.machine.rollback_penalty
-            self.stats.side_exit_aborts += 1
-            self.stats.total_cycles += cycles
+            for addr, old in reversed(undo_log):
+                memory.write_bytes(addr, old)
+            adapter.on_region_exit()
+            cycles += machine.rollback_penalty
+            stats.side_exit_aborts += 1
+            stats.total_cycles += cycles
             return RegionOutcome(
                 status="side_exit",
                 cycles=cycles,
@@ -233,8 +489,8 @@ class VliwSimulator:
         # Commit: make (guest) register effects architectural.
         adapter.on_region_exit()
         registers[:] = regs[:guest_count]
-        self.stats.commits += 1
-        self.stats.total_cycles += cycles
+        stats.commits += 1
+        stats.total_cycles += cycles
         return RegionOutcome(
             status=outcome_status,
             cycles=cycles,
@@ -243,6 +499,9 @@ class VliwSimulator:
             instructions_executed=executed,
         )
 
+    # ------------------------------------------------------------------
+    # Reference implementations, kept for direct use in unit tests and as
+    # the executable specification the compiled trace must match.
     # ------------------------------------------------------------------
     @staticmethod
     def _branch_taken(inst: Instruction, regs: List[int]) -> bool:

@@ -17,10 +17,12 @@ scheduling, in a single pass:
     ``AMOV`` is inserted just before ``Y`` to relocate ``S``'s access range
     (lines 33-54): unscheduled checkers of ``S`` are rewired to the AMOV.
 
-* Allocation itself is deferred through a ready/delay queue pair: an
-  operation's register *order* is assigned only once every operation that
-  must receive an earlier-or-equal order (its constraint-graph
-  predecessors) has been allocated (lines 56-75). Because of the deferral,
+* Allocation itself is deferred through a ready queue: an operation's
+  register *order* is assigned only once every operation that must
+  receive an earlier-or-equal order (its constraint-graph predecessors)
+  has been allocated (lines 56-75; operations with unallocated
+  predecessors simply wait as pending until the allocation that releases
+  their last constraint edge pushes them onto the queue). Because of the deferral,
   a register's order is assigned exactly when its last user is scheduled —
   so immediately afterwards the queue BASE can rotate past it, which is
   what keeps the working set small (Figure 17).
@@ -35,6 +37,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.cycles import IncrementalOrder, OrderCycleError
@@ -112,8 +115,23 @@ class SmarqAllocator(AllocatorHook):
         self._base: Dict[int, int] = {}
         self._order: Dict[int, int] = {}
         self._ready: deque = deque()
-        self._delay: deque = deque()
         self._pending: Set[int] = set()  # scheduled, awaiting allocation
+        # Maintained aggregates so the scheduler's per-candidate
+        # speculation_allowed query is O(log n) instead of rescanning
+        # every pending operation and every dependence:
+        #: lazy-deletion min-heap of (base, uid) over pending operations
+        self._base_heap: List[Tuple[int, int]] = []
+        #: pending operations carrying a P bit (P bits are stable once an
+        #: operation is enqueued — see _enqueue_for_allocation)
+        self._pending_p = 0
+        #: not-yet-scheduled endpoints of extended dependences (their
+        #: checks are mandatory future register pressure)
+        self._ext_unsched: Set[int] = {
+            end.uid
+            for dep in dependences
+            if dep.extended
+            for end in (dep.src, dep.dst)
+        }
         #: AMOV fixups: (amov_inst, moved_source_inst)
         self._amov_fixups: List[Tuple[Instruction, Instruction]] = []
         self._linear: Optional[List[Instruction]] = None
@@ -137,28 +155,20 @@ class SmarqAllocator(AllocatorHook):
     def speculation_allowed(self, inst: Instruction) -> bool:
         if not self.enable_throttle:
             return True
+        # min base over pending ops, via the lazy-deletion heap (entries
+        # whose op got allocated are discarded on sight).
+        heap = self._base_heap
+        while heap and heap[0][1] not in self._pending:
+            heappop(heap)
         min_base = self._next_order
-        for uid in self._pending:
-            base = self._base.get(uid)
-            if base is not None:
-                min_base = min(min_base, base)
-        pending_p = sum(
-            1
-            for uid in self._pending
-            if self._inst[uid].p_bit and uid not in self._allocated
-        )
+        if heap and heap[0][0] < min_base:
+            min_base = heap[0][0]
         # Future mandatory register pressure: extended dependences force
-        # checks even without reordering; count their unscheduled endpoints.
-        future = 0
-        seen: Set[int] = set()
-        for dep in self.deps:
-            if not dep.extended:
-                continue
-            for end in (dep.src, dep.dst):
-                if end.uid not in self._scheduled and end.uid not in seen:
-                    seen.add(end.uid)
-                    future += 1
-        max_order = self._next_order + pending_p + future + 1  # +1 for inst
+        # checks even without reordering; their unscheduled endpoints are
+        # maintained incrementally in on_scheduled.
+        max_order = (
+            self._next_order + self._pending_p + len(self._ext_unsched) + 1
+        )  # +1 for inst
         max_offset = max_order - min_base
         if max_offset + self._overflow_margin >= self.machine.alias_registers:
             self.stats.speculation_throttled += 1
@@ -172,6 +182,7 @@ class SmarqAllocator(AllocatorHook):
         self, inst: Instruction, cycle: int
     ) -> Tuple[List[Instruction], List[Instruction]]:
         self._scheduled.add(inst.uid)
+        self._ext_unsched.discard(inst.uid)
         if not inst.is_mem:
             return ([], [])
         before: List[Instruction] = []
@@ -331,20 +342,21 @@ class SmarqAllocator(AllocatorHook):
     # Allocation with ready/delay queues (lines 56-75)
     # ------------------------------------------------------------------
     def _has_unallocated_preds(self, inst: Instruction) -> bool:
-        for pred in self._in.get(inst.uid, ()):
-            if pred not in self._allocated:
-                return True
-        return False
+        # Constraint edges are removed the moment their source is
+        # allocated (and sources are never allocated when an edge is
+        # added), so every remaining in-edge is an unallocated pred.
+        return bool(self._in.get(inst.uid))
 
     def _enqueue_for_allocation(self, inst: Instruction) -> None:
         self._pending.add(inst.uid)
-        if self._has_unallocated_preds(inst):
-            self._delay.append(inst.uid)
-        else:
+        heappush(self._base_heap, (self._base[inst.uid], inst.uid))
+        if inst.p_bit:
+            self._pending_p += 1
+        if not self._in.get(inst.uid):
             self._ready.append(inst.uid)
 
     def _promote_to_ready(self, inst: Instruction) -> None:
-        # The uid may still sit in the delay deque; _drain_ready skips
+        # The uid may already sit in the ready deque; _drain_ready skips
         # entries that were already allocated, so stale entries are fine.
         self._ready.append(inst.uid)
 
@@ -353,10 +365,9 @@ class SmarqAllocator(AllocatorHook):
             uid = self._ready.popleft()
             if uid in self._allocated:
                 continue
-            inst = self._inst[uid]
-            if self._has_unallocated_preds(inst):
+            if self._in.get(uid):
                 continue  # stale ready entry
-            self._allocate_now(inst)
+            self._allocate_now(self._inst[uid])
 
     def _allocate_now(self, inst: Instruction) -> None:
         base = self._base[inst.uid]
@@ -375,22 +386,24 @@ class SmarqAllocator(AllocatorHook):
             )
         inst.ar_offset = offset
         inst.ar_order = order
-        self.stats.working_set = max(self.stats.working_set, offset + 1)
+        if offset >= self.stats.working_set:
+            self.stats.working_set = offset + 1
         if inst.p_bit:
             self._next_order += 1
+            self._pending_p -= 1
         self._allocated.add(inst.uid)
         self._pending.discard(inst.uid)
         # Releasing inst's outgoing constraint edges can ready successors.
-        for succ_uid in list(self._out.get(inst.uid, ())):
-            self._out[inst.uid].discard(succ_uid)
-            self._in[succ_uid].discard(inst.uid)
-            succ = self._inst[succ_uid]
-            if (
-                succ_uid in self._pending
-                and succ_uid not in self._allocated
-                and not self._has_unallocated_preds(succ)
-            ):
-                self._ready.append(succ_uid)
+        # Iterated in uid order: deterministic regardless of how many
+        # instructions the process created before this superblock (set
+        # iteration over uids is not).
+        succs = self._out.get(inst.uid)
+        if succs:
+            for succ_uid in sorted(succs):
+                self._in[succ_uid].discard(inst.uid)
+                if succ_uid in self._pending and not self._in[succ_uid]:
+                    self._ready.append(succ_uid)
+            succs.clear()
 
     def _allocate_reg(self, inst: Instruction) -> Optional[Instruction]:
         """Record base, enqueue, drain, and emit a rotation if BASE moved."""

@@ -1,0 +1,182 @@
+"""Differential property tests: three allocation paths, one oracle.
+
+The repo has three ways to produce an alias-register allocation:
+
+* the scheduler-integrated :class:`SmarqAllocator` (the paper's Section 5
+  incremental algorithm, with AMOV repair);
+* the standalone :func:`fast_allocate` (FAST ALGORITHM + MAX-BASE over a
+  fixed schedule, Section 5.1);
+* the :class:`PlainOrderAllocator` baseline (Section 2.4: one register per
+  memory op in program order).
+
+All three must satisfy the same machine-checked contract, certified by the
+hardware-replay oracle in :mod:`repro.smarq.validator`: every
+check-constraint is detected when its pair collides, and no anti-constraint
+can fire. On top of that, the paths are compared *against each other*: the
+integrated allocator's incrementally-derived constraints must equal the
+post-hoc Section 4 derivation, and working sets must satisfy the paper's
+Figure 17 ordering ``plain_order >= smarq >= liveness lower bound``.
+
+These tests exist so the hot-path restructuring of the allocator (heap
+ready queue, pending counters) can never silently change what is allocated
+— any divergence from the naive derivation fails here before it could show
+up as a wrong figure.
+"""
+
+from hypothesis import assume, given, settings
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.constraints import (
+    CheckConstraint,
+    ConstraintCycleError,
+    derive_constraints,
+)
+from repro.analysis.dependence import DependenceSet, compute_dependences
+from repro.analysis.liveness import working_set_lower_bound
+from repro.ir.superblock import Superblock
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import ListScheduler, SchedulerConfig
+from repro.sched.machine import MachineModel
+from repro.smarq.allocator import SmarqAllocator
+from repro.smarq.fast_alloc import fast_allocate
+from repro.smarq.plain_order_alloc import PlainOrderAllocator
+from repro.smarq.validator import (
+    semantic_pairs_from_allocator,
+    validate_allocation,
+)
+
+from tests.test_property_smarq import program_body
+
+REGISTERS = 64
+
+
+def build_inputs(body):
+    """Fresh block + analysis + machine + dependences for one example."""
+    block = Superblock(instructions=[i.copy() for i in body])
+    analysis = AliasAnalysis(block)
+    machine = MachineModel().with_alias_registers(REGISTERS)
+    deps = DependenceSet(compute_dependences(block, analysis))
+    return block, analysis, machine, deps
+
+
+def integrated_allocation(body):
+    """Schedule with the integrated SMARQ allocator attached."""
+    block, analysis, machine, deps = build_inputs(body)
+    allocator = SmarqAllocator(machine, deps, list(block.instructions))
+    ddg = DataDependenceGraph(block, machine, memory_dependences=list(deps))
+    result = ListScheduler(machine, SchedulerConfig(), allocator).schedule(
+        ddg, alias_analysis=analysis
+    )
+    return allocator, result, deps, machine
+
+
+def plain_speculative_schedule(body):
+    """Schedule speculatively with no allocator hook (fixed-schedule input)."""
+    block, analysis, machine, deps = build_inputs(body)
+    ddg = DataDependenceGraph(block, machine, memory_dependences=list(deps))
+    result = ListScheduler(machine, SchedulerConfig()).schedule(
+        ddg, alias_analysis=analysis
+    )
+    return result, deps, machine
+
+
+class TestEachPathIsCertified:
+    """All three allocators pass the hardware-replay oracle."""
+
+    @settings(max_examples=75, deadline=None)
+    @given(body=program_body)
+    def test_integrated_allocator(self, body):
+        allocator, result, _deps, machine = integrated_allocation(body)
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(result.linear, checks, antis, machine.alias_registers)
+
+    @settings(max_examples=75, deadline=None)
+    @given(body=program_body)
+    def test_fast_alloc(self, body):
+        result, deps, machine = plain_speculative_schedule(body)
+        positions = {inst.uid: i for i, inst in enumerate(result.linear)}
+        constraints = derive_constraints(deps, positions)
+        try:
+            alloc = fast_allocate(list(result.linear), constraints)
+        except ConstraintCycleError:
+            # Cyclic constraint graphs need the integrated path's AMOV
+            # repair; the standalone algorithm documents that it raises.
+            assume(False)
+        validate_allocation(
+            alloc.linear,
+            [(c.checker, c.target) for c in constraints.checks],
+            [(a.protected, a.checker) for a in constraints.antis],
+            machine.alias_registers,
+        )
+
+    @settings(max_examples=75, deadline=None)
+    @given(body=program_body)
+    def test_plain_order(self, body):
+        block, analysis, machine, deps = build_inputs(body)
+        hook = PlainOrderAllocator(machine, deps, list(block.instructions))
+        assume(hook.fits)  # bodies are tiny; this never actually skips
+        ddg = DataDependenceGraph(block, machine, memory_dependences=list(deps))
+        result = ListScheduler(machine, SchedulerConfig(), hook).schedule(
+            ddg, alias_analysis=analysis
+        )
+        positions = {inst.uid: i for i, inst in enumerate(result.linear)}
+        constraints = derive_constraints(deps, positions)
+        validate_allocation(
+            result.linear,
+            [(c.checker, c.target) for c in constraints.checks],
+            [(a.protected, a.checker) for a in constraints.antis],
+            machine.alias_registers,
+        )
+
+
+class TestPathsAgree:
+    """Cross-implementation agreement (the differential part)."""
+
+    @settings(max_examples=75, deadline=None)
+    @given(body=program_body)
+    def test_integrated_constraints_match_posthoc_derivation(self, body):
+        """The allocator's incremental check pairs == Section 4's two-step
+        derivation applied to the final schedule positions."""
+        allocator, result, deps, _machine = integrated_allocation(body)
+        positions = {inst.uid: i for i, inst in enumerate(result.linear)}
+        derived = derive_constraints(deps, positions)
+        checks, _antis = semantic_pairs_from_allocator(allocator)
+        incremental = {(checker.uid, target.uid) for checker, target in checks}
+        posthoc = {(c.checker.uid, c.target.uid) for c in derived.checks}
+        assert incremental == posthoc
+
+    @settings(max_examples=75, deadline=None)
+    @given(body=program_body)
+    def test_working_set_ordering(self, body):
+        """Figure 17 ordering: plain_order >= smarq >= liveness bound."""
+        allocator, result, deps, machine = integrated_allocation(body)
+        smarq_ws = allocator.stats.working_set
+
+        positions = result.position()
+        checks = [
+            CheckConstraint(allocator._inst[c], allocator._inst[t])
+            for c, t in allocator._check_pairs
+            if allocator._inst[c].uid in positions
+            and allocator._inst[t].uid in positions
+        ]
+        bound = working_set_lower_bound(checks, positions)
+
+        block, analysis, plain_machine, plain_deps = build_inputs(body)
+        hook = PlainOrderAllocator(
+            plain_machine, plain_deps, list(block.instructions)
+        )
+        assume(hook.fits)
+        ddg = DataDependenceGraph(
+            block, plain_machine, memory_dependences=list(plain_deps)
+        )
+        ListScheduler(plain_machine, SchedulerConfig(), hook).schedule(
+            ddg, alias_analysis=analysis
+        )
+        plain_ws = hook.stats.working_set
+
+        assert bound <= smarq_ws, (
+            f"smarq working set {smarq_ws} below its liveness bound {bound}"
+        )
+        assert smarq_ws <= plain_ws, (
+            f"smarq working set {smarq_ws} exceeds plain-order {plain_ws}"
+        )

@@ -1,0 +1,89 @@
+"""Golden-report regression corpus.
+
+Byte-level lock on the observable output of the simulation core: for a
+small (benchmark x scheme) grid the full :class:`~repro.sim.dbt.DbtReport`
+is serialized to canonical JSON and compared against a committed golden
+file. Any change to cycle accounting, scheduling order, allocation,
+alias-exception behaviour or report layout fails here first — this is the
+proof obligation behind every hot-path optimization: *faster, but
+byte-identical*.
+
+Regenerating (only when an intentional behaviour change lands):
+
+    SMARQ_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_reports.py -q
+
+and commit the rewritten files under ``tests/goldens/``.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.workloads import make_benchmark
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: the locked grid: small, fast, and covering the three hardware families
+#: (precise queue, imprecise ALAT, no alias hardware)
+GOLDEN_BENCHMARKS = ("swim", "art", "equake")
+GOLDEN_SCHEMES = ("smarq", "itanium", "none")
+GOLDEN_SCALE = 0.05
+GOLDEN_HOT_THRESHOLD = 20
+
+GOLDEN_CELLS = [
+    (bench, scheme)
+    for bench in GOLDEN_BENCHMARKS
+    for scheme in GOLDEN_SCHEMES
+]
+
+
+def golden_path(bench: str, scheme: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{bench}_{scheme}_s005.json"
+
+
+def render_report(bench: str, scheme: str) -> str:
+    """Run one cell and serialize its report canonically."""
+    program = make_benchmark(bench, scale=GOLDEN_SCALE)
+    system = DbtSystem(
+        program,
+        scheme,
+        profiler_config=ProfilerConfig(hot_threshold=GOLDEN_HOT_THRESHOLD),
+    )
+    report = system.run()
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("bench,scheme", GOLDEN_CELLS)
+def test_report_matches_golden(bench, scheme):
+    path = golden_path(bench, scheme)
+    rendered = render_report(bench, scheme)
+    if os.environ.get("SMARQ_REGEN_GOLDENS") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden {path.name}; regenerate with SMARQ_REGEN_GOLDENS=1"
+    )
+    expected = path.read_text()
+    assert rendered == expected, (
+        f"DbtReport for ({bench}, {scheme}) diverged from the committed "
+        f"golden — the simulation core's observable output changed. If "
+        f"intentional, regenerate with SMARQ_REGEN_GOLDENS=1."
+    )
+
+
+def test_goldens_are_canonical_json():
+    """Each committed golden must be canonical (sorted keys, 2-space
+    indent, trailing newline) so byte-diffs equal semantic diffs."""
+    for bench, scheme in GOLDEN_CELLS:
+        path = golden_path(bench, scheme)
+        if not path.exists():
+            pytest.skip("goldens not generated yet")
+        raw = path.read_text()
+        data = json.loads(raw)
+        assert raw == json.dumps(data, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,101 @@
+"""Perf-contract tests: algorithmic invariants instead of timing.
+
+Wall-clock benchmarks (``python -m repro perf``) drift with the machine;
+these tests pin the *shape* of the hot paths with exact counters, so a
+complexity regression (a cache that stops hitting, a queue scan that goes
+quadratic, an allocator that re-heapifies) fails deterministically:
+
+1. a warm report cache serves every job without a single ``DbtSystem.run``
+   (the Tracer's ``dbt.runs`` counter stays at zero);
+2. the alias-register queue performs at most ``live`` comparisons per
+   check — the sorted-order index must never degrade to rescanning dead
+   or earlier-order entries;
+3. the integrated allocator's base-tracking heap does O(1) amortized work
+   per memory operation: each op is pushed at most once, and pops never
+   exceed pushes.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+import repro.smarq.allocator as allocator_mod
+from repro.engine.cache import ReportCache
+from repro.engine.core import ExecutionEngine
+from repro.engine.instrumentation import Tracer
+from repro.engine.jobs import JobSpec
+from repro.frontend.profiler import ProfilerConfig
+from repro.sim.dbt import DbtSystem
+from repro.workloads import make_benchmark
+
+from tests.test_differential_alloc import integrated_allocation
+from tests.test_property_smarq import program_body
+
+SPEC = JobSpec(benchmark="art", scheme_key="smarq", scale=0.05)
+
+
+class TestWarmCacheRunsNothing:
+    def test_second_engine_serves_fully_from_cache(self, tmp_path):
+        cold = Tracer()
+        ExecutionEngine(cache=ReportCache(tmp_path), tracer=cold).run([SPEC])
+        assert cold.counters.get("dbt.runs", 0) >= 1
+        assert cold.counters.get("engine.cache_misses") == 1
+
+        warm = Tracer()
+        reports = ExecutionEngine(
+            cache=ReportCache(tmp_path), tracer=warm
+        ).run([SPEC])
+        assert len(reports) == 1
+        assert warm.counters.get("engine.cache_hits") == 1
+        assert warm.counters.get("engine.cache_misses", 0) == 0
+        assert warm.counters.get("dbt.runs", 0) == 0
+
+
+class TestQueueComparisonBound:
+    def test_comparisons_bounded_by_checks_times_live(self):
+        """Every check compares at most the entries live at-or-after its
+        own order; ``max_live`` upper-bounds that for all checks."""
+        program = make_benchmark("art", scale=0.05)
+        system = DbtSystem(
+            program, "smarq", profiler_config=ProfilerConfig(hot_threshold=20)
+        )
+        system.run()
+        stats = system.runtime._adapter.queue.stats
+        total_checks = stats.checks + stats.exceptions
+        assert stats.sets > 0, "workload never exercised the queue"
+        assert total_checks > 0
+        assert stats.max_live <= system.runtime._adapter.queue.num_registers
+        assert stats.comparisons <= total_checks * stats.max_live
+
+
+class TestAllocatorHeapIsLinear:
+    @settings(max_examples=50, deadline=None)
+    @given(body=program_body)
+    def test_heap_traffic_linear_in_memory_ops(self, body):
+        # Patched by hand (not the monkeypatch fixture) so each generated
+        # example gets fresh counters under hypothesis.
+        pushes = []
+        pops = []
+        real_push = allocator_mod.heappush
+        real_pop = allocator_mod.heappop
+
+        def counting_push(heap, item):
+            pushes.append(item)
+            real_push(heap, item)
+
+        def counting_pop(heap):
+            pops.append(heap[0])
+            return real_pop(heap)
+
+        allocator_mod.heappush = counting_push
+        allocator_mod.heappop = counting_pop
+        try:
+            allocator, _result, _deps, _machine = integrated_allocation(body)
+        finally:
+            allocator_mod.heappush = real_push
+            allocator_mod.heappop = real_pop
+        mem_ops = allocator.stats.memory_ops
+        # One push per op that ever becomes pending, plus one per AMOV
+        # pseudo-op; never a re-heapify of the whole structure.
+        budget = mem_ops + allocator.stats.amovs_inserted
+        assert len(pushes) <= budget
+        assert len(pops) <= len(pushes)
