@@ -289,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", default="",
         help="comma-separated scheme subset (default: smarq,itanium,none)",
     )
-    perf_p.add_argument("--output", default="BENCH_pr2.json")
+    perf_p.add_argument("--output", default="BENCH_pr3.json")
     perf_p.add_argument(
         "--baseline", default="",
         help="previous BENCH json to embed and compute speedups against",

@@ -89,8 +89,10 @@ class ExecutionEngine:
                 self.cache.put(result.fingerprint, result.report)
                 self.stats.simulated_runs += 1
                 self.tracer.merge(result.counters, result.timings)
-            self.stats.serial_fallbacks = self.executor.fallbacks
 
+        # Synced unconditionally: a fully warm cache must still report the
+        # executor's lifetime fallback count, not a stale zero.
+        self.stats.serial_fallbacks = self.executor.fallbacks
         self.stats.jobs += len(specs)
         self.stats.wall_seconds += time.perf_counter() - start
         self.stats.counters = dict(self.tracer.counters)
@@ -126,6 +128,19 @@ class ExecutionEngine:
                 f"positives)",
                 f"regions executed      : "
                 f"{c.get('vliw.regions_executed', 0)}",
+            ]
+        plan_hits = c.get("vliw.plan_hits", 0)
+        plan_misses = c.get("vliw.plan_misses", 0)
+        lookups = plan_hits + plan_misses
+        if lookups or c.get("vliw.plan_invalidations"):
+            rate = f" ({plan_hits / lookups:.0%} hit)" if lookups else ""
+            lines += [
+                f"timing-plan lookups   : {plan_hits} hits / "
+                f"{plan_misses} misses{rate}",
+                f"timing-plan compiles  : "
+                f"{c.get('vliw.plan_compiles', 0)} signatures, "
+                f"{c.get('vliw.replay_compiles', 0)} replay fns, "
+                f"{c.get('vliw.plan_invalidations', 0)} invalidations",
             ]
         if t:
             lines.append("per-phase wall time (summed across jobs):")

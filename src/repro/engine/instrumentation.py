@@ -17,7 +17,19 @@ Counter names used by the simulation stack:
 ``runtime.alias_exceptions`` / ``runtime.false_positive_exceptions``
     alias-exception rates;
 ``vliw.regions_executed``
-    translated-region entries.
+    translated-region entries;
+``vliw.plan_hits`` / ``vliw.plan_misses``
+    timing-plan replay signatures served in O(1) vs first-seen (a miss
+    consults the compiled cumulative plan once, then memoizes);
+``vliw.plan_compiles``
+    per-trace cumulative timing-plan compilations (at most one per
+    compiled region trace);
+``vliw.plan_invalidations``
+    translations whose cached trace + plans were dropped on
+    re-optimization or blacklisting;
+``vliw.replay_compiles``
+    straight-line replay functions generated for hot traces (tier 2 of
+    the planned executor, at most one per compiled region trace).
 
 Phase names: ``run`` (whole DBT loop), ``optimize`` (translation +
 scheduling + allocation), ``execute`` (translated-region simulation).

@@ -66,6 +66,17 @@ class AtomicRegionSupport:
         self._checkpoint = None
         self.stats.commits += 1
 
+    def event_signature(self) -> Tuple[int, int, int, int]:
+        """Cumulative event counters for timing-plan replay signatures.
+
+        Checkpoint/rollback bookkeeping is timing-transparent in the
+        simulator's sense: it changes only undo-log state, never issue
+        timing (rollback *penalty* cycles are charged by the machine
+        model at abort, not by these calls).
+        """
+        s = self.stats
+        return (s.checkpoints, s.commits, s.rollbacks, s.undone_bytes)
+
     def rollback(self) -> Tuple[List[float], int]:
         """Undo all region stores; return (registers, guest_pc) to resume."""
         if not self.active:

@@ -13,13 +13,17 @@ Table 1 and the scheme-comparison example programs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.hw.exceptions import AliasException, AliasRegisterOverflow
 from repro.hw.ranges import AccessRange
 
 #: Encoding limit the paper cites for Efficeon's bit-mask.
 EFFICEON_MAX_REGISTERS = 15
+
+#: Registers hold plain ``(start, size, is_load)`` tuples; AccessRange
+#: objects are materialized only for exception messages and ``repr``.
+_FileEntry = Tuple[int, int, bool]
 
 
 @dataclass
@@ -42,7 +46,7 @@ class BitmaskAliasFile:
                 f"registers; asked for {num_registers}"
             )
         self.num_registers = num_registers
-        self._entries: Dict[int, AccessRange] = {}
+        self._entries: Dict[int, _FileEntry] = {}
         self._setters: Dict[int, Optional[int]] = {}
         self.stats = BitmaskStats()
 
@@ -56,8 +60,22 @@ class BitmaskAliasFile:
         self, index: int, access: AccessRange, setter_mem_index: Optional[int] = None
     ) -> None:
         """Record ``access`` in register ``index``."""
-        self._check_index(index)
-        self._entries[index] = access
+        self.set_range(
+            index, access.start, access.size, access.is_load, setter_mem_index
+        )
+
+    def set_range(
+        self,
+        index: int,
+        start: int,
+        size: int,
+        is_load: bool,
+        setter_mem_index: Optional[int] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`set` (no AccessRange allocation)."""
+        if not 0 <= index < self.num_registers:
+            self._check_index(index)  # raises; out of the hot path
+        self._entries[index] = (start, size, is_load)
         self._setters[index] = setter_mem_index
         self.stats.sets += 1
 
@@ -68,22 +86,43 @@ class BitmaskAliasFile:
         checker_mem_index: Optional[int] = None,
     ) -> None:
         """Check exactly the registers named by ``mask`` (bit i -> ARi)."""
+        self.check_range(
+            mask, access.start, access.size, access.is_load, checker_mem_index
+        )
+
+    def check_range(
+        self,
+        mask: int,
+        a_start: int,
+        a_size: int,
+        is_load: bool,
+        checker_mem_index: Optional[int] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`check` (same detection rule)."""
         if mask < 0 or mask >= (1 << self.num_registers):
             raise AliasRegisterOverflow(
                 f"mask {mask:#x} names registers beyond {self.num_registers}"
             )
-        self.stats.checks += 1
+        stats = self.stats
+        stats.checks += 1
+        entries = self._entries
+        a_top = a_start + a_size
         for index in range(self.num_registers):
             if not mask & (1 << index):
                 continue
-            entry = self._entries.get(index)
+            entry = entries.get(index)
             if entry is None:
                 continue
-            self.stats.comparisons += 1
-            if entry.overlaps(access):
-                self.stats.exceptions += 1
+            stats.comparisons += 1
+            e_start, e_size, e_is_load = entry
+            if e_start < a_top and a_start < e_start + e_size:
+                stats.exceptions += 1
+                access = AccessRange(start=a_start, size=a_size, is_load=is_load)
+                stored = AccessRange(
+                    start=e_start, size=e_size, is_load=e_is_load
+                )
                 raise AliasException(
-                    f"bitmask alias: {access} overlaps AR{index} {entry}",
+                    f"bitmask alias: {access} overlaps AR{index} {stored}",
                     setter_mem_index=self._setters.get(index),
                     checker_mem_index=checker_mem_index,
                 )
@@ -95,6 +134,16 @@ class BitmaskAliasFile:
     def reset(self) -> None:
         self.clear()
 
+    def event_signature(self):
+        """Cumulative event counters for timing-plan replay signatures
+        (timing-transparent contract; comparisons excluded as
+        data-dependent)."""
+        s = self.stats
+        return (s.sets, s.checks, s.exceptions)
+
     def __repr__(self) -> str:
-        live = ", ".join(f"AR{i}:{e}" for i, e in sorted(self._entries.items()))
+        live = ", ".join(
+            f"AR{i}:{AccessRange(start=s, size=n, is_load=ld)}"
+            for i, (s, n, ld) in sorted(self._entries.items())
+        )
         return f"<BitmaskAliasFile {self.num_registers} regs live=[{live}]>"

@@ -18,10 +18,16 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hw.exceptions import AliasException
 from repro.hw.ranges import AccessRange
+
+#: Live ALAT entries are plain ``(start, size, is_load)`` tuples — every
+#: store scans the whole table, so the scan loop avoids attribute reads;
+#: :class:`AccessRange` objects exist only at the API boundary
+#: (exception messages, :meth:`AlatModel.advanced_load`'s signature).
+_AlatEntry = Tuple[int, int, bool]
 
 
 @dataclass
@@ -40,7 +46,7 @@ class AlatModel:
         if num_entries <= 0:
             raise ValueError("ALAT needs at least one entry")
         self.num_entries = num_entries
-        self._entries: Dict[int, AccessRange] = {}  # mem_index -> range
+        self._entries: Dict[int, _AlatEntry] = {}  # mem_index -> range
         #: mem_index keys kept sorted, so every store's full-table check
         #: walks them directly instead of re-sorting the dict
         self._keys: List[int] = []
@@ -59,13 +65,23 @@ class AlatModel:
         detection (conservative) to keep the simulator's recovery story
         uniform: see :meth:`check_load`.
         """
-        if len(self._entries) >= self.num_entries:
+        self.advanced_load_range(
+            mem_index, access.start, access.size, access.is_load
+        )
+
+    def advanced_load_range(
+        self, mem_index: int, start: int, size: int, is_load: bool
+    ) -> None:
+        """Scalar fast path for :meth:`advanced_load` (no
+        :class:`AccessRange` allocation — called once per P-bit load)."""
+        entries = self._entries
+        if len(entries) >= self.num_entries:
             oldest = self._keys[0]
             del self._keys[0]
-            del self._entries[oldest]
-        if mem_index not in self._entries:
+            del entries[oldest]
+        if mem_index not in entries:
             insort(self._keys, mem_index)
-        self._entries[mem_index] = access
+        entries[mem_index] = (start, size, is_load)
         self.stats.inserts += 1
 
     def store_check(
@@ -81,20 +97,39 @@ class AlatModel:
         accounting, letting the model label an exception as a false positive
         when the overlapping entry was not a required target.
         """
+        self.store_check_range(
+            access.start,
+            access.size,
+            access.is_load,
+            checker_mem_index,
+            required_targets,
+        )
+
+    def store_check_range(
+        self,
+        a_start: int,
+        a_size: int,
+        is_load: bool,
+        checker_mem_index: Optional[int] = None,
+        required_targets: Optional[Set[int]] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`store_check` (same rule)."""
         stats = self.stats
         stats.store_checks += 1
         entries = self._entries
-        a_start = access.start
-        a_top = a_start + access.size
+        a_top = a_start + a_size
         compared = 0
         try:
             for mem_index in self._keys:
-                entry = entries[mem_index]
+                e_start, e_size, e_is_load = entries[mem_index]
                 compared += 1
-                e_start = entry.start
-                if e_start < a_top and a_start < e_start + entry.size:
+                if e_start < a_top and a_start < e_start + e_size:
                     self._raise_overlap(
-                        entry, access, mem_index, checker_mem_index, required_targets
+                        AccessRange(start=e_start, size=e_size, is_load=e_is_load),
+                        AccessRange(start=a_start, size=a_size, is_load=is_load),
+                        mem_index,
+                        checker_mem_index,
+                        required_targets,
                     )
         finally:
             stats.comparisons += compared
@@ -144,6 +179,16 @@ class AlatModel:
     def reset(self) -> None:
         self._entries.clear()
         self._keys.clear()
+
+    def event_signature(self):
+        """Cumulative event counters for timing-plan replay signatures.
+
+        ALAT operations are timing-transparent (table state plus possible
+        :class:`AliasException` only); comparisons are excluded because a
+        store's scan length before an overlap is data-dependent.
+        """
+        s = self.stats
+        return (s.inserts, s.store_checks, s.exceptions, s.false_positives)
 
     @property
     def live_count(self) -> int:

@@ -48,5 +48,12 @@ class NoAliasHardware:
     def reset(self) -> None:
         pass
 
+    def event_signature(self):
+        """Timing-plan event counters (uniform hw-model API). All
+        operations raise, so a successfully executing region's stream is
+        always empty — trivially timing-transparent."""
+        s = self.stats
+        return (s.sets, s.checks)
+
     def __repr__(self) -> str:
         return "<NoAliasHardware>"

@@ -27,19 +27,19 @@ guarantees this never happens; the check catches allocator bugs.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.hw.exceptions import AliasException, AliasRegisterOverflow
 from repro.hw.ranges import AccessRange
 
-
-@dataclass
-class _Entry:
-    """One live alias register entry keyed by absolute order."""
-
-    access: AccessRange
-    setter_mem_index: Optional[int] = None
+#: Live entries are stored as plain ``(start, size, is_load,
+#: setter_mem_index)`` tuples — the check loop is the simulator's hottest
+#: scan and a tuple unpack beats three attribute reads on a dataclass.
+#: :class:`AccessRange` objects are materialized only at the API boundary
+#: (:meth:`AliasRegisterQueue.entry_at_offset`, exception messages,
+#: ``repr``).
+_EntryTuple = Tuple[int, int, bool, Optional[int]]
 
 
 @dataclass
@@ -64,7 +64,7 @@ class AliasRegisterQueue:
             raise ValueError("need at least one alias register")
         self.num_registers = num_registers
         self._base = 0  # absolute order of offset 0
-        self._entries: Dict[int, _Entry] = {}  # keyed by absolute order
+        self._entries: Dict[int, _EntryTuple] = {}  # keyed by absolute order
         #: live orders kept sorted incrementally, so a check scans only
         #: the suffix at >= its own order instead of sorting every call
         self._orders: List[int] = []
@@ -82,11 +82,36 @@ class AliasRegisterQueue:
         """Absolute orders of currently live entries (sorted)."""
         return list(self._orders)
 
+    def event_signature(self) -> Tuple[int, int, int, int, int, int]:
+        """Cumulative event counters for timing-plan replay signatures.
+
+        Queue operations never influence issue timing (they are
+        timing-transparent: state changes plus possible
+        :class:`AliasException` only), so an adapter can summarize one
+        region execution's events as the componentwise delta of this
+        tuple across the region. Comparison counts are deliberately
+        excluded: how many live entries a check scans before an overlap
+        is data-dependent, while the *architectural* event stream below
+        is trace-determined.
+        """
+        s = self.stats
+        return (
+            s.sets,
+            s.checks,
+            s.rotations,
+            s.rotated_registers,
+            s.amovs,
+            s.exceptions,
+        )
+
     def entry_at_offset(self, offset: int) -> Optional[AccessRange]:
         """The access range stored at ``offset``, if any."""
         self._check_offset(offset)
         entry = self._entries.get(self._base + offset)
-        return entry.access if entry else None
+        if entry is None:
+            return None
+        start, size, is_load, _setter = entry
+        return AccessRange(start=start, size=size, is_load=is_load)
 
     def _check_offset(self, offset: int) -> None:
         if offset < 0:
@@ -106,14 +131,31 @@ class AliasRegisterQueue:
         setter_mem_index: Optional[int] = None,
     ) -> None:
         """P-bit action: record ``access`` in the register at ``offset``."""
-        self._check_offset(offset)
+        self.set_range(
+            offset, access.start, access.size, access.is_load, setter_mem_index
+        )
+
+    def set_range(
+        self,
+        offset: int,
+        start: int,
+        size: int,
+        is_load: bool,
+        setter_mem_index: Optional[int] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`set` (no :class:`AccessRange`
+        allocation — the simulator calls this once per P-bit memory op)."""
+        if offset < 0 or offset >= self.num_registers:
+            self._check_offset(offset)  # raises; out of the hot path
         order = self._base + offset
-        if order not in self._entries:
+        entries = self._entries
+        if order not in entries:
             insort(self._orders, order)
-        self._entries[order] = _Entry(access, setter_mem_index)
-        self.stats.sets += 1
-        if len(self._entries) > self.stats.max_live:
-            self.stats.max_live = len(self._entries)
+        entries[order] = (start, size, is_load, setter_mem_index)
+        stats = self.stats
+        stats.sets += 1
+        if len(entries) > stats.max_live:
+            stats.max_live = len(entries)
 
     def check(
         self,
@@ -129,34 +171,55 @@ class AliasRegisterQueue:
 
         Raises :class:`AliasException` on the first overlapping range.
         """
-        self._check_offset(offset)
+        self.check_range(
+            offset, access.start, access.size, access.is_load, checker_mem_index
+        )
+
+    def check_range(
+        self,
+        offset: int,
+        a_start: int,
+        a_size: int,
+        is_load: bool,
+        checker_mem_index: Optional[int] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`check` (same detection rule).
+
+        Stats contract (identical to the historical ``check``): the
+        comparisons performed are always counted, an overlap counts one
+        exception, and ``checks`` is incremented only when the check
+        completes without detecting — an aborting check never counted.
+        """
+        if offset < 0 or offset >= self.num_registers:
+            self._check_offset(offset)  # raises; out of the hot path
         own_order = self._base + offset
         orders = self._orders
         entries = self._entries
         stats = self.stats
-        is_load = access.is_load
-        a_start = access.start
-        a_top = a_start + access.size
+        a_top = a_start + a_size
         compared = 0
-        try:
-            for idx in range(bisect_left(orders, own_order), len(orders)):
-                order = orders[idx]
-                entry = entries[order]
-                stored = entry.access
-                if is_load and stored.is_load:
-                    continue
-                compared += 1
-                s_start = stored.start
-                if s_start < a_top and a_start < s_start + stored.size:
-                    stats.exceptions += 1
-                    raise AliasException(
-                        f"alias: {access} overlaps {stored} "
-                        f"(order {order}, base {self._base})",
-                        setter_mem_index=entry.setter_mem_index,
-                        checker_mem_index=checker_mem_index,
-                    )
-        finally:
-            stats.comparisons += compared
+        for idx in range(bisect_left(orders, own_order), len(orders)):
+            order = orders[idx]
+            s_start, s_size, s_is_load, s_setter = entries[order]
+            if is_load and s_is_load:
+                continue
+            compared += 1
+            if s_start < a_top and a_start < s_start + s_size:
+                stats.comparisons += compared
+                stats.exceptions += 1
+                access = AccessRange(
+                    start=a_start, size=a_size, is_load=is_load
+                )
+                stored = AccessRange(
+                    start=s_start, size=s_size, is_load=s_is_load
+                )
+                raise AliasException(
+                    f"alias: {access} overlaps {stored} "
+                    f"(order {order}, base {self._base})",
+                    setter_mem_index=s_setter,
+                    checker_mem_index=checker_mem_index,
+                )
+        stats.comparisons += compared
         stats.checks += 1
 
     def check_then_set(
@@ -167,8 +230,24 @@ class AliasRegisterQueue:
     ) -> None:
         """Combined P+C behaviour: check *before* setting (Section 3.1),
         so an operation never aliases against itself."""
-        self.check(offset, access, checker_mem_index=mem_index)
-        self.set(offset, access, setter_mem_index=mem_index)
+        self.check_range(
+            offset, access.start, access.size, access.is_load, mem_index
+        )
+        self.set_range(
+            offset, access.start, access.size, access.is_load, mem_index
+        )
+
+    def check_then_set_range(
+        self,
+        offset: int,
+        start: int,
+        size: int,
+        is_load: bool,
+        mem_index: Optional[int] = None,
+    ) -> None:
+        """Scalar fast path for :meth:`check_then_set`."""
+        self.check_range(offset, start, size, is_load, mem_index)
+        self.set_range(offset, start, size, is_load, mem_index)
 
     def rotate(self, amount: int) -> None:
         """Advance BASE by ``amount``; entries rotated past BASE are freed."""
@@ -217,7 +296,8 @@ class AliasRegisterQueue:
 
     def __repr__(self) -> str:
         live = ", ".join(
-            f"AR@{order}:{e.access}" for order, e in sorted(self._entries.items())
+            f"AR@{order}:{AccessRange(start=s, size=n, is_load=ld)}"
+            for order, (s, n, ld, _m) in sorted(self._entries.items())
         )
         return (
             f"<AliasRegisterQueue base={self._base} "

@@ -79,6 +79,12 @@ class Opcode(enum.Enum):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Opcode.{self.name}"
 
+    # Enum members compare by identity, so the id-based hash is
+    # equivalent to the default name-string hash — but it is a C-level
+    # slot instead of a Python call, and opcode-keyed dict/set lookups
+    # are all over the scheduler's and interpreter's hot paths.
+    __hash__ = object.__hash__
+
 
 #: Opcodes that read or write guest memory.
 MEMORY_OPCODES = frozenset({Opcode.LD, Opcode.ST})
@@ -144,43 +150,27 @@ class Instruction:
     speculative: bool = False
 
     def __post_init__(self) -> None:
-        if self.opcode in MEMORY_OPCODES:
+        opcode = self.opcode
+        if opcode in MEMORY_OPCODES:
             if self.base is None:
-                raise OperandError(f"{self.opcode} requires a base register")
+                raise OperandError(f"{opcode} requires a base register")
             if self.size <= 0:
                 raise OperandError("memory access size must be positive")
-        if self.opcode is Opcode.ROTATE and self.rotate_by < 0:
+        if opcode is Opcode.ROTATE and self.rotate_by < 0:
             raise OperandError("rotate amount must be non-negative")
-        if self.opcode is Opcode.AMOV:
+        if opcode is Opcode.AMOV:
             if self.amov_src is None or self.amov_dst is None:
                 raise OperandError("AMOV requires source and dest offsets")
-
-    # ------------------------------------------------------------------
-    # Classification helpers
-    # ------------------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.opcode is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode is Opcode.ST
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode in MEMORY_OPCODES
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opcode in BRANCH_OPCODES
-
-    @property
-    def is_float(self) -> bool:
-        return self.opcode in _FLOAT_OPCODES
-
-    @property
-    def is_queue_op(self) -> bool:
-        return self.opcode in QUEUE_OPCODES
+        # Classification flags are plain attributes, not properties: the
+        # scheduler and DDG builder read them per candidate pair, and an
+        # attribute load is an order of magnitude cheaper than a property
+        # call. The opcode never changes after construction.
+        self.is_load = opcode is Opcode.LD
+        self.is_store = opcode is Opcode.ST
+        self.is_mem = opcode in MEMORY_OPCODES
+        self.is_branch = opcode in BRANCH_OPCODES
+        self.is_float = opcode in _FLOAT_OPCODES
+        self.is_queue_op = opcode in QUEUE_OPCODES
 
     # ------------------------------------------------------------------
     # Register use/def sets (for dependence building)

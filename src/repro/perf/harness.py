@@ -16,6 +16,17 @@ The output JSON (``BENCH_pr2.json`` and successors at the repo root) is
 self-describing: config, per-cell numbers, end-to-end numbers, and — when
 ``--baseline`` names a previous BENCH file — the embedded baseline plus
 computed speedups.
+
+Schema history:
+
+* **1** — ``wall_s`` per cell is best-of-N; single-sample ``figures_cold``.
+* **2** — every repeated measurement additionally records ``mean_s`` /
+  ``std_s`` (population std over the N samples) next to the best-of
+  ``wall_s``, ``figures_cold`` is repeated like the cells, per-cell
+  timing-plan counters are summarized under ``plans``, and baseline
+  comparisons add an ``execute_phase`` aggregate speedup. Schema-1 files
+  remain readable as baselines: every added field is optional on the
+  baseline side.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: three representative workloads: regular streams (swim), small hot loop
 #: with heavy aliasing (art), pointer-chasing stores (equake)
@@ -97,6 +108,28 @@ def _time_cell(
     }
 
 
+def _spread(samples: List[float]) -> Dict[str, float]:
+    """Mean and population standard deviation of repeated wall times."""
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return {"mean_s": mean, "std_s": var**0.5}
+
+
+def _plan_summary(counters: Dict[str, int]) -> Dict[str, object]:
+    """Timing-plan counters of one cell, plus the derived hit rate."""
+    hits = counters.get("vliw.plan_hits", 0)
+    misses = counters.get("vliw.plan_misses", 0)
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "compiles": counters.get("vliw.plan_compiles", 0),
+        "invalidations": counters.get("vliw.plan_invalidations", 0),
+        "replay_compiles": counters.get("vliw.replay_compiles", 0),
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
 def time_figures_cold(scale: float = 0.1) -> Dict[str, float]:
     """Wall time of the serial cold figures path, in-process.
 
@@ -121,16 +154,21 @@ def time_figures_cold(scale: float = 0.1) -> Dict[str, float]:
 def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
     """Measure every configured cell (plus the end-to-end figures path)."""
     config = config or PerfConfig()
+    repeats = max(1, config.repeats)
     cells: Dict[str, Dict[str, object]] = {}
     for benchmark in config.benchmarks:
         for scheme in config.schemes:
             best: Optional[Dict[str, object]] = None
-            for _ in range(max(1, config.repeats)):
+            walls: List[float] = []
+            for _ in range(repeats):
                 sample = _time_cell(
                     benchmark, scheme, config.scale, config.hot_threshold
                 )
+                walls.append(sample["wall_s"])
                 if best is None or sample["wall_s"] < best["wall_s"]:
                     best = sample
+            best.update(_spread(walls))
+            best["plans"] = _plan_summary(best["counters"])
             cells[f"{benchmark}/{scheme}"] = best
 
     payload: Dict[str, object] = {
@@ -148,22 +186,43 @@ def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
         "total_cell_wall_s": sum(c["wall_s"] for c in cells.values()),
     }
     if config.figures_scale is not None:
-        payload["figures_cold"] = time_figures_cold(config.figures_scale)
+        fig_best: Optional[Dict[str, float]] = None
+        fig_walls: List[float] = []
+        for _ in range(repeats):
+            sample = time_figures_cold(config.figures_scale)
+            fig_walls.append(sample["wall_s"])
+            if fig_best is None or sample["wall_s"] < fig_best["wall_s"]:
+                fig_best = sample
+        fig_best.update(_spread(fig_walls))
+        fig_best["repeats"] = repeats
+        payload["figures_cold"] = fig_best
     return payload
 
 
 def attach_baseline(
     payload: Dict[str, object], baseline: Dict[str, object]
 ) -> None:
-    """Embed a previous BENCH payload and compute speedups against it."""
+    """Embed a previous BENCH payload and compute speedups against it.
+
+    Works against any schema version: schema-1 baselines lack
+    ``mean_s``/``std_s``/``plans`` but carry everything the ratios here
+    need (``wall_s``, per-cell ``phases``, ``figures_cold``).
+    """
     payload["baseline"] = baseline
     speedups: Dict[str, float] = {}
     base_cells = baseline.get("cells", {})
+    base_exec = this_exec = 0.0
     for key, cell in payload.get("cells", {}).items():
         base = base_cells.get(key)
         if base and cell["wall_s"] > 0:
             speedups[key] = base["wall_s"] / cell["wall_s"]
+            base_exec += base.get("phases", {}).get("execute", 0.0)
+            this_exec += cell.get("phases", {}).get("execute", 0.0)
     summary: Dict[str, object] = {"cells": speedups}
+    if base_exec and this_exec:
+        # the tentpole's target metric: aggregate VLIW execute-phase time
+        # across all compared cells
+        summary["execute_phase"] = base_exec / this_exec
     base_fig = baseline.get("figures_cold")
     this_fig = payload.get("figures_cold")
     if base_fig and this_fig and this_fig["wall_s"] > 0:
@@ -191,9 +250,14 @@ def render_summary(payload: Dict[str, object]) -> str:
     lines = ["Perf harness results", "===================="]
     fig = payload.get("figures_cold")
     if fig:
+        spread = (
+            f"  (mean {fig['mean_s']:.2f}s ± {fig['std_s']:.2f}s)"
+            if "mean_s" in fig
+            else ""
+        )
         lines.append(
             f"figures cold (scale {fig['scale']}, serial) : "
-            f"{fig['wall_s']:.2f}s"
+            f"{fig['wall_s']:.2f}s{spread}"
         )
     lines.append(
         f"cell sweep total                    : "
@@ -202,10 +266,17 @@ def render_summary(payload: Dict[str, object]) -> str:
     for key in sorted(payload["cells"]):
         cell = payload["cells"][key]
         p = cell["phases"]
+        spread = (
+            f"  ±{cell['std_s']:.3f}s" if "std_s" in cell else ""
+        )
+        plans = cell.get("plans")
+        plan_note = (
+            f", plan hits {plans['hit_rate']:.0%}" if plans else ""
+        )
         lines.append(
-            f"  {key:<18} {cell['wall_s']:7.3f}s  "
+            f"  {key:<18} {cell['wall_s']:7.3f}s{spread}  "
             f"(opt {p['optimize']:.3f}s, exec {p['execute']:.3f}s, "
-            f"interp {p['interpret_derived']:.3f}s)"
+            f"interp {p['interpret_derived']:.3f}s{plan_note})"
         )
     speedup = payload.get("speedup")
     if speedup:
@@ -213,6 +284,10 @@ def render_summary(payload: Dict[str, object]) -> str:
         if "figures_cold" in speedup:
             lines.append(
                 f"  figures cold : {speedup['figures_cold']:.2f}x"
+            )
+        if "execute_phase" in speedup:
+            lines.append(
+                f"  execute phase: {speedup['execute_phase']:.2f}x"
             )
         if "total_cells" in speedup:
             lines.append(

@@ -31,6 +31,20 @@ class Memory:
                 f"{self.size:#x} bytes"
             )
 
+    @property
+    def buffer(self) -> bytearray:
+        """The backing bytearray, for hot-path consumers that inline
+        accesses (the VLIW simulator's compiled replay functions). The
+        object is stable for the memory's lifetime — mutations always go
+        through slice assignment. Callers must enforce bounds via
+        :meth:`check_bounds` to preserve :class:`MemoryFault` semantics."""
+        return self._data
+
+    def check_bounds(self, addr: int, size: int) -> None:
+        """Public bounds check: raises :class:`MemoryFault` exactly as the
+        read/write accessors would for an out-of-range access."""
+        self._check(addr, size)
+
     def read(self, addr: int, size: int = 8) -> int:
         """Read an unsigned little-endian integer."""
         self._check(addr, size)

@@ -19,13 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.hw.efficeon import EFFICEON_MAX_REGISTERS, BitmaskAliasFile
 from repro.hw.exceptions import AliasException
 from repro.hw.itanium import AlatModel
 from repro.hw.queue_model import AliasRegisterQueue
-from repro.hw.ranges import AccessRange
 from repro.ir.instruction import Instruction, Opcode
 from repro.opt.pipeline import OptimizerConfig
 from repro.sched.machine import MachineModel
@@ -45,10 +44,21 @@ class HardwareAdapter:
     loads/stores carrying neither a P nor a C bit, so the simulator may
     elide those calls entirely. Subclasses default to False (always
     called) unless they opt in.
+
+    ``timing_transparent`` is the timing-plan contract
+    (``docs/PERF.md``): when True, the adapter promises its callbacks
+    never influence the simulator's issue/scoreboard timing — they only
+    mutate alias-hardware state and may raise :class:`AliasException`.
+    The simulator may then replay a region functionally and account
+    cycles from a memoized per-trace timing plan. Subclasses default to
+    False (full interpreted loop) unless they opt in; adapters that opt
+    in should also implement :meth:`event_fingerprint` from their
+    hardware model's ``event_signature()`` counters.
     """
 
     skip_unannotated_loads = False
     skip_unannotated_stores = False
+    timing_transparent = False
 
     def on_region_enter(self, region) -> None:
         """Reset hardware state; ``region`` is the OptimizedRegion."""
@@ -66,12 +76,83 @@ class HardwareAdapter:
     def on_region_exit(self) -> None:
         pass
 
+    def event_fingerprint(self):
+        """Hashable summary of the events fired since region entry.
+
+        Part of the timing-plan replay signature: two executions of the
+        same trace that exit at the same point with equal fingerprints
+        are charged the same memoized cycle count. Adapters without
+        per-region event tracking return 0 (no events to distinguish).
+        """
+        return 0
+
+    # ------------------------------------------------------------------
+    # Replay-codegen hooks (used by the VLIW simulator's tier-2 compiled
+    # replay, :func:`repro.sim.vliw._compile_replay`). Each hook returns
+    # Python statements specialized for ONE compiled instruction; the
+    # generated function binds the local ``ad`` to the adapter instance
+    # at call time and the local ``a`` holds the memory-op address. The
+    # base implementations fall back to the dynamic callbacks above, so
+    # subclasses only override to cut call overhead — any override MUST
+    # produce byte-identical state changes, stats, and exceptions.
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay_prologue_source(cls) -> List[str]:
+        """Per-call local bindings available to the per-op hooks below."""
+        return [
+            "on_mem_op = ad.on_mem_op",
+            "on_rotate = ad.on_rotate",
+            "on_amov = ad.on_amov",
+        ]
+
+    @classmethod
+    def replay_mem_op_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
+        """Statements equivalent to ``on_mem_op(inst, a)`` for ``inst``.
+
+        An empty list means the op provably never touches the hardware
+        (the call is elided from the generated code entirely).
+        """
+        env[name] = inst
+        return [f"on_mem_op({name}, a)"]
+
+    @classmethod
+    def replay_rotate_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
+        """Statements equivalent to ``on_rotate(inst)``."""
+        env[name] = inst
+        return [f"on_rotate({name})"]
+
+    @classmethod
+    def replay_amov_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
+        """Statements equivalent to ``on_amov(inst)``."""
+        env[name] = inst
+        return [f"on_amov({name})"]
+
 
 class NullAdapter(HardwareAdapter):
     """No alias hardware (and queue pseudo-ops must not appear)."""
 
     skip_unannotated_loads = True
     skip_unannotated_stores = True
+    # No callbacks ever fire state changes, so replay is trivially
+    # timing-transparent and the fingerprint is the base class's 0.
+    timing_transparent = True
+
+    # every callback is a no-op, so the compiled replay emits nothing
+    @classmethod
+    def replay_prologue_source(cls) -> List[str]:
+        return []
+
+    @classmethod
+    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
+        return []
+
+    @classmethod
+    def replay_rotate_source(cls, inst, name, env) -> List[str]:
+        return []
+
+    @classmethod
+    def replay_amov_source(cls, inst, name, env) -> List[str]:
+        return []
 
 
 class SmarqAdapter(HardwareAdapter):
@@ -80,23 +161,34 @@ class SmarqAdapter(HardwareAdapter):
     # on_mem_op returns immediately without P or C bit
     skip_unannotated_loads = True
     skip_unannotated_stores = True
+    # queue operations only mutate queue state / raise AliasException
+    timing_transparent = True
 
     def __init__(self, num_registers: int) -> None:
         self.queue = AliasRegisterQueue(num_registers)
+        self._entry_events = self.queue.event_signature()
 
     def on_region_enter(self, region) -> None:
         self.queue.reset()
+        self._entry_events = self.queue.event_signature()
 
     def on_mem_op(self, inst: Instruction, addr: int) -> None:
+        # scalar queue entry points: skip the AccessRange allocation on
+        # every annotated memory op (this is the hottest adapter path)
         if not (inst.p_bit or inst.c_bit):
             return
-        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
         if inst.p_bit and inst.c_bit:
-            self.queue.check_then_set(inst.ar_offset, access, inst.mem_index)
+            self.queue.check_then_set_range(
+                inst.ar_offset, addr, inst.size, inst.is_load, inst.mem_index
+            )
         elif inst.p_bit:
-            self.queue.set(inst.ar_offset, access, inst.mem_index)
+            self.queue.set_range(
+                inst.ar_offset, addr, inst.size, inst.is_load, inst.mem_index
+            )
         else:
-            self.queue.check(inst.ar_offset, access, inst.mem_index)
+            self.queue.check_range(
+                inst.ar_offset, addr, inst.size, inst.is_load, inst.mem_index
+            )
 
     def on_rotate(self, inst: Instruction) -> None:
         self.queue.rotate(inst.rotate_by)
@@ -106,6 +198,55 @@ class SmarqAdapter(HardwareAdapter):
 
     def on_region_exit(self) -> None:
         self.queue.clear()
+
+    def event_fingerprint(self):
+        # direct componentwise delta (one fingerprint per region
+        # execution — avoids building the "now" signature tuple)
+        s = self.queue.stats
+        e = self._entry_events
+        return (
+            s.sets - e[0],
+            s.checks - e[1],
+            s.rotations - e[2],
+            s.rotated_registers - e[3],
+            s.amovs - e[4],
+            s.exceptions - e[5],
+        )
+
+    # compiled replay: call the queue's scalar entry points directly with
+    # the P/C dispatch and all static operands folded in at codegen time
+    @classmethod
+    def replay_prologue_source(cls) -> List[str]:
+        return [
+            "q = ad.queue",
+            "q_chk = q.check_range",
+            "q_set = q.set_range",
+            "q_rot = q.rotate",
+            "q_amov = q.amov",
+        ]
+
+    @classmethod
+    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
+        if not (inst.p_bit or inst.c_bit):
+            return []
+        args = (
+            f"{inst.ar_offset}, a, {inst.size}, {inst.is_load}, "
+            f"{inst.mem_index}"
+        )
+        stmts = []
+        if inst.c_bit:  # check-before-set, exactly like check_then_set
+            stmts.append(f"q_chk({args})")
+        if inst.p_bit:
+            stmts.append(f"q_set({args})")
+        return stmts
+
+    @classmethod
+    def replay_rotate_source(cls, inst, name, env) -> List[str]:
+        return [f"q_rot({inst.rotate_by})"]
+
+    @classmethod
+    def replay_amov_source(cls, inst, name, env) -> List[str]:
+        return [f"q_amov({inst.amov_src}, {inst.amov_dst})"]
 
 
 class ItaniumAdapter(HardwareAdapter):
@@ -119,13 +260,17 @@ class ItaniumAdapter(HardwareAdapter):
     # check, annotated or not
     skip_unannotated_loads = True
     skip_unannotated_stores = False
+    # ALAT inserts/checks only mutate table state / raise AliasException
+    timing_transparent = True
 
     def __init__(self, num_entries: int = 32) -> None:
         self.alat = AlatModel(num_entries)
         self._required: Dict[int, Set[int]] = {}
+        self._entry_events = self.alat.event_signature()
 
     def on_region_enter(self, region) -> None:
         self.alat.reset()
+        self._entry_events = self.alat.event_signature()
         # The required-target map is a pure function of the region's
         # allocation; regions re-enter thousands of times, so it is built
         # once and cached on the region object (a re-optimized schedule is
@@ -151,15 +296,19 @@ class ItaniumAdapter(HardwareAdapter):
         self._required = cached
 
     def on_mem_op(self, inst: Instruction, addr: int) -> None:
-        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
+        # scalar ALAT entry points: no AccessRange allocation per op
         if inst.is_store:
-            self.alat.store_check(
-                access,
+            self.alat.store_check_range(
+                addr,
+                inst.size,
+                inst.is_load,
                 checker_mem_index=inst.mem_index,
                 required_targets=self._required.get(inst.mem_index, _EMPTY_SET),
             )
         elif inst.p_bit:
-            self.alat.advanced_load(inst.mem_index, access)
+            self.alat.advanced_load_range(
+                inst.mem_index, addr, inst.size, inst.is_load
+            )
 
     def on_rotate(self, inst: Instruction) -> None:
         pass  # ALAT has no rotation; SMARQ annotations are ignored
@@ -169,6 +318,50 @@ class ItaniumAdapter(HardwareAdapter):
 
     def on_region_exit(self) -> None:
         self.alat.clear()
+
+    def event_fingerprint(self):
+        s = self.alat.stats
+        e = self._entry_events
+        return (
+            s.inserts - e[0],
+            s.store_checks - e[1],
+            s.exceptions - e[2],
+            s.false_positives - e[3],
+        )
+
+    # compiled replay: direct scalar ALAT calls. ``ad._required`` is
+    # rebound by on_region_enter before every replay, so the prologue
+    # reads it per call (it is per-region, not per-class).
+    @classmethod
+    def replay_prologue_source(cls) -> List[str]:
+        return [
+            "al = ad.alat",
+            "al_sc = al.store_check_range",
+            "al_al = al.advanced_load_range",
+            "req_get = ad._required.get",
+        ]
+
+    @classmethod
+    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
+        if inst.is_store:
+            env["EMPTY_TARGETS"] = _EMPTY_SET
+            return [
+                f"al_sc(a, {inst.size}, {inst.is_load}, {inst.mem_index}, "
+                f"req_get({inst.mem_index}, EMPTY_TARGETS))"
+            ]
+        if inst.p_bit:
+            return [
+                f"al_al({inst.mem_index}, a, {inst.size}, {inst.is_load})"
+            ]
+        return []
+
+    @classmethod
+    def replay_rotate_source(cls, inst, name, env) -> List[str]:
+        return []  # ALAT has no rotation (on_rotate is a no-op)
+
+    @classmethod
+    def replay_amov_source(cls, inst, name, env) -> List[str]:
+        return []
 
 
 class EfficeonAdapter(HardwareAdapter):
@@ -184,24 +377,75 @@ class EfficeonAdapter(HardwareAdapter):
     # register to set: unannotated memory ops never touch the file
     skip_unannotated_loads = True
     skip_unannotated_stores = True
+    # bit-mask file operations only mutate file state / raise
+    timing_transparent = True
 
     def __init__(self, num_registers: int = EFFICEON_MAX_REGISTERS) -> None:
         self.file = BitmaskAliasFile(num_registers)
+        self._entry_events = self.file.event_signature()
 
     def on_region_enter(self, region) -> None:
         self.file.reset()
+        self._entry_events = self.file.event_signature()
 
     def on_mem_op(self, inst: Instruction, addr: int) -> None:
-        access = AccessRange(start=addr, size=inst.size, is_load=inst.is_load)
+        # scalar bit-mask entry points: no AccessRange allocation per op
         if inst.c_bit and inst.ar_mask:
-            self.file.check(
-                inst.ar_mask, access, checker_mem_index=inst.mem_index
+            self.file.check_range(
+                inst.ar_mask,
+                addr,
+                inst.size,
+                inst.is_load,
+                checker_mem_index=inst.mem_index,
             )
         if inst.p_bit and inst.ar_offset is not None:
-            self.file.set(inst.ar_offset, access, setter_mem_index=inst.mem_index)
+            self.file.set_range(
+                inst.ar_offset,
+                addr,
+                inst.size,
+                inst.is_load,
+                setter_mem_index=inst.mem_index,
+            )
 
     def on_region_exit(self) -> None:
         self.file.clear()
+
+    def event_fingerprint(self):
+        s = self.file.stats
+        e = self._entry_events
+        return (s.sets - e[0], s.checks - e[1], s.exceptions - e[2])
+
+    # compiled replay: direct scalar bit-mask file calls
+    @classmethod
+    def replay_prologue_source(cls) -> List[str]:
+        return [
+            "bf = ad.file",
+            "bf_chk = bf.check_range",
+            "bf_set = bf.set_range",
+        ]
+
+    @classmethod
+    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
+        stmts = []
+        if inst.c_bit and inst.ar_mask:
+            stmts.append(
+                f"bf_chk({inst.ar_mask}, a, {inst.size}, {inst.is_load}, "
+                f"{inst.mem_index})"
+            )
+        if inst.p_bit and inst.ar_offset is not None:
+            stmts.append(
+                f"bf_set({inst.ar_offset}, a, {inst.size}, {inst.is_load}, "
+                f"{inst.mem_index})"
+            )
+        return stmts
+
+    @classmethod
+    def replay_rotate_source(cls, inst, name, env) -> List[str]:
+        return []  # bit-mask file has no rotation (on_rotate is a no-op)
+
+    @classmethod
+    def replay_amov_source(cls, inst, name, env) -> List[str]:
+        return []
 
 
 @dataclass

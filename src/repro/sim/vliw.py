@@ -27,12 +27,40 @@ operations that the scheme's hardware provably ignores (no P/C bit, see
 :class:`~repro.sim.schemes.HardwareAdapter` fast-path flags) are elided at
 compile time. The compiled timing and functional behaviour are identical
 to the original interpretive loop — locked by ``tests/goldens/``.
+
+Timing plans: the scoreboard/bundling accounting above is *data
+independent* — operand indices, latencies and unit slots are fixed by the
+trace, so the cycle counter after issuing instruction ``i`` is a pure
+function of the trace prefix ``trace[:i+1]``. A region is therefore
+executed in two separable halves:
+
+* **functional replay** — register/memory effects, undo logging, and the
+  adapter's alias callbacks, still per instruction (they depend on data);
+* **timing plan** — cumulative cycle accounting per control-flow exit
+  point, compiled once per region trace (``_compile_timing``) and cached
+  alongside ``_vliw_trace``.
+
+Each replay records a compact *signature*: the exit index and kind plus
+the adapter's event fingerprint (alias checks fired, exceptions, rotate /
+AMOV effects — see :meth:`HardwareAdapter.event_fingerprint`). A known
+signature applies its memoized cycle count in O(1)
+(``vliw.plan_hits``); a novel one consults the compiled cumulative plan
+once and is memoized (``vliw.plan_misses`` / ``vliw.plan_compiles``).
+The planned path requires the adapter to declare
+``timing_transparent = True`` (its callbacks never influence issue
+timing); any other adapter — and every run with
+``SMARQ_NO_TIMING_PLANS=1`` in the environment — takes the original
+fully interpreted scoreboard loop. Both paths produce byte-identical
+:class:`RegionOutcome`/:class:`VliwStats` numbers — locked by
+``tests/goldens/`` and ``tests/test_timing_plans.py``.
 """
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.hw.exceptions import AliasException
 from repro.ir.instruction import Instruction, Opcode
@@ -96,6 +124,264 @@ _UNIT_ORDER = (
 _UNIT_INDEX = {unit: idx for idx, unit in enumerate(_UNIT_ORDER)}
 
 _CBR_CODE = {Opcode.BEQ: 0, Opcode.BNE: 1, Opcode.BLT: 2, Opcode.BGE: 3}
+
+# Exit kinds recorded in a replay signature (plain ints).
+_X_FALL = 0  # ran off the end of the trace
+_X_SIDE = 1  # taken conditional branch (side exit)
+_X_BR = 2  # unconditional region exit (commit)
+_X_EXIT = 3  # program exit
+_X_ALIAS = 4  # alias exception during a functional effect
+
+#: kill switch — set SMARQ_NO_TIMING_PLANS=1 to force the fully
+#: interpreted scoreboard loop (read once per VliwSimulator construction)
+_NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
+
+#: scratch-register extension appended to the guest file per execution
+#: (a tuple so list.extend copies without allocating a fresh [0]*64)
+_SCRATCH64 = (0,) * 64
+
+
+class _TimingPlan:
+    """Per-trace memoized cycle accounting and tiered replay.
+
+    ``cycle_after[i]`` is the scoreboard cycle counter immediately after
+    issue-accounting trace entry ``i`` (compiled lazily, once per trace,
+    by :func:`_compile_timing`). ``signatures`` memoizes the raw cycle
+    value per replay signature so repeat executions along a known exit
+    path never consult the array again — and, more importantly, never
+    re-run the per-instruction scoreboard loop.
+
+    ``executions`` counts planned replays of the trace; once it reaches
+    :data:`_REPLAY_THRESHOLD` the generic two-tuple dispatch loop is
+    replaced by ``replay_fn``, a specialized function generated by
+    :func:`_compile_replay` (straight-line code, no per-entry dispatch).
+    The threshold keeps one-shot regions from paying the ~ms codegen
+    cost; hot regions execute hundreds of times and amortize it at once.
+    """
+
+    __slots__ = ("cycle_after", "signatures", "executions", "replay_fn")
+
+    def __init__(self) -> None:
+        self.cycle_after: Optional[List[int]] = None
+        self.signatures: Dict[tuple, int] = {}
+        self.executions = 0
+        self.replay_fn: Optional[Callable] = None
+
+
+#: planned executions of one trace before its replay function is generated
+_REPLAY_THRESHOLD = 8
+
+
+def _compile_timing(machine: MachineModel, trace) -> List[int]:
+    """Cumulative issue/scoreboard accounting over the whole trace.
+
+    Replays exactly the issue half of the interpreted loop in
+    :meth:`VliwSimulator._execute_interpreted` — operand-ready stalls,
+    issue-width and per-unit slot limits — over every trace entry,
+    recording the cycle counter after each. Data never enters this
+    computation, so the result is valid for every execution of the trace
+    regardless of register/memory contents.
+    """
+    max_reg = -1
+    for _kind, uses, dest, _latency, _unit_idx, _aux in trace:
+        for reg in uses:
+            if reg > max_reg:
+                max_reg = reg
+        if dest is not None and dest > max_reg:
+            max_reg = dest
+    reg_ready = [0] * (max_reg + 1)
+    cycle = machine.checkpoint_cycles
+    issue_width = machine.issue_width
+    limits = [machine.slots_for(unit) for unit in _UNIT_ORDER]
+    slots_used = [0, 0, 0, 0]
+    issued_in_cycle = 0
+    cycle_after: List[int] = []
+    for _kind, uses, dest, latency, unit_idx, _aux in trace:
+        earliest = cycle
+        for reg in uses:
+            ready = reg_ready[reg]
+            if ready > earliest:
+                earliest = ready
+        if earliest > cycle:
+            cycle = earliest
+            slots_used = [0, 0, 0, 0]
+            issued_in_cycle = 0
+        while (
+            issued_in_cycle >= issue_width
+            or slots_used[unit_idx] >= limits[unit_idx]
+        ):
+            cycle += 1
+            slots_used = [0, 0, 0, 0]
+            issued_in_cycle = 0
+        slots_used[unit_idx] += 1
+        issued_in_cycle += 1
+        if dest is not None:
+            reg_ready[dest] = cycle + latency
+        cycle_after.append(cycle)
+    return cycle_after
+
+
+def _compile_replay(linear: List[Instruction], trace, adapter_cls) -> Callable:
+    """Generate a specialized functional-replay function for one trace.
+
+    The generated function performs exactly the per-entry effects of the
+    planned dispatch loop in :meth:`VliwSimulator._execute_planned` —
+    ALU arithmetic (inlined, including 64-bit wrap), loads/stores with
+    inlined little-endian memory access and undo logging, adapter
+    callbacks, and branch exits — as straight-line code with no dispatch
+    and no per-entry tuple unpacking. It returns
+    ``(idx, exit_kind, payload)`` where ``payload`` is the side-exit /
+    commit target pc, the program exit code, or the caught
+    :class:`AliasException`; ``idx`` is the index of the last trace
+    entry whose effect ran (the replay signature's exit index).
+
+    ``linear[k]`` is the instruction compiled into ``trace[k]`` (the
+    trace is positionally parallel to the linear stream); it is needed to
+    re-derive ALU operands for inlining. Out-of-bounds accesses delegate
+    to ``mcheck`` so the raised :class:`~repro.sim.memory.MemoryFault`
+    is byte-identical to the accessor path's.
+
+    Adapter interactions are emitted through the adapter class's
+    ``replay_*_source`` hooks (see
+    :class:`~repro.sim.schemes.HardwareAdapter`): the scheme adapters
+    compile each annotated memory op into direct scalar hardware-model
+    calls with every static operand folded in; the base-class hooks fall
+    back to the dynamic ``on_mem_op``/``on_rotate``/``on_amov`` calls.
+    """
+    env: Dict[str, object] = {"A": AliasException, "ifb": int.from_bytes}
+    lines: List[str] = [
+        "def _replay(regs, data, msize, mcheck, ad, undo_append):",
+    ]
+    emit = lines.append
+    for stmt in adapter_cls.replay_prologue_source():
+        emit(f"    {stmt}")
+    emit("    i = -1")
+    emit("    try:")
+    pad = "        "
+    high = 1 << 63
+    top = 1 << 64
+
+    def emit_wrap(dest: int, expr: str) -> None:
+        emit(f"{pad}w = ({expr}) & {_MASK64}")
+        emit(f"{pad}regs[{dest}] = w - {top} if w >= {high} else w")
+
+    for k, (kind, _uses, _dest, _lat, _ui, aux) in enumerate(trace):
+        if kind == _K_ALU:
+            inst = linear[k]
+            op = inst.opcode
+            d = inst.dest
+            srcs = inst.srcs
+            imm = inst.imm
+            if op is Opcode.MOVI:
+                emit(f"{pad}regs[{d}] = {imm or 0}")
+            elif op is Opcode.MOV:
+                emit(f"{pad}regs[{d}] = regs[{srcs[0]}]")
+            elif op in (Opcode.ADD, Opcode.SUB) and imm is not None:
+                delta = imm if op is Opcode.ADD else -imm
+                emit_wrap(d, f"regs[{srcs[0]}] + {delta}")
+            elif op in (Opcode.ADD, Opcode.FADD):
+                emit_wrap(d, f"regs[{srcs[0]}] + regs[{srcs[1]}]")
+            elif op in (Opcode.SUB, Opcode.FSUB):
+                emit_wrap(d, f"regs[{srcs[0]}] - regs[{srcs[1]}]")
+            elif op in (Opcode.MUL, Opcode.FMUL):
+                emit_wrap(d, f"regs[{srcs[0]}] * regs[{srcs[1]}]")
+            elif op is Opcode.AND:
+                emit(f"{pad}regs[{d}] = regs[{srcs[0]}] & regs[{srcs[1]}]")
+            elif op is Opcode.OR:
+                emit(f"{pad}regs[{d}] = regs[{srcs[0]}] | regs[{srcs[1]}]")
+            elif op is Opcode.XOR:
+                emit(f"{pad}regs[{d}] = regs[{srcs[0]}] ^ regs[{srcs[1]}]")
+            elif op is Opcode.SHL:
+                emit_wrap(d, f"regs[{srcs[0]}] << (regs[{srcs[1]}] & 63)")
+            elif op is Opcode.SHR:
+                emit(
+                    f"{pad}regs[{d}] = (regs[{srcs[0]}] & {_MASK64}) >> "
+                    f"(regs[{srcs[1]}] & 63)"
+                )
+            elif op is Opcode.CMP:
+                emit(f"{pad}av = regs[{srcs[0]}]")
+                emit(f"{pad}bv = regs[{srcs[1]}]")
+                emit(f"{pad}regs[{d}] = (av > bv) - (av < bv)")
+            elif op is Opcode.FDIV:
+                emit(f"{pad}bv = regs[{srcs[1]}]")
+                emit(f"{pad}regs[{d}] = regs[{srcs[0]}] // bv if bv else 0")
+            elif op is Opcode.FMA:
+                emit_wrap(d, f"regs[{d}] + regs[{srcs[0]}] * regs[{srcs[1]}]")
+            else:
+                # unsupported opcode: defer to the raising closure so the
+                # error (and its timing: at execution, not compile) match
+                env[f"f{k}"] = aux
+                emit(f"{pad}f{k}(regs)")
+        elif kind == _K_LD:
+            base, disp, size, dreg, inst, call_adapter = aux
+            addr = f"regs[{base}] + {disp}" if disp else f"regs[{base}]"
+            emit(f"{pad}a = {addr}")
+            if call_adapter:
+                stmts = adapter_cls.replay_mem_op_source(inst, f"I{k}", env)
+                if stmts:
+                    emit(f"{pad}i = {k}")
+                    for stmt in stmts:
+                        emit(f"{pad}{stmt}")
+            emit(f"{pad}if a < 0 or a + {size} > msize: mcheck(a, {size})")
+            emit(f"{pad}regs[{dreg}] = ifb(data[a:a + {size}], 'little')")
+        elif kind == _K_ST:
+            base, disp, size, sreg, inst, call_adapter = aux
+            addr = f"regs[{base}] + {disp}" if disp else f"regs[{base}]"
+            emit(f"{pad}a = {addr}")
+            if call_adapter:
+                stmts = adapter_cls.replay_mem_op_source(inst, f"I{k}", env)
+                if stmts:
+                    emit(f"{pad}i = {k}")
+                    for stmt in stmts:
+                        emit(f"{pad}{stmt}")
+            emit(f"{pad}if a < 0 or a + {size} > msize: mcheck(a, {size})")
+            emit(f"{pad}undo_append((a, bytes(data[a:a + {size}])))")
+            mask = (1 << (8 * size)) - 1
+            emit(
+                f"{pad}data[a:a + {size}] = "
+                f"(regs[{sreg}] & {mask}).to_bytes({size}, 'little')"
+            )
+        elif kind == _K_CBR:
+            code, a, b, target = aux
+            cmp_op = ("==", "!=", "<", ">=")[code]
+            rhs = f"regs[{b}]" if b is not None else "0"
+            emit(f"{pad}if regs[{a}] {cmp_op} {rhs}:")
+            emit(f"{pad}    return ({k}, {_X_SIDE}, {target!r})")
+        elif kind == _K_BR:
+            emit(f"{pad}return ({k}, {_X_BR}, {aux!r})")
+        elif kind == _K_EXIT:
+            emit(f"{pad}return ({k}, {_X_EXIT}, {aux!r})")
+        elif kind == _K_ROTATE:
+            for stmt in adapter_cls.replay_rotate_source(aux, f"I{k}", env):
+                emit(f"{pad}{stmt}")
+        elif kind == _K_AMOV:
+            for stmt in adapter_cls.replay_amov_source(aux, f"I{k}", env):
+                emit(f"{pad}{stmt}")
+        # _K_NOP: no functional effect (timing plan accounts its slot)
+    emit(f"{pad}return ({len(trace) - 1}, {_X_FALL}, None)")
+    emit("    except A as e:")
+    emit(f"        return (i, {_X_ALIAS}, e)")
+    exec(compile("\n".join(lines), "<vliw-replay>", "exec"), env)
+    return env["_replay"]  # type: ignore[return-value]
+
+
+def invalidate_timing_plans(region) -> bool:
+    """Drop a region's cached compiled trace and timing plans.
+
+    Called by the runtime when a region is re-optimized or blacklisted;
+    the replacement translation is a fresh object (so the identity-keyed
+    cache could never serve it stale data anyway), but clearing the old
+    region's cache makes the invalidation rule explicit and frees the
+    plan memory of translations that will never run again. Returns True
+    when there was anything to drop.
+    """
+    if getattr(region, "_vliw_trace", None) is not None:
+        try:
+            region._vliw_trace = None
+        except AttributeError:  # slotted/frozen region: nothing cached
+            return False
+        return True
+    return False
 
 
 def _compile_alu_fn(inst: Instruction) -> Callable[[List[int]], None]:
@@ -279,7 +565,11 @@ def _compile_trace(machine: MachineModel, linear: List[Instruction], adapter_cls
     )
     if last_pc is not None:
         fall_through = last_pc + 1
-    return trace, fall_through
+    # Functional-only projection for the planned replay path: the issue
+    # operands (uses/dest/latency/unit) are dropped so the fast loop
+    # unpacks two items per entry instead of six.
+    ftrace = [(kind, aux) for kind, _u, _d, _l, _ui, aux in trace]
+    return trace, fall_through, ftrace
 
 
 class VliwSimulator:
@@ -294,6 +584,7 @@ class VliwSimulator:
         self.memory = memory
         self.stats = VliwStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._plans_enabled = os.environ.get(_NO_PLANS_ENV) != "1"
 
     # ------------------------------------------------------------------
     def execute_region(
@@ -313,7 +604,8 @@ class VliwSimulator:
         The cache is keyed on the identity of the linear stream, the
         adapter class, and the machine model, so a re-optimized schedule
         (a fresh region/linear list) or a different execution context
-        never sees a stale trace.
+        never sees a stale trace. The cached tuple also carries the
+        functional-only projection and the (lazily compiled) timing plan.
         """
         linear = region.schedule.linear
         adapter_cls = type(adapter)
@@ -324,15 +616,19 @@ class VliwSimulator:
             and cached[1] is adapter_cls
             and cached[2] is self.machine
         ):
-            return cached[3], cached[4]
-        trace, fall_through = _compile_trace(self.machine, linear, adapter_cls)
+            return cached[3], cached[4], cached[5], cached[6]
+        trace, fall_through, ftrace = _compile_trace(
+            self.machine, linear, adapter_cls
+        )
+        plan = _TimingPlan()
         try:
             region._vliw_trace = (
-                linear, adapter_cls, self.machine, trace, fall_through
+                linear, adapter_cls, self.machine, trace, fall_through,
+                ftrace, plan,
             )
         except AttributeError:  # slotted/frozen region: skip caching
             pass
-        return trace, fall_through
+        return trace, fall_through, ftrace, plan
 
     def _execute_region(
         self,
@@ -340,13 +636,271 @@ class VliwSimulator:
         adapter,
         registers: List[int],
     ) -> RegionOutcome:
+        trace, fall_through, ftrace, plan = self._trace_for(region, adapter)
+        if self._plans_enabled and getattr(adapter, "timing_transparent", False):
+            return self._execute_planned(
+                region, adapter, registers, trace, fall_through, ftrace, plan
+            )
+        return self._execute_interpreted(
+            region, adapter, registers, trace, fall_through
+        )
+
+    # ------------------------------------------------------------------
+    # Planned path: functional replay + memoized timing
+    # ------------------------------------------------------------------
+    def _execute_planned(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        trace,
+        fall_through,
+        ftrace,
+        plan: _TimingPlan,
+    ) -> RegionOutcome:
+        machine = self.machine
+        memory = self.memory
+        stats = self.stats
+        stats.regions_executed += 1
+        tracer = self.tracer
+        tracer.count("vliw.regions_executed")
+
+        guest_count = len(registers)
+        regs = list(registers)
+        regs.extend(_SCRATCH64)
+        undo_log: List[Tuple[int, bytes]] = []
+        adapter.on_region_enter(region)
+
+        outcome_status: Optional[str] = None
+        next_pc: Optional[int] = None
+        exit_code: Optional[int] = None
+        exit_kind = _X_FALL
+        alias_exc: Optional[AliasException] = None
+        idx = -1
+
+        # Tier 2: once hot, run the generated straight-line replay
+        # instead of the dispatch loop below (identical effects).
+        replay = plan.replay_fn
+        if replay is None:
+            plan.executions += 1
+            if plan.executions >= _REPLAY_THRESHOLD:
+                replay = plan.replay_fn = _compile_replay(
+                    region.schedule.linear, trace, type(adapter)
+                )
+                tracer.count("vliw.replay_compiles")
+        if replay is not None:
+            idx, exit_kind, payload = replay(
+                regs,
+                memory.buffer,
+                memory.size,
+                memory.check_bounds,
+                adapter,
+                undo_log.append,
+            )
+            if exit_kind == _X_SIDE:
+                outcome_status = "side_exit"
+                next_pc = payload
+            elif exit_kind == _X_BR:
+                outcome_status = "commit"
+                next_pc = payload
+            elif exit_kind == _X_EXIT:
+                outcome_status = "exit"
+                exit_code = payload
+            elif exit_kind == _X_ALIAS:
+                alias_exc = payload
+            return self._finish_planned(
+                region, adapter, registers, regs, guest_count, undo_log,
+                trace, fall_through, plan, idx, exit_kind, alias_exc,
+                outcome_status, next_pc, exit_code,
+            )
+
+        mem_read = memory.read
+        mem_write = memory.write
+        read_bytes = memory.read_bytes
+        on_mem_op = adapter.on_mem_op
+        undo_append = undo_log.append
+
+        try:
+            for kind, aux in ftrace:
+                idx += 1
+                if kind == _K_ALU:
+                    aux(regs)
+                elif kind == _K_LD:
+                    base, disp, size, dreg, inst, call_adapter = aux
+                    addr = regs[base] + disp
+                    if call_adapter:
+                        on_mem_op(inst, addr)
+                    regs[dreg] = mem_read(addr, size)
+                elif kind == _K_ST:
+                    base, disp, size, sreg, inst, call_adapter = aux
+                    addr = regs[base] + disp
+                    if call_adapter:
+                        on_mem_op(inst, addr)
+                    undo_append((addr, read_bytes(addr, size)))
+                    mem_write(addr, regs[sreg], size)
+                elif kind == _K_CBR:
+                    code, a, b, target = aux
+                    av = regs[a]
+                    bv = regs[b] if b is not None else 0
+                    if code == 0:
+                        taken = av == bv
+                    elif code == 1:
+                        taken = av != bv
+                    elif code == 2:
+                        taken = av < bv
+                    else:
+                        taken = av >= bv
+                    if taken:
+                        outcome_status = "side_exit"
+                        next_pc = target
+                        exit_kind = _X_SIDE
+                        break
+                elif kind == _K_BR:
+                    outcome_status = "commit"
+                    next_pc = aux
+                    exit_kind = _X_BR
+                    break
+                elif kind == _K_EXIT:
+                    outcome_status = "exit"
+                    exit_code = aux
+                    exit_kind = _X_EXIT
+                    break
+                elif kind == _K_ROTATE:
+                    adapter.on_rotate(aux)
+                elif kind == _K_AMOV:
+                    adapter.on_amov(aux)
+                # _K_NOP: no functional effect (still occupies its issue
+                # slot — accounted by the timing plan)
+        except AliasException as exc:
+            alias_exc = exc
+            exit_kind = _X_ALIAS
+
+        return self._finish_planned(
+            region, adapter, registers, regs, guest_count, undo_log,
+            trace, fall_through, plan, idx, exit_kind, alias_exc,
+            outcome_status, next_pc, exit_code,
+        )
+
+    def _finish_planned(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        regs: List[int],
+        guest_count: int,
+        undo_log: List[Tuple[int, bytes]],
+        trace,
+        fall_through,
+        plan: _TimingPlan,
+        idx: int,
+        exit_kind: int,
+        alias_exc: Optional[AliasException],
+        outcome_status: Optional[str],
+        next_pc: Optional[int],
+        exit_code: Optional[int],
+    ) -> RegionOutcome:
+        """Shared planned-path epilogue: signature lookup + commit/abort.
+
+        Both replay tiers (the dispatch loop and the generated function)
+        funnel here, so the timing and outcome construction are spelled
+        once.
+        """
+        machine = self.machine
+        memory = self.memory
+        stats = self.stats
+        tracer = self.tracer
+
+        # -- timing: signature lookup instead of the scoreboard loop ---
+        signature = (idx, exit_kind, adapter.event_fingerprint())
+        cycle = plan.signatures.get(signature)
+        if cycle is None:
+            cycle_after = plan.cycle_after
+            if cycle_after is None:
+                cycle_after = plan.cycle_after = _compile_timing(
+                    machine, trace
+                )
+                tracer.count("vliw.plan_compiles")
+            cycle = (
+                cycle_after[idx] if idx >= 0 else machine.checkpoint_cycles
+            )
+            plan.signatures[signature] = cycle
+            tracer.count("vliw.plan_misses")
+        else:
+            tracer.count("vliw.plan_hits")
+        executed = idx + 1
+
+        if alias_exc is not None:
+            for addr, old in reversed(undo_log):
+                memory.write_bytes(addr, old)
+            adapter.on_region_exit()
+            cycles = cycle + machine.rollback_penalty
+            stats.alias_aborts += 1
+            if alias_exc.false_positive:
+                stats.false_positive_aborts += 1
+            stats.total_cycles += cycles
+            stats.instructions += executed
+            return RegionOutcome(
+                status="alias",
+                cycles=cycles,
+                alias_setter=alias_exc.setter_mem_index,
+                alias_checker=alias_exc.checker_mem_index,
+                false_positive=alias_exc.false_positive,
+                instructions_executed=executed,
+            )
+
+        if outcome_status is None:
+            if fall_through is not None:
+                next_pc = fall_through
+            else:
+                next_pc = region.block.entry_pc + 1
+            outcome_status = "commit"
+
+        cycles = cycle + 1
+        stats.instructions += executed
+        if outcome_status == "side_exit":
+            for addr, old in reversed(undo_log):
+                memory.write_bytes(addr, old)
+            adapter.on_region_exit()
+            cycles += machine.rollback_penalty
+            stats.side_exit_aborts += 1
+            stats.total_cycles += cycles
+            return RegionOutcome(
+                status="side_exit",
+                cycles=cycles,
+                next_pc=next_pc,
+                instructions_executed=executed,
+            )
+
+        adapter.on_region_exit()
+        registers[:] = regs[:guest_count]
+        stats.commits += 1
+        stats.total_cycles += cycles
+        return RegionOutcome(
+            status=outcome_status,
+            cycles=cycles,
+            next_pc=next_pc,
+            exit_code=exit_code,
+            instructions_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreted path: fused scoreboard + functional loop (the
+    # executable specification of the planned path, and the fallback for
+    # non-timing-transparent adapters and SMARQ_NO_TIMING_PLANS=1)
+    # ------------------------------------------------------------------
+    def _execute_interpreted(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        trace,
+        fall_through,
+    ) -> RegionOutcome:
         machine = self.machine
         memory = self.memory
         stats = self.stats
         stats.regions_executed += 1
         self.tracer.count("vliw.regions_executed")
-
-        trace, fall_through = self._trace_for(region, adapter)
 
         # Translated code may use host scratch registers beyond the guest
         # register file (register renaming in unrolled regions); scratch

@@ -35,20 +35,24 @@ GOLDEN_SCHEMES = ("smarq", "itanium", "none")
 GOLDEN_SCALE = 0.05
 GOLDEN_HOT_THRESHOLD = 20
 
+#: each cell is (benchmark, scheme, scale). The 3x3 grid at scale 0.05 is
+#: the fast core lock; the equake row is additionally locked at scale 0.1
+#: — the perf harness's scale — so timing-plan signature reuse across the
+#: much longer pointer-chasing run is pinned byte-for-byte too.
 GOLDEN_CELLS = [
-    (bench, scheme)
+    (bench, scheme, GOLDEN_SCALE)
     for bench in GOLDEN_BENCHMARKS
     for scheme in GOLDEN_SCHEMES
-]
+] + [("equake", scheme, 0.1) for scheme in GOLDEN_SCHEMES]
 
 
-def golden_path(bench: str, scheme: str) -> pathlib.Path:
-    return GOLDEN_DIR / f"{bench}_{scheme}_s005.json"
+def golden_path(bench: str, scheme: str, scale: float = GOLDEN_SCALE) -> pathlib.Path:
+    return GOLDEN_DIR / f"{bench}_{scheme}_s{int(round(scale * 100)):03d}.json"
 
 
-def render_report(bench: str, scheme: str) -> str:
+def render_report(bench: str, scheme: str, scale: float = GOLDEN_SCALE) -> str:
     """Run one cell and serialize its report canonically."""
-    program = make_benchmark(bench, scale=GOLDEN_SCALE)
+    program = make_benchmark(bench, scale=scale)
     system = DbtSystem(
         program,
         scheme,
@@ -58,10 +62,10 @@ def render_report(bench: str, scheme: str) -> str:
     return json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n"
 
 
-@pytest.mark.parametrize("bench,scheme", GOLDEN_CELLS)
-def test_report_matches_golden(bench, scheme):
-    path = golden_path(bench, scheme)
-    rendered = render_report(bench, scheme)
+@pytest.mark.parametrize("bench,scheme,scale", GOLDEN_CELLS)
+def test_report_matches_golden(bench, scheme, scale):
+    path = golden_path(bench, scheme, scale)
+    rendered = render_report(bench, scheme, scale)
     if os.environ.get("SMARQ_REGEN_GOLDENS") == "1":
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(rendered)
@@ -80,8 +84,8 @@ def test_report_matches_golden(bench, scheme):
 def test_goldens_are_canonical_json():
     """Each committed golden must be canonical (sorted keys, 2-space
     indent, trailing newline) so byte-diffs equal semantic diffs."""
-    for bench, scheme in GOLDEN_CELLS:
-        path = golden_path(bench, scheme)
+    for bench, scheme, scale in GOLDEN_CELLS:
+        path = golden_path(bench, scheme, scale)
         if not path.exists():
             pytest.skip("goldens not generated yet")
         raw = path.read_text()

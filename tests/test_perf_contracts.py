@@ -12,7 +12,10 @@ quadratic, an allocator that re-heapifies) fails deterministically:
    or earlier-order entries;
 3. the integrated allocator's base-tracking heap does O(1) amortized work
    per memory operation: each op is pushed at most once, and pops never
-   exceed pushes.
+   exceed pushes;
+4. hot regions are served by memoized timing plans — re-executions along
+   a seen path are plan *hits*, and disabling the machinery with
+   ``SMARQ_NO_TIMING_PLANS=1`` changes nothing observable in the report.
 """
 
 import pytest
@@ -99,3 +102,42 @@ class TestAllocatorHeapIsLinear:
         budget = mem_ops + allocator.stats.amovs_inserted
         assert len(pushes) <= budget
         assert len(pops) <= len(pushes)
+
+
+def _run_cell(benchmark="art", scheme="smarq", scale=0.05):
+    tracer = Tracer()
+    program = make_benchmark(benchmark, scale=scale)
+    system = DbtSystem(
+        program,
+        scheme,
+        profiler_config=ProfilerConfig(hot_threshold=20),
+        tracer=tracer,
+    )
+    return system.run(), tracer
+
+
+class TestTimingPlansAreMemoized:
+    def test_hot_workload_hits_plans(self):
+        """A hot region re-executes thousands of times along few paths:
+        the plan cache must serve almost every execution as a hit."""
+        _report, tracer = _run_cell()
+        hits = tracer.counters.get("vliw.plan_hits", 0)
+        misses = tracer.counters.get("vliw.plan_misses", 0)
+        executed = tracer.counters.get("vliw.regions_executed", 0)
+        assert executed > 0, "workload never executed a translated region"
+        assert hits >= 1
+        # every planned execution is exactly one lookup
+        assert hits + misses == executed
+        # distinct signatures (misses) stay far below executions
+        assert misses < executed / 2
+
+    def test_kill_switch_report_is_identical(self, monkeypatch):
+        """``SMARQ_NO_TIMING_PLANS=1`` must be purely a perf toggle: the
+        fully interpreted scoreboard loop yields a field-identical
+        report and fires no plan machinery."""
+        baseline, _ = _run_cell()
+        monkeypatch.setenv("SMARQ_NO_TIMING_PLANS", "1")
+        interpreted, tracer = _run_cell()
+        assert tracer.counters.get("vliw.plan_hits", 0) == 0
+        assert tracer.counters.get("vliw.plan_misses", 0) == 0
+        assert interpreted == baseline  # DbtReport dataclass equality
