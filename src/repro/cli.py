@@ -16,6 +16,13 @@ Commands
     (benchmark, scheme) cell's interpret/translate/simulate phases plus
     the end-to-end serial cold ``figures`` path, and write a
     ``BENCH_*.json`` trajectory point (see ``docs/PERF.md``).
+``fuzz [--seed N] [--cases N] [--time-budget S] [--oracles a,b]
+[--minimize/--no-minimize] [--out-dir D]``
+    Run the differential fuzzing campaign (:mod:`repro.fuzz`): generate
+    adversarial guest programs and cross-check every configured pair of
+    independent implementations; disagreements are delta-debugged to
+    minimal repros under ``--out-dir`` (see ``docs/TESTING.md``).
+    Exit status 1 if any oracle pair disagreed.
 
 ``figures`` and ``compare`` route every simulation through the
 :mod:`repro.engine` execution engine: ``--jobs N`` fans (benchmark,
@@ -227,6 +234,37 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import FuzzConfig, ORACLE_NAMES, render_stats, run_fuzz
+
+    oracles = (
+        tuple(o.strip() for o in args.oracles.split(",") if o.strip())
+        if args.oracles
+        else ORACLE_NAMES
+    )
+    for name in oracles:
+        if name not in ORACLE_NAMES:
+            print(
+                f"unknown oracle {name!r}; choose from {list(ORACLE_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        cases=args.cases,
+        time_budget=args.time_budget,
+        oracles=oracles,
+        minimize=args.minimize,
+        engine_samples=args.engine_samples,
+        out_dir=Path(args.out_dir),
+    )
+    stats = run_fuzz(config)
+    print(render_stats(stats, config))
+    return 0 if stats.ok else 1
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -294,6 +332,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default="",
         help="previous BENCH json to embed and compute speedups against",
     )
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="run the differential fuzzing campaign"
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=0,
+        help="first RNG seed; cases use seed, seed+1, ... (default 0)",
+    )
+    fuzz_p.add_argument(
+        "--cases", type=int, default=200,
+        help="number of generated cases (default 200)",
+    )
+    fuzz_p.add_argument(
+        "--time-budget", type=float, default=0.0, metavar="SECONDS",
+        help="stop early after this much wall time (0 = no limit)",
+    )
+    fuzz_p.add_argument(
+        "--oracles", default="",
+        help="comma-separated oracle subset "
+        "(default: alloc,queue,schemes,plans,engine)",
+    )
+    fuzz_p.add_argument(
+        "--minimize", action="store_true", default=True,
+        help="delta-debug disagreeing cases to minimal repros (default)",
+    )
+    fuzz_p.add_argument(
+        "--no-minimize", action="store_false", dest="minimize",
+        help="record disagreeing cases without minimizing",
+    )
+    fuzz_p.add_argument(
+        "--engine-samples", type=int, default=8, metavar="N",
+        help="cases that also run the (process-pool) engine oracle "
+        "(sampled evenly; default 8)",
+    )
+    fuzz_p.add_argument(
+        "--out-dir", default="fuzz-out",
+        help="directory for failure corpus entries and pytest repros "
+        "(default fuzz-out/)",
+    )
     return parser
 
 
@@ -305,6 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figures": _cmd_figures,
         "perf": _cmd_perf,
+        "fuzz": _cmd_fuzz,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,142 @@
+"""Failure corpus: persisted fuzz cases and standalone pytest repros.
+
+Two artifact kinds:
+
+* **corpus entries** — JSON files (one case each, schema-versioned) kept
+  under ``tests/corpus/``. Every entry is replayed by
+  ``tests/test_corpus.py`` on every test run, so a once-found
+  disagreement (or a deliberately interesting passing case) can never
+  silently regress. Fresh failures are written to the fuzz run's output
+  directory; promotion into ``tests/corpus/`` is a reviewed ``git add``.
+* **repro files** — self-contained pytest modules embedding the
+  (minimized) case JSON and asserting the failing oracle agrees again.
+  Generated next to the corpus entry for one-command debugging:
+  ``python -m pytest path/to/repro_<name>.py``.
+
+:func:`replay_case_dict` is the single entry point both artifact kinds
+funnel through.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import CASE_SCHEMA_VERSION, FuzzCase
+from repro.fuzz.oracles import ORACLES, CaseRun, Disagreement
+
+#: default in-repo corpus location (resolved relative to the repo root
+#: when it exists; tests pass the path explicitly)
+CORPUS_DIRNAME = "tests/corpus"
+
+
+def replay_case_dict(
+    data: dict, oracles: Optional[Sequence[str]] = None
+) -> List[Disagreement]:
+    """Re-run a serialized case against the named oracles.
+
+    ``data`` is either a bare case dict (``FuzzCase.to_dict`` form) or a
+    corpus entry wrapping one. Returns all disagreements found.
+    """
+    if "case" in data and "ops" not in data:
+        if oracles is None and data.get("oracle"):
+            oracles = [data["oracle"]]
+        data = data["case"]
+    case = FuzzCase.from_dict(data)
+    run = CaseRun(case)
+    names = list(oracles) if oracles else list(ORACLES)
+    out: List[Disagreement] = []
+    for name in names:
+        out.extend(ORACLES[name](run))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Corpus entries
+# ----------------------------------------------------------------------
+def corpus_entry(case: FuzzCase, oracle: str, note: str = "") -> dict:
+    return {
+        "schema": CASE_SCHEMA_VERSION,
+        "oracle": oracle,
+        "note": note,
+        "case": case.to_dict(),
+    }
+
+
+def write_corpus_entry(
+    directory: Path, name: str, entry: dict
+) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: Path) -> List[Tuple[Path, dict]]:
+    """Every ``*.json`` entry under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.glob("*.json")):
+        out.append((path, json.loads(path.read_text())))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Standalone pytest repro emission
+# ----------------------------------------------------------------------
+_REPRO_TEMPLATE = '''\
+"""Auto-generated fuzz repro: oracle {oracle!r} disagreed on this case.
+
+Replay directly:
+
+    PYTHONPATH=src python -m pytest {filename} -x
+
+The embedded case is self-contained (config + op list); see
+``docs/TESTING.md`` for the op vocabulary and promotion workflow.
+Original disagreement:
+{detail_comment}
+"""
+
+import json
+
+CASE = json.loads(r"""
+{case_json}
+""")
+
+
+def test_fuzz_repro():
+    from repro.fuzz.corpus import replay_case_dict
+
+    disagreements = replay_case_dict(CASE, oracles=[{oracle!r}])
+    assert not disagreements, "\\n".join(str(d) for d in disagreements)
+'''
+
+
+def write_repro_file(
+    directory: Path,
+    name: str,
+    case: FuzzCase,
+    oracle: str,
+    disagreements: Iterable[Disagreement] = (),
+) -> Path:
+    """Emit a standalone pytest module reproducing the disagreement."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro_{name}.py"
+    detail_comment = "\n".join(
+        f"    {d}" for d in disagreements
+    ) or "    (recorded without detail)"
+    case_json = json.dumps(case.to_dict(), indent=4, sort_keys=True)
+    path.write_text(
+        _REPRO_TEMPLATE.format(
+            oracle=oracle,
+            filename=path.name,
+            detail_comment=detail_comment,
+            case_json=case_json,
+        )
+    )
+    return path

@@ -1,0 +1,172 @@
+"""Delta-debugging case minimizer.
+
+Given a disagreeing :class:`~repro.fuzz.generator.FuzzCase` and a
+predicate ("does this case still make oracle O disagree?"), shrink the op
+list to a locally-minimal instruction sequence:
+
+1. classic **ddmin** — remove complements of progressively finer chunk
+   partitions while the disagreement persists;
+2. a **one-by-one sweep** — drop each remaining op individually (catches
+   removals ddmin's chunking misses);
+3. **canonicalization** — rewrite each surviving op's fields toward the
+   simplest value (displacement 0, size 8, base ``u0``, immediate 0) when
+   the rewrite preserves the disagreement.
+
+The predicate is re-evaluated from scratch on every candidate (fresh IR,
+fresh queues, fresh programs), so minimized cases replay standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.fuzz.generator import FuzzCase
+
+Predicate = Callable[[FuzzCase], bool]
+
+
+@dataclass
+class MinimizationResult:
+    case: FuzzCase
+    #: predicate evaluations spent (the minimizer's cost metric)
+    tests: int
+    original_ops: int
+
+    @property
+    def final_ops(self) -> int:
+        return len(self.case.ops)
+
+
+class _Counter:
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+        self.tests = 0
+
+    def __call__(self, case: FuzzCase) -> bool:
+        self.tests += 1
+        try:
+            return self.predicate(case)
+        except Exception:
+            # A candidate that crashes an implementation outright is not
+            # the disagreement being chased; treat it as "not failing".
+            return False
+
+
+def _ddmin(case: FuzzCase, failing: Predicate) -> FuzzCase:
+    ops = list(case.ops)
+    granularity = 2
+    while len(ops) >= 2:
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        start = 0
+        while start < len(ops):
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate and failing(case.with_ops(candidate)):
+                ops = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart the scan at this granularity
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+    return case.with_ops(ops)
+
+
+def _sweep(case: FuzzCase, failing: Predicate) -> FuzzCase:
+    ops = list(case.ops)
+    i = 0
+    while i < len(ops) and len(ops) > 1:
+        candidate = ops[:i] + ops[i + 1:]
+        if failing(case.with_ops(candidate)):
+            ops = candidate
+        else:
+            i += 1
+    return case.with_ops(ops)
+
+
+def _canonical_candidates(op: list) -> List[list]:
+    """Simpler variants of one op, most aggressive first."""
+    out: List[list] = []
+    kind = op[0]
+    if kind == "ld":
+        _, dest, ref, disp, size = op
+        for new in (
+            ["ld", dest, "u0", 0, 8],
+            ["ld", dest, ref, 0, size],
+            ["ld", dest, ref, disp, 8],
+            ["ld", dest, "u0", disp, size],
+        ):
+            if new != op:
+                out.append(new)
+    elif kind == "st":
+        _, ref, src, disp, size = op
+        for new in (
+            ["st", "u0", src, 0, 8],
+            ["st", ref, src, 0, size],
+            ["st", ref, src, disp, 8],
+            ["st", "u0", src, disp, size],
+        ):
+            if new != op:
+                out.append(new)
+    elif kind == "fop":
+        _, name, dest, lhs, rhs = op
+        if name != "fadd":
+            out.append(["fop", "fadd", dest, lhs, rhs])
+    elif kind == "movi":
+        _, dest, imm = op
+        if imm != 0:
+            out.append(["movi", dest, 0])
+    return out
+
+
+def _canonicalize(case: FuzzCase, failing: Predicate) -> FuzzCase:
+    ops = [list(op) for op in case.ops]
+    for i in range(len(ops)):
+        for candidate_op in _canonical_candidates(ops[i]):
+            candidate = [list(o) for o in ops]
+            candidate[i] = candidate_op
+            if failing(case.with_ops(candidate)):
+                ops = candidate
+                break
+    return case.with_ops(ops)
+
+
+def minimize_case(
+    case: FuzzCase, predicate: Predicate, max_tests: int = 2000
+) -> MinimizationResult:
+    """Shrink ``case`` while ``predicate`` (still-disagrees) holds.
+
+    The input case must satisfy the predicate; raises ValueError if it
+    does not (a non-reproducing "failure" would minimize to garbage).
+    ``max_tests`` bounds predicate evaluations; minimization stops early
+    — still returning the best case so far — when exhausted.
+    """
+    failing = _Counter(predicate)
+    if not failing(case):
+        raise ValueError("case does not reproduce the disagreement")
+
+    class _Budget(Exception):
+        pass
+
+    def guarded(c: FuzzCase) -> bool:
+        if failing.tests >= max_tests:
+            raise _Budget()
+        return failing(c)
+
+    best = case
+    try:
+        best = _ddmin(best, guarded)
+        best = _sweep(best, guarded)
+        best = _canonicalize(best, guarded)
+        # One more sweep: canonicalization can make more ops removable.
+        best = _sweep(best, guarded)
+    except _Budget:
+        pass
+    return MinimizationResult(
+        case=best, tests=failing.tests, original_ops=len(case.ops)
+    )

@@ -1,0 +1,508 @@
+"""Differential oracles: pairs of independent implementations that must agree.
+
+Each oracle takes one generated :class:`~repro.fuzz.generator.FuzzCase`
+and returns a list of :class:`Disagreement` records (empty = the
+implementations agreed). The configured pairs:
+
+``alloc``
+    The three allocation paths (integrated :class:`SmarqAllocator`,
+    standalone ``fast_allocate``, :class:`PlainOrderAllocator`) certified
+    by the :mod:`repro.smarq.validator` hardware replay — with boundary
+    probes pinning the overlap predicate — plus the incremental-vs-post-hoc
+    constraint derivation and the Figure 17 working-set ordering.
+``queue``
+    The production :class:`AliasRegisterQueue` run in lockstep against the
+    brute-force :class:`~repro.fuzz.reference.ReferenceQueue` over the
+    allocated stream under several adversarial (collision-heavy,
+    boundary-biased) address assignments.
+``schemes``
+    Final architectural state (registers + memory bytes) of the full DBT
+    system under every alias-detection scheme vs pure interpretation.
+``plans``
+    ``DbtReport`` with timing plans enabled vs ``SMARQ_NO_TIMING_PLANS=1``
+    (must be byte-identical; PR 3's contract).
+``engine``
+    Parallel process-pool execution vs serial in-process execution of the
+    same case (reports must be identical; exercised per-case here and in a
+    batched end-of-run sweep by the runner).
+
+The oracles deliberately re-run the sub-implementations from scratch per
+leg; a :class:`CaseRun` memo keeps the shared expensive pieces (the
+integrated allocation, per-scheme DBT runs) computed once per case.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.constraints import ConstraintCycleError, derive_constraints
+from repro.analysis.dependence import DependenceSet, compute_dependences
+from repro.analysis.liveness import working_set_lower_bound
+from repro.analysis.constraints import CheckConstraint
+from repro.frontend.interpreter import Interpreter
+from repro.frontend.profiler import ProfilerConfig
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.reference import ReferenceQueue
+from repro.hw.exceptions import AliasException
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.ir.instruction import Instruction, Opcode
+from repro.ir.superblock import Superblock
+from repro.sched.ddg import DataDependenceGraph
+from repro.sched.list_scheduler import ListScheduler, SchedulerConfig
+from repro.sched.machine import MachineModel
+from repro.sim.dbt import DbtSystem
+from repro.sim.memory import Memory
+from repro.smarq.allocator import SmarqAllocator
+from repro.smarq.fast_alloc import fast_allocate
+from repro.smarq.plain_order_alloc import PlainOrderAllocator
+from repro.smarq.validator import (
+    ValidationError,
+    semantic_pairs_from_allocator,
+    validate_allocation,
+)
+
+_NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
+
+#: schemes whose final architectural state must equal pure interpretation
+STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none")
+#: schemes run twice for the timing-plans on/off report comparison
+PLANS_SCHEMES = ("smarq", "itanium")
+
+#: address assignments tried per case by the queue lockstep oracle
+QUEUE_ASSIGNMENTS = 4
+
+_MAX_GUEST_STEPS = 5_000_000
+
+
+@dataclass
+class Disagreement:
+    """One observed divergence between two implementations."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.oracle}] {self.detail}"
+
+
+@contextmanager
+def timing_plans_disabled():
+    """Force the interpreted scoreboard path for DbtSystems built inside."""
+    prev = os.environ.get(_NO_PLANS_ENV)
+    os.environ[_NO_PLANS_ENV] = "1"
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ[_NO_PLANS_ENV]
+        else:
+            os.environ[_NO_PLANS_ENV] = prev
+
+
+# ----------------------------------------------------------------------
+# Per-case shared state
+# ----------------------------------------------------------------------
+@dataclass
+class CaseRun:
+    """Lazily-computed shared artifacts for one case.
+
+    ``queue_factory`` is the hardware implementation under test — the
+    real :class:`AliasRegisterQueue` in normal operation, a deliberately
+    broken mutant in the mutation smoke test.
+    """
+
+    case: FuzzCase
+    queue_factory: Callable[[int], object] = AliasRegisterQueue
+    _allocated: Optional[tuple] = None
+    _reference_state: Optional[tuple] = None
+    _scheme_state: Dict[str, tuple] = field(default_factory=dict)
+    _scheme_report: Dict[Tuple[str, bool], dict] = field(default_factory=dict)
+
+    # -- superblock-level allocation -----------------------------------
+    def build_inputs(self):
+        case = self.case
+        block = Superblock(instructions=case.body())
+        analysis = AliasAnalysis(
+            block,
+            region_map=case.known_region_map(),
+            initial_regions=case.known_initial_regions(),
+        )
+        machine = MachineModel().with_alias_registers(
+            case.config.alias_registers
+        )
+        deps = DependenceSet(compute_dependences(block, analysis))
+        return block, analysis, machine, deps
+
+    def allocated(self):
+        """Integrated allocation of the case body (memoized)."""
+        if self._allocated is None:
+            block, analysis, machine, deps = self.build_inputs()
+            allocator = SmarqAllocator(
+                machine, deps, list(block.instructions)
+            )
+            ddg = DataDependenceGraph(
+                block, machine, memory_dependences=list(deps)
+            )
+            result = ListScheduler(
+                machine, SchedulerConfig(), allocator
+            ).schedule(ddg, alias_analysis=analysis)
+            self._allocated = (allocator, result, deps, machine)
+        return self._allocated
+
+    # -- whole-program runs --------------------------------------------
+    def reference_state(self):
+        """Architectural state after pure interpretation."""
+        if self._reference_state is None:
+            program = self.case.program()
+            memory = Memory(program.memory_size() + 4096)
+            interp = Interpreter(program, memory)
+            interp.run(max_steps=_MAX_GUEST_STEPS)
+            self._reference_state = (
+                list(interp.registers), bytes(memory._data)
+            )
+        return self._reference_state
+
+    def scheme_state(self, scheme: str):
+        """(registers, memory bytes) after a full DBT run under scheme."""
+        if scheme not in self._scheme_state:
+            self._run_dbt(scheme, plans=True)
+        return self._scheme_state[scheme]
+
+    def scheme_report(self, scheme: str, plans: bool) -> dict:
+        """DbtReport dict under scheme with timing plans on/off."""
+        key = (scheme, plans)
+        if key not in self._scheme_report:
+            self._run_dbt(scheme, plans)
+        return self._scheme_report[key]
+
+    def _run_dbt(self, scheme: str, plans: bool) -> None:
+        program = self.case.program()
+        profiler = ProfilerConfig(
+            hot_threshold=self.case.config.hot_threshold
+        )
+        if plans:
+            system = DbtSystem(program, scheme, profiler_config=profiler)
+        else:
+            with timing_plans_disabled():
+                system = DbtSystem(
+                    program, scheme, profiler_config=profiler
+                )
+        report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
+        self._scheme_report[(scheme, plans)] = report.to_dict()
+        if plans:
+            self._scheme_state[scheme] = (
+                list(system.interpreter.registers),
+                bytes(system.memory._data),
+            )
+
+
+# ----------------------------------------------------------------------
+# alloc: three allocators, one replay oracle
+# ----------------------------------------------------------------------
+def alloc_oracle(run: CaseRun) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    case = run.case
+    registers = case.config.alias_registers
+
+    # Leg 1: integrated allocator, certified with boundary probes under
+    # the configured (possibly tiny) physical register file.
+    allocator, result, deps, machine = run.allocated()
+    checks, antis = semantic_pairs_from_allocator(allocator)
+    try:
+        validate_allocation(
+            result.linear, checks, antis, registers,
+            queue_factory=run.queue_factory, probe_boundaries=True,
+        )
+    except ValidationError as exc:
+        out.append(Disagreement("alloc", f"integrated allocator: {exc}"))
+
+    # Leg 2: incremental constraints == post-hoc Section 4 derivation.
+    positions = {inst.uid: i for i, inst in enumerate(result.linear)}
+    derived = derive_constraints(deps, positions)
+    incremental = {(c.uid, t.uid) for c, t in checks}
+    posthoc = {(c.checker.uid, c.target.uid) for c in derived.checks}
+    if incremental != posthoc:
+        out.append(
+            Disagreement(
+                "alloc",
+                "incremental vs post-hoc check constraints differ: "
+                f"only-incremental={sorted(incremental - posthoc)} "
+                f"only-posthoc={sorted(posthoc - incremental)}",
+            )
+        )
+
+    # Leg 3: standalone fast allocation over an unhooked speculative
+    # schedule (cyclic graphs are documented to raise; skip those).
+    block, analysis, machine2, deps2 = run.build_inputs()
+    ddg = DataDependenceGraph(
+        block, machine2, memory_dependences=list(deps2)
+    )
+    plain = ListScheduler(machine2, SchedulerConfig()).schedule(
+        ddg, alias_analysis=analysis
+    )
+    plain_positions = {i.uid: n for n, i in enumerate(plain.linear)}
+    constraints = derive_constraints(deps2, plain_positions)
+    try:
+        alloc = fast_allocate(list(plain.linear), constraints)
+    except ConstraintCycleError:
+        alloc = None
+    if alloc is not None:
+        try:
+            # The fast path has no pressure machinery; certify detection
+            # semantics with a register file sized to its working set.
+            validate_allocation(
+                alloc.linear,
+                [(c.checker, c.target) for c in constraints.checks],
+                [(a.protected, a.checker) for a in constraints.antis],
+                max(64, alloc.working_set),
+                queue_factory=run.queue_factory, probe_boundaries=True,
+            )
+        except ValidationError as exc:
+            out.append(Disagreement("alloc", f"fast_allocate: {exc}"))
+
+    # Leg 4: plain-order baseline (when the body fits) + Figure 17
+    # working-set ordering plain >= smarq >= liveness bound.
+    block3, analysis3, machine3, deps3 = run.build_inputs()
+    hook = PlainOrderAllocator(machine3, deps3, list(block3.instructions))
+    if hook.fits:
+        ddg3 = DataDependenceGraph(
+            block3, machine3, memory_dependences=list(deps3)
+        )
+        plain3 = ListScheduler(
+            machine3, SchedulerConfig(), hook
+        ).schedule(ddg3, alias_analysis=analysis3)
+        pos3 = {i.uid: n for n, i in enumerate(plain3.linear)}
+        cons3 = derive_constraints(deps3, pos3)
+        try:
+            validate_allocation(
+                plain3.linear,
+                [(c.checker, c.target) for c in cons3.checks],
+                [(a.protected, a.checker) for a in cons3.antis],
+                registers,
+                queue_factory=run.queue_factory, probe_boundaries=True,
+            )
+        except ValidationError as exc:
+            out.append(Disagreement("alloc", f"plain-order: {exc}"))
+
+        sched_positions = result.position()
+        live_checks = [
+            CheckConstraint(allocator._inst[c], allocator._inst[t])
+            for c, t in allocator._check_pairs
+            if allocator._inst[c].uid in sched_positions
+            and allocator._inst[t].uid in sched_positions
+        ]
+        bound = working_set_lower_bound(live_checks, sched_positions)
+        smarq_ws = allocator.stats.working_set
+        plain_ws = hook.stats.working_set
+        if not (bound <= smarq_ws <= plain_ws):
+            out.append(
+                Disagreement(
+                    "alloc",
+                    f"working-set ordering violated: liveness bound "
+                    f"{bound}, smarq {smarq_ws}, plain-order {plain_ws}",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# queue: production queue vs brute-force reference, in lockstep
+# ----------------------------------------------------------------------
+def _adversarial_addresses(
+    linear: Sequence[Instruction], rng: random.Random
+) -> Dict[int, int]:
+    """Collision-heavy, boundary-biased uid -> address assignment.
+
+    Memory ops land in a small pool of 0x40-spaced cells (so exact
+    collisions are frequent) with jitter biased toward equal, exactly
+    adjacent, and one-byte-overlapping ranges.
+    """
+    mem_uids = [i.uid for i in linear if i.is_mem]
+    cells = max(2, len(mem_uids) // 2)
+    addresses: Dict[int, int] = {}
+    for uid in mem_uids:
+        cell = rng.randrange(cells)
+        jitter = rng.choice((0, 0, 1, 7, 8, 9))
+        addresses[uid] = 0x40000 + cell * 0x40 + jitter
+    return addresses
+
+
+def _lockstep_step(queue, inst: Instruction, addresses) -> Optional[bool]:
+    """Apply one annotated instruction; True if it raised AliasException,
+    None if the instruction does not touch the queue."""
+    if inst.opcode is Opcode.ROTATE:
+        queue.rotate(inst.rotate_by)
+        return False
+    if inst.opcode is Opcode.AMOV:
+        queue.amov(inst.amov_src, inst.amov_dst)
+        return False
+    if not inst.is_mem or not (inst.p_bit or inst.c_bit):
+        return None
+    start = addresses[inst.uid]
+    try:
+        if inst.p_bit and inst.c_bit:
+            queue.check_then_set_range(
+                inst.ar_offset, start, inst.size, inst.is_load,
+                inst.mem_index,
+            )
+        elif inst.p_bit:
+            queue.set_range(
+                inst.ar_offset, start, inst.size, inst.is_load,
+                inst.mem_index,
+            )
+        else:
+            queue.check_range(
+                inst.ar_offset, start, inst.size, inst.is_load,
+                inst.mem_index,
+            )
+    except AliasException:
+        return True
+    return False
+
+
+def queue_oracle(run: CaseRun) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    _allocator, result, _deps, machine = run.allocated()
+    linear = result.linear
+    registers = machine.alias_registers
+    rng = random.Random(run.case.config.seed ^ 0xA11A5)
+
+    for trial in range(QUEUE_ASSIGNMENTS):
+        addresses = _adversarial_addresses(linear, rng)
+        impl = run.queue_factory(registers)
+        ref = ReferenceQueue(registers)
+        for step, inst in enumerate(linear):
+            impl_raised = _lockstep_step(impl, inst, addresses)
+            ref_raised = _lockstep_step(ref, inst, addresses)
+            if impl_raised is None:
+                continue
+            if impl_raised != ref_raised:
+                what = "detected an alias" if impl_raised else "missed an alias"
+                out.append(
+                    Disagreement(
+                        "queue",
+                        f"trial {trial} step {step}: hardware queue {what} "
+                        f"the reference disagrees on at {inst!r} "
+                        f"(addr {addresses.get(inst.uid):#x})",
+                    )
+                )
+                break
+            if impl_raised:
+                # Agreed detection aborts the region; stop this trial.
+                break
+            base = impl.base
+            if base != ref.base or impl.live_orders() != ref.live_orders():
+                out.append(
+                    Disagreement(
+                        "queue",
+                        f"trial {trial} step {step}: live state diverged "
+                        f"(impl base {base} orders {impl.live_orders()}; "
+                        f"ref base {ref.base} orders {ref.live_orders()})",
+                    )
+                )
+                break
+        if out:
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# schemes / plans / engine
+# ----------------------------------------------------------------------
+def schemes_oracle(run: CaseRun) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    ref_regs, ref_mem = run.reference_state()
+    for scheme in STATE_SCHEMES:
+        got_regs, got_mem = run.scheme_state(scheme)
+        if got_regs != ref_regs:
+            diffs = [
+                r for r, (a, b) in enumerate(zip(ref_regs, got_regs))
+                if a != b
+            ]
+            out.append(
+                Disagreement(
+                    "schemes",
+                    f"{scheme}: final registers diverge from interpreter "
+                    f"at {diffs[:8]}",
+                )
+            )
+        elif got_mem != ref_mem:
+            first = next(
+                i for i, (a, b) in enumerate(zip(ref_mem, got_mem))
+                if a != b
+            )
+            out.append(
+                Disagreement(
+                    "schemes",
+                    f"{scheme}: final memory diverges from interpreter "
+                    f"(first byte {first:#x})",
+                )
+            )
+    return out
+
+
+def plans_oracle(run: CaseRun) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    for scheme in PLANS_SCHEMES:
+        with_plans = run.scheme_report(scheme, plans=True)
+        without = run.scheme_report(scheme, plans=False)
+        if with_plans != without:
+            keys = sorted(
+                k for k in with_plans
+                if with_plans.get(k) != without.get(k)
+            )
+            out.append(
+                Disagreement(
+                    "plans",
+                    f"{scheme}: report differs with timing plans off "
+                    f"(fields {keys})",
+                )
+            )
+    return out
+
+
+def engine_oracle(run: CaseRun) -> List[Disagreement]:
+    """Parallel process-pool execution == serial in-process execution.
+
+    The spec is duplicated because both the engine and ``make_executor``
+    deliberately fall back to serial for single-job batches.
+    """
+    from repro.engine.executor import ParallelExecutor, SerialExecutor
+    from repro.engine.jobs import JobSpec
+    from repro.fuzz.generator import case_benchmark_name
+
+    name = case_benchmark_name(run.case)
+    spec = JobSpec(
+        benchmark=name, scheme_key="smarq", scale=1.0,
+        hot_threshold=run.case.config.hot_threshold,
+    )
+    serial = SerialExecutor().run([spec, spec])
+    parallel = ParallelExecutor(max_workers=2).run([spec, spec])
+    out: List[Disagreement] = []
+    for i, (s, p) in enumerate(zip(serial, parallel)):
+        if s.report.to_dict() != p.report.to_dict():
+            out.append(
+                Disagreement(
+                    "engine",
+                    f"parallel report differs from serial (job {i})",
+                )
+            )
+            break
+    return out
+
+
+#: oracle name -> per-case implementation, in documentation order
+ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
+    "alloc": alloc_oracle,
+    "queue": queue_oracle,
+    "schemes": schemes_oracle,
+    "plans": plans_oracle,
+    "engine": engine_oracle,
+}
+
+ORACLE_NAMES = tuple(ORACLES)

@@ -1,0 +1,120 @@
+"""Deliberately naive reference semantics of the ordered alias queue.
+
+The production :class:`~repro.hw.queue_model.AliasRegisterQueue` keeps a
+bisect-maintained sorted index, scalar tuple entries, and batched stats —
+all performance structure that could hide a semantic slip. This module
+restates ORDERED-ALIAS-DETECTION-RULE (paper Section 3.1) in the dumbest
+possible way — a dict of ``order -> AccessRange`` scanned in full on every
+check — so the fuzz oracle can run both side by side and flag the first
+divergence in detection, BASE, or the live set.
+
+It intentionally shares **no code** with :mod:`repro.hw.queue_model`
+beyond :class:`~repro.hw.ranges.AccessRange` (whose ``overlaps`` is three
+comparisons, trivially auditable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hw.exceptions import AliasException, AliasRegisterOverflow
+from repro.hw.ranges import AccessRange
+
+
+class ReferenceQueue:
+    """Brute-force ordered alias register file.
+
+    API mirrors the subset of :class:`AliasRegisterQueue` the validator's
+    replay drives (``set_range`` / ``check_range`` /
+    ``check_then_set_range`` / ``rotate`` / ``amov`` plus the ``base`` /
+    ``live_orders`` introspection the lockstep comparison reads), so the
+    oracle can instantiate either class from one factory.
+    """
+
+    def __init__(self, num_registers: int = 64) -> None:
+        if num_registers <= 0:
+            raise ValueError("need at least one alias register")
+        self.num_registers = num_registers
+        self.base = 0
+        self.entries: Dict[int, AccessRange] = {}
+
+    # -- introspection (lockstep comparison points) --------------------
+    def live_orders(self) -> List[int]:
+        return sorted(self.entries)
+
+    def entry_at_offset(self, offset: int) -> Optional[AccessRange]:
+        self._check_offset(offset)
+        return self.entries.get(self.base + offset)
+
+    def _check_offset(self, offset: int) -> None:
+        if offset < 0 or offset >= self.num_registers:
+            raise AliasRegisterOverflow(
+                f"reference: offset {offset} outside [0, {self.num_registers})"
+            )
+
+    # -- architectural operations --------------------------------------
+    def set_range(
+        self,
+        offset: int,
+        start: int,
+        size: int,
+        is_load: bool,
+        setter_mem_index: Optional[int] = None,
+    ) -> None:
+        self._check_offset(offset)
+        del setter_mem_index
+        self.entries[self.base + offset] = AccessRange(start, size, is_load)
+
+    def check_range(
+        self,
+        offset: int,
+        a_start: int,
+        a_size: int,
+        is_load: bool,
+        checker_mem_index: Optional[int] = None,
+    ) -> None:
+        self._check_offset(offset)
+        del checker_mem_index
+        access = AccessRange(a_start, a_size, is_load)
+        own = self.base + offset
+        # Full scan, sorted for a deterministic first hit: every live
+        # entry at order >= own, load-set entries invisible to loads.
+        for order in sorted(self.entries):
+            if order < own:
+                continue
+            entry = self.entries[order]
+            if is_load and entry.is_load:
+                continue
+            if entry.overlaps(access):
+                raise AliasException(
+                    f"reference alias: {access} overlaps {entry} "
+                    f"(order {order}, base {self.base})"
+                )
+
+    def check_then_set_range(
+        self,
+        offset: int,
+        start: int,
+        size: int,
+        is_load: bool,
+        mem_index: Optional[int] = None,
+    ) -> None:
+        self.check_range(offset, start, size, is_load, mem_index)
+        self.set_range(offset, start, size, is_load, mem_index)
+
+    def rotate(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("rotate amount must be non-negative")
+        self.base += amount
+        self.entries = {
+            order: entry
+            for order, entry in self.entries.items()
+            if order >= self.base
+        }
+
+    def amov(self, src_offset: int, dst_offset: int) -> None:
+        self._check_offset(src_offset)
+        self._check_offset(dst_offset)
+        entry = self.entries.pop(self.base + src_offset, None)
+        if entry is not None and src_offset != dst_offset:
+            self.entries[self.base + dst_offset] = entry

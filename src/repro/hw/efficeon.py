@@ -72,7 +72,12 @@ class BitmaskAliasFile:
         is_load: bool,
         setter_mem_index: Optional[int] = None,
     ) -> None:
-        """Scalar fast path for :meth:`set` (no AccessRange allocation)."""
+        """Scalar fast path for :meth:`set` (no AccessRange allocation).
+        Keeps :class:`AccessRange`'s validation contract."""
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        if start < 0:
+            raise ValueError("access address must be non-negative")
         if not 0 <= index < self.num_registers:
             self._check_index(index)  # raises; out of the hot path
         self._entries[index] = (start, size, is_load)
@@ -98,7 +103,12 @@ class BitmaskAliasFile:
         is_load: bool,
         checker_mem_index: Optional[int] = None,
     ) -> None:
-        """Scalar fast path for :meth:`check` (same detection rule)."""
+        """Scalar fast path for :meth:`check` (same detection rule).
+        Keeps :class:`AccessRange`'s validation contract."""
+        if a_size <= 0:
+            raise ValueError("access size must be positive")
+        if a_start < 0:
+            raise ValueError("access address must be non-negative")
         if mask < 0 or mask >= (1 << self.num_registers):
             raise AliasRegisterOverflow(
                 f"mask {mask:#x} names registers beyond {self.num_registers}"

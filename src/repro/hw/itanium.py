@@ -73,7 +73,12 @@ class AlatModel:
         self, mem_index: int, start: int, size: int, is_load: bool
     ) -> None:
         """Scalar fast path for :meth:`advanced_load` (no
-        :class:`AccessRange` allocation — called once per P-bit load)."""
+        :class:`AccessRange` allocation — called once per P-bit load).
+        Keeps :class:`AccessRange`'s validation contract."""
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        if start < 0:
+            raise ValueError("access address must be non-negative")
         entries = self._entries
         if len(entries) >= self.num_entries:
             oldest = self._keys[0]
@@ -113,7 +118,12 @@ class AlatModel:
         checker_mem_index: Optional[int] = None,
         required_targets: Optional[Set[int]] = None,
     ) -> None:
-        """Scalar fast path for :meth:`store_check` (same rule)."""
+        """Scalar fast path for :meth:`store_check` (same rule).
+        Keeps :class:`AccessRange`'s validation contract."""
+        if a_size <= 0:
+            raise ValueError("access size must be positive")
+        if a_start < 0:
+            raise ValueError("access address must be non-negative")
         stats = self.stats
         stats.store_checks += 1
         entries = self._entries

@@ -144,7 +144,14 @@ class AliasRegisterQueue:
         setter_mem_index: Optional[int] = None,
     ) -> None:
         """Scalar fast path for :meth:`set` (no :class:`AccessRange`
-        allocation — the simulator calls this once per P-bit memory op)."""
+        allocation — the simulator calls this once per P-bit memory op).
+
+        Keeps :class:`AccessRange`'s validation contract: degenerate
+        ranges are rejected here too, not just at the object boundary."""
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        if start < 0:
+            raise ValueError("access address must be non-negative")
         if offset < 0 or offset >= self.num_registers:
             self._check_offset(offset)  # raises; out of the hot path
         order = self._base + offset
@@ -190,6 +197,10 @@ class AliasRegisterQueue:
         exception, and ``checks`` is incremented only when the check
         completes without detecting — an aborting check never counted.
         """
+        if a_size <= 0:
+            raise ValueError("access size must be positive")
+        if a_start < 0:
+            raise ValueError("access address must be non-negative")
         if offset < 0 or offset >= self.num_registers:
             self._check_offset(offset)  # raises; out of the hot path
         own_order = self._base + offset

@@ -36,18 +36,25 @@ class ValidationError(AssertionError):
     """The allocation violates a required detection property."""
 
 
-def _replay(
+def replay_stream(
     linear: Sequence[Instruction],
     addresses: Dict[int, int],
     num_registers: int,
+    queue_factory=AliasRegisterQueue,
 ) -> Optional[AliasException]:
-    """Execute the annotated stream against the queue model.
+    """Execute the annotated stream against a queue model.
 
     ``addresses`` maps instruction uid -> start address. Returns the first
     alias exception, or None. AMOVs and rotations are honoured; ops without
     P/C bits do not touch the queue.
+
+    ``queue_factory`` lets callers replay against an alternative hardware
+    implementation with the same scalar API — the differential fuzzer uses
+    this both to drive its brute-force reference queue and to inject
+    deliberately broken mutants when testing the oracle itself. Only the
+    ``*_range`` scalar entry points, ``rotate`` and ``amov`` are required.
     """
-    queue = AliasRegisterQueue(num_registers)
+    queue = queue_factory(num_registers)
     for inst in linear:
         if inst.opcode is Opcode.ROTATE:
             queue.rotate(inst.rotate_by)
@@ -59,19 +66,30 @@ def _replay(
             continue
         if inst.ar_offset is None:
             raise ValidationError(f"{inst!r} has P/C bits but no offset")
-        access = AccessRange(
-            start=addresses[inst.uid], size=inst.size, is_load=inst.is_load
-        )
+        start = addresses[inst.uid]
         try:
             if inst.p_bit and inst.c_bit:
-                queue.check_then_set(inst.ar_offset, access, inst.mem_index)
+                queue.check_then_set_range(
+                    inst.ar_offset, start, inst.size, inst.is_load,
+                    inst.mem_index,
+                )
             elif inst.p_bit:
-                queue.set(inst.ar_offset, access, inst.mem_index)
+                queue.set_range(
+                    inst.ar_offset, start, inst.size, inst.is_load,
+                    inst.mem_index,
+                )
             else:
-                queue.check(inst.ar_offset, access, inst.mem_index)
+                queue.check_range(
+                    inst.ar_offset, start, inst.size, inst.is_load,
+                    inst.mem_index,
+                )
         except AliasException as exc:
             return exc
     return None
+
+
+#: Backward-compatible internal alias (historical name).
+_replay = replay_stream
 
 
 def _disjoint_addresses(
@@ -91,6 +109,8 @@ def validate_allocation(
     check_pairs: Iterable[Tuple[Instruction, Instruction]],
     anti_pairs: Iterable[Tuple[Instruction, Instruction]],
     num_registers: int,
+    queue_factory=AliasRegisterQueue,
+    probe_boundaries: bool = False,
 ) -> None:
     """Raise :class:`ValidationError` on any violated property.
 
@@ -98,10 +118,20 @@ def validate_allocation(
     ``anti_pairs`` are semantic (protected, checker) pairs. Both use the
     *original* memory operations (AMOV relocation already resolved by the
     caller; see :func:`semantic_pairs_from_allocator`).
+
+    With ``probe_boundaries`` the exact-collision replays are augmented
+    with range-boundary probes per check pair: the checker overlapping
+    the target's *last byte only* must still be detected, and the checker
+    starting *exactly one past* the target's range (adjacent, open upper
+    bound) must not be. Exact collisions certify the allocation; the
+    boundary probes additionally pin the hardware's overlap predicate,
+    which is what lets the fuzzer detect an off-by-one planted in
+    ``queue_factory``.
     """
     base = _disjoint_addresses(linear)
+    stride = 0x100
 
-    clean = _replay(linear, base, num_registers)
+    clean = replay_stream(linear, base, num_registers, queue_factory)
     if clean is not None:
         raise ValidationError(
             f"replay with disjoint addresses raised {clean} — allocation "
@@ -116,19 +146,33 @@ def validate_allocation(
                 f"check-constraint {checker!r} ->check {target!r}: checker "
                 f"scheduled before target — the hardware rule cannot fire"
             )
-        addresses = dict(base)
-        addresses[checker.uid] = addresses[target.uid]
-        exc = _replay(linear, addresses, num_registers)
-        if exc is None:
-            raise ValidationError(
-                f"MISSED DETECTION: colliding {checker!r} with {target!r} "
-                f"raised no alias exception"
+        probes = [(0, True, "exact collision")]
+        if probe_boundaries and checker.size + target.size < stride // 2:
+            probes.append(
+                (target.size - 1, True, "last-byte overlap")
             )
+            probes.append(
+                (target.size, False, "exactly-adjacent ranges")
+            )
+        for delta, must_raise, label in probes:
+            addresses = dict(base)
+            addresses[checker.uid] = addresses[target.uid] + delta
+            exc = replay_stream(linear, addresses, num_registers, queue_factory)
+            if must_raise and exc is None:
+                raise ValidationError(
+                    f"MISSED DETECTION ({label}): colliding {checker!r} "
+                    f"with {target!r} raised no alias exception"
+                )
+            if not must_raise and exc is not None:
+                raise ValidationError(
+                    f"FALSE POSITIVE ({label}): {checker!r} adjacent to "
+                    f"{target!r} raised {exc}"
+                )
 
     for protected, checker in anti_pairs:
         addresses = dict(base)
         addresses[checker.uid] = addresses[protected.uid]
-        exc = _replay(linear, addresses, num_registers)
+        exc = replay_stream(linear, addresses, num_registers, queue_factory)
         if exc is not None:
             raise ValidationError(
                 f"FALSE POSITIVE: colliding {protected!r} with {checker!r} "

@@ -129,7 +129,22 @@ def benchmark_traits(name: str) -> WorkloadTraits:
 
 def make_benchmark(name: str, scale: float = 1.0) -> GuestProgram:
     """Build one benchmark's guest program; ``scale`` multiplies the
-    iteration count (1.0 -> the default calibrated size)."""
+    iteration count (1.0 -> the default calibrated size).
+
+    Besides the SPECFP stand-ins, two self-describing name forms are
+    accepted so fuzz programs can travel through the execution engine's
+    process-pool workers (which rebuild programs from the benchmark
+    name): ``fuzz:<seed>`` regenerates the fuzzer's case for that seed,
+    and ``fuzzcase:<packed>`` decodes a fully serialized (e.g.
+    minimized) case. Both ignore ``scale`` — a fuzz case's iteration
+    count is part of its identity.
+    """
+    if name.startswith(("fuzz:", "fuzzcase:")):
+        # Imported lazily: repro.fuzz pulls in the scheduler/allocator
+        # stack, which workloads must not depend on at import time.
+        from repro.fuzz.generator import benchmark_program
+
+        return benchmark_program(name)
     traits = benchmark_traits(name)
     traits.iterations = max(100, int(traits.iterations * scale))
     return build_from_traits(traits)

@@ -1,0 +1,46 @@
+"""Shared test configuration: registered hypothesis profiles.
+
+Three profiles govern every property/model-based/differential test in the
+suite (individual tests no longer carry scattered ``@settings``):
+
+``dev`` (default)
+    Fast local iteration: modest example counts, no deadline (the
+    simulator's pure-Python hot loops make per-example deadlines noisy).
+``ci``
+    What the tier-1 CI jobs run: more examples, **derandomized** so a CI
+    failure is reproducible from the log alone and reruns are stable.
+``nightly``
+    The scheduled deep run: an order of magnitude more examples.
+
+Select with ``SMARQ_HYPOTHESIS_PROFILE=ci python -m pytest ...``.
+
+Tests that genuinely need a different example budget (the whole-system
+DBT equivalence properties, where one example is a full multi-scheme
+simulation) still say ``@settings(max_examples=N)`` — unspecified fields
+(deadline, health checks) inherit from the loaded profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile(
+    "dev", max_examples=50, stateful_step_count=40, **_COMMON
+)
+settings.register_profile(
+    "ci",
+    max_examples=75,
+    stateful_step_count=40,
+    derandomize=True,
+    **_COMMON,
+)
+settings.register_profile(
+    "nightly", max_examples=400, stateful_step_count=80, **_COMMON
+)
+
+settings.load_profile(os.environ.get("SMARQ_HYPOTHESIS_PROFILE", "dev"))

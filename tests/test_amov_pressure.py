@@ -1,0 +1,107 @@
+"""AMOV cycle-breaking under alias-register pressure.
+
+``chained_forwarding`` bodies (two overlapping forwarding chains — the
+paper's Figure 9/12 shape whose check constraints cycle) are scheduled
+with speculative eliminations against *small* physical register files
+(4/6/8). The integrated allocator must degrade gracefully: break cycles
+with AMOV, throttle speculation when the file is too small — and never
+raise. The result must still pass the hardware-replay certification,
+boundary probes included, at exactly the configured register count.
+"""
+
+import pytest
+
+from repro.ir.instruction import Opcode, fbinop, load, store
+from repro.smarq.validator import (
+    semantic_pairs_from_allocator,
+    validate_allocation,
+)
+
+from tests.test_property_smarq import run_smarq
+
+SMALL_FILES = (4, 6, 8)
+CHAINS = (2, 4)
+
+
+def chained_body(chains):
+    """``chains`` interleaved chained-forwarding patterns.
+
+    Per chain: ``A: ld [u_a]; st [u_b] = f(A); E1: ld [u_a];
+    st [u_c]; E2: ld [u_b]`` — E1 forwards from A across the store to
+    ``u_b``, E2 forwards from that store across the store to ``u_c``.
+    Base registers rotate through r1..r6 so consecutive chains overlap.
+    """
+    insts = []
+    for i in range(chains):
+        u_a, u_b, u_c = 1 + i % 6, 1 + (i + 1) % 6, 1 + (i + 2) % 6
+        da, db, dc = 8 * i, 8 * i + 64, 8 * i + 128
+        v1 = 20 + (4 * i) % 16
+        v2, v3, w = v1 + 1, v1 + 2, v1 + 3
+        insts += [
+            load(v1, u_a, disp=da),
+            fbinop(Opcode.FADD, w, v1, v1),
+            store(u_b, w, disp=db),
+            load(v2, u_a, disp=da),
+            store(u_c, v2, disp=dc),
+            load(v3, u_b, disp=db),
+        ]
+    return insts
+
+
+class TestAmovUnderPressure:
+    @pytest.mark.parametrize("registers", SMALL_FILES)
+    @pytest.mark.parametrize("chains", CHAINS)
+    def test_small_files_certified_with_boundary_probes(
+        self, registers, chains
+    ):
+        """Allocation never raises and replay-certifies at the small
+        physical count (this would have been an AliasRegisterOverflow
+        if the allocator emitted an offset >= registers)."""
+        body = chained_body(chains)
+        _block, allocator, result, _machine = run_smarq(
+            body, num_registers=registers, eliminate=True
+        )
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(
+            result.linear, checks, antis, registers, probe_boundaries=True
+        )
+        for inst in result.linear:
+            if inst.ar_offset is not None:
+                assert 0 <= inst.ar_offset < registers
+
+    @pytest.mark.parametrize("registers", SMALL_FILES)
+    def test_overflow_throttling_engages(self, registers):
+        """Pressure shows up as throttled speculation, not an exception."""
+        body = chained_body(4)
+        _block, allocator, _result, _machine = run_smarq(
+            body, num_registers=registers, eliminate=True
+        )
+        stats = allocator.stats
+        assert stats.speculation_throttled > 0, (
+            f"expected throttling at {registers} registers, got "
+            f"{stats.speculation_throttled}"
+        )
+        assert stats.working_set <= registers
+
+    @pytest.mark.parametrize("registers", SMALL_FILES)
+    def test_amov_cycle_breaking_used(self, registers):
+        """The chained shape's constraint cycles are broken by AMOV."""
+        body = chained_body(4)
+        _block, allocator, result, _machine = run_smarq(
+            body, num_registers=registers, eliminate=True
+        )
+        assert allocator.stats.amovs_inserted > 0
+        amovs = [i for i in result.linear if i.opcode is Opcode.AMOV]
+        assert len(amovs) >= allocator.stats.amovs_inserted
+
+    def test_unconstrained_control(self):
+        """With a 64-register file the same bodies need no throttling."""
+        body = chained_body(4)
+        _block, allocator, result, machine = run_smarq(
+            body, num_registers=64, eliminate=True
+        )
+        assert allocator.stats.speculation_throttled == 0
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        validate_allocation(
+            result.linear, checks, antis, 64, probe_boundaries=True
+        )

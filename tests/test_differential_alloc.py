@@ -23,7 +23,7 @@ ready queue, pending counters) can never silently change what is allocated
 up as a wrong figure.
 """
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 
 from repro.analysis.aliasinfo import AliasAnalysis
 from repro.analysis.constraints import (
@@ -83,14 +83,12 @@ def plain_speculative_schedule(body):
 class TestEachPathIsCertified:
     """All three allocators pass the hardware-replay oracle."""
 
-    @settings(max_examples=75, deadline=None)
     @given(body=program_body)
     def test_integrated_allocator(self, body):
         allocator, result, _deps, machine = integrated_allocation(body)
         checks, antis = semantic_pairs_from_allocator(allocator)
         validate_allocation(result.linear, checks, antis, machine.alias_registers)
 
-    @settings(max_examples=75, deadline=None)
     @given(body=program_body)
     def test_fast_alloc(self, body):
         result, deps, machine = plain_speculative_schedule(body)
@@ -109,7 +107,6 @@ class TestEachPathIsCertified:
             machine.alias_registers,
         )
 
-    @settings(max_examples=75, deadline=None)
     @given(body=program_body)
     def test_plain_order(self, body):
         block, analysis, machine, deps = build_inputs(body)
@@ -132,7 +129,6 @@ class TestEachPathIsCertified:
 class TestPathsAgree:
     """Cross-implementation agreement (the differential part)."""
 
-    @settings(max_examples=75, deadline=None)
     @given(body=program_body)
     def test_integrated_constraints_match_posthoc_derivation(self, body):
         """The allocator's incremental check pairs == Section 4's two-step
@@ -145,7 +141,6 @@ class TestPathsAgree:
         posthoc = {(c.checker.uid, c.target.uid) for c in derived.checks}
         assert incremental == posthoc
 
-    @settings(max_examples=75, deadline=None)
     @given(body=program_body)
     def test_working_set_ordering(self, body):
         """Figure 17 ordering: plain_order >= smarq >= liveness bound."""

@@ -1,0 +1,164 @@
+"""Mutation smoke test: the fuzzer must actually catch bugs.
+
+A clean differential fuzzer proves nothing — the oracles might be vacuous
+(comparing an implementation with itself, or checking fields that can
+never differ). So we deliberately break a *copy* of the queue's overlap
+check with classic off-by-one mutations, inject it via
+``FuzzConfig.queue_factory``, and require the campaign to (a) catch the
+bug within a bounded case budget and (b) minimize the disagreeing case to
+a small instruction count.
+
+Two mutants cover both failure directions:
+
+* ``AdjacentOverlapQueue`` — ``s_size + 1``: exactly-adjacent ranges are
+  reported as aliases (false positive);
+* ``LastByteBlindQueue`` — ``a_top - 1``: a last-byte-only overlap is
+  missed (missed detection).
+"""
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.hw.exceptions import AliasException
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+
+#: fuzz cases the campaign may burn before the mutant must be caught
+CATCH_BUDGET = 50
+#: acceptance bound for the minimized repro (ISSUE: <= 12 instructions)
+MAX_MINIMIZED_OPS = 12
+
+
+class _MutantQueue(AliasRegisterQueue):
+    """Shared shell: subclasses override only the overlap predicate."""
+
+    def _overlaps(self, a_start, a_top, s_start, s_size):
+        raise NotImplementedError
+
+    def check_range(
+        self, offset, a_start, a_size, is_load, checker_mem_index=None
+    ):
+        # Keep the scalar validation contract so degenerate probe inputs
+        # are still rejected — the mutation is in detection, not parsing.
+        if a_size <= 0:
+            raise ValueError("access size must be positive")
+        if a_start < 0:
+            raise ValueError("access address must be non-negative")
+        if offset < 0 or offset >= self.num_registers:
+            self._check_offset(offset)
+        own_order = self._base + offset
+        a_top = a_start + a_size
+        for order in self._orders:
+            if order < own_order:
+                continue
+            s_start, s_size, s_is_load, s_setter = self._entries[order]
+            if is_load and s_is_load:
+                continue
+            self.stats.comparisons += 1
+            if self._overlaps(a_start, a_top, s_start, s_size):
+                self.stats.exceptions += 1
+                raise AliasException(
+                    f"mutant alias: [{a_start:#x}+{a_size}] vs "
+                    f"[{s_start:#x}+{s_size}]",
+                    setter_mem_index=s_setter,
+                    checker_mem_index=checker_mem_index,
+                )
+        self.stats.checks += 1
+
+
+class AdjacentOverlapQueue(_MutantQueue):
+    """Off-by-one widening the stored range: adjacency counts as alias."""
+
+    def _overlaps(self, a_start, a_top, s_start, s_size):
+        return s_start < a_top and a_start < s_start + s_size + 1
+
+
+class LastByteBlindQueue(_MutantQueue):
+    """Off-by-one narrowing the checker: last-byte overlaps are missed."""
+
+    def _overlaps(self, a_start, a_top, s_start, s_size):
+        return s_start < a_top - 1 and a_start < s_start + s_size
+
+
+def _hunt(mutant, tmp_path):
+    config = FuzzConfig(
+        seed=0,
+        cases=CATCH_BUDGET,
+        oracles=("alloc", "queue"),
+        out_dir=tmp_path,
+        max_failures=1,
+        queue_factory=mutant,
+    )
+    return run_fuzz(config), config
+
+
+class TestMutantsAreCaught:
+    @pytest.mark.parametrize("mutant", [AdjacentOverlapQueue, LastByteBlindQueue])
+    def test_caught_and_minimized(self, mutant, tmp_path):
+        stats, _config = _hunt(mutant, tmp_path)
+        assert not stats.ok, (
+            f"{mutant.__name__} survived {stats.cases_run} fuzz cases"
+        )
+        failure = stats.failures[0]
+        assert stats.cases_run <= CATCH_BUDGET
+        assert failure.minimized is not None
+        assert len(failure.minimized.ops) <= MAX_MINIMIZED_OPS, (
+            f"minimized to {len(failure.minimized.ops)} ops "
+            f"(> {MAX_MINIMIZED_OPS}) in {failure.minimizer_tests} tests"
+        )
+        # artifacts for the humans: corpus entry + standalone pytest repro
+        assert failure.entry_path is not None and failure.entry_path.exists()
+        assert failure.repro_path is not None and failure.repro_path.exists()
+        source = failure.repro_path.read_text()
+        assert "def test_fuzz_repro" in source
+        # the emitted module must be valid Python (JSON true/false and
+        # all) so `python -m pytest repro_*.py` works out of the box
+        compile(source, str(failure.repro_path), "exec")
+
+    def test_healthy_queue_same_budget_is_clean(self, tmp_path):
+        """The same seeds with the real queue find nothing — the catches
+        above are the mutation, not fuzzer noise."""
+        config = FuzzConfig(
+            seed=0,
+            cases=10,
+            oracles=("alloc", "queue"),
+            out_dir=tmp_path,
+            queue_factory=AliasRegisterQueue,
+        )
+        stats = run_fuzz(config)
+        assert stats.ok
+
+
+class TestMutantSanity:
+    """The mutants really are wrong (and only at the boundary)."""
+
+    def test_adjacent_mutant_false_positive(self):
+        good, bad = AliasRegisterQueue(8), AdjacentOverlapQueue(8)
+        for q in (good, bad):
+            q.set_range(0, 0x100, 8, False)
+        good.check_range(0, 0x108, 8, False)  # exactly adjacent: clean
+        with pytest.raises(AliasException):
+            bad.check_range(0, 0x108, 8, False)
+
+    def test_lastbyte_mutant_missed_detection(self):
+        # the stored range starts exactly at the checker's last byte:
+        # one shared byte, which the narrowed checker no longer sees
+        good, bad = AliasRegisterQueue(8), LastByteBlindQueue(8)
+        for q in (good, bad):
+            q.set_range(0, 0x107, 8, False)
+        with pytest.raises(AliasException):
+            good.check_range(0, 0x100, 8, False)  # must fire
+        bad.check_range(0, 0x100, 8, False)  # mutant misses it
+
+    @pytest.mark.parametrize("mutant", [AdjacentOverlapQueue, LastByteBlindQueue])
+    def test_mutants_agree_away_from_boundary(self, mutant):
+        good, bad = AliasRegisterQueue(8), mutant(8)
+        for q in (good, bad):
+            q.set_range(0, 0x100, 8, False)
+            with pytest.raises(AliasException):
+                q.check_range(0, 0x102, 4, False)  # interior overlap
+        good2, bad2 = AliasRegisterQueue(8), mutant(8)
+        for q in (good2, bad2):
+            q.set_range(0, 0x100, 8, False)
+            q.check_range(0, 0x200, 8, False)  # far away: clean
+            assert q.entry_at_offset(0) == AccessRange(0x100, 8)

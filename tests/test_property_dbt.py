@@ -9,7 +9,7 @@ a randomized corpus.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.frontend.interpreter import Interpreter
 from repro.frontend.profiler import ProfilerConfig
@@ -62,11 +62,7 @@ def under_scheme(program_traits, scheme):
 
 
 class TestDbtEquivalenceProperty:
-    @settings(
-        max_examples=25,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=25)
     @given(traits=traits_strategy)
     def test_all_schemes_match_interpreter(self, traits):
         ref = reference(traits)
@@ -74,11 +70,7 @@ class TestDbtEquivalenceProperty:
             got = under_scheme(traits, scheme)
             assert got == ref, f"state diverged under {scheme}"
 
-    @settings(
-        max_examples=15,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=15)
     @given(traits=traits_strategy, factor=st.sampled_from([2, 3]))
     def test_unrolled_smarq_matches_interpreter(self, traits, factor):
         ref = reference(traits)

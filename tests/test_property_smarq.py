@@ -16,7 +16,7 @@ programs.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.analysis.aliasinfo import AliasAnalysis
 from repro.analysis.dependence import DependenceSet, compute_dependences
@@ -89,7 +89,6 @@ def run_smarq(insts, num_registers=64, eliminate=False):
 
 
 class TestAllocationSoundness:
-    @settings(max_examples=150, deadline=None)
     @given(body=program_body)
     def test_detection_complete_and_precise(self, body):
         block, allocator, result, machine = run_smarq(body)
@@ -98,7 +97,6 @@ class TestAllocationSoundness:
             result.linear, checks, antis, machine.alias_registers
         )
 
-    @settings(max_examples=100, deadline=None)
     @given(body=program_body)
     def test_detection_with_eliminations(self, body):
         block, allocator, result, machine = run_smarq(body, eliminate=True)
@@ -107,7 +105,6 @@ class TestAllocationSoundness:
             result.linear, checks, antis, machine.alias_registers
         )
 
-    @settings(max_examples=100, deadline=None)
     @given(body=program_body, registers=st.sampled_from([4, 8, 16]))
     def test_small_register_files_never_overflow(self, body, registers):
         block, allocator, result, machine = run_smarq(body, registers)
@@ -117,7 +114,6 @@ class TestAllocationSoundness:
         checks, antis = semantic_pairs_from_allocator(allocator)
         validate_allocation(result.linear, checks, antis, registers)
 
-    @settings(max_examples=100, deadline=None)
     @given(body=program_body)
     def test_rotation_accounting(self, body):
         block, allocator, result, machine = run_smarq(body)
@@ -126,7 +122,6 @@ class TestAllocationSoundness:
         )
         assert total_rotation == allocator.stats.registers_allocated
 
-    @settings(max_examples=100, deadline=None)
     @given(body=program_body)
     def test_all_instructions_survive_scheduling(self, body):
         block, allocator, result, machine = run_smarq(body)
@@ -134,7 +129,6 @@ class TestAllocationSoundness:
         for inst in block:
             assert inst.uid in scheduled_uids
 
-    @settings(max_examples=100, deadline=None)
     @given(body=program_body)
     def test_order_base_offset_invariance(self, body):
         """order(X) == base(X) + offset(X) for every allocated op."""

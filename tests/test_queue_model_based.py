@@ -8,7 +8,6 @@ sequences, asserting they always agree on what is detected.
 """
 
 import pytest
-from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
@@ -122,6 +121,3 @@ class QueueMachine(RuleBasedStateMachine):
 
 
 TestQueueModelBased = QueueMachine.TestCase
-TestQueueModelBased.settings = settings(
-    max_examples=60, stateful_step_count=40, deadline=None
-)

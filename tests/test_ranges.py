@@ -1,0 +1,150 @@
+"""Boundary behaviour of access ranges, and the validation contract of
+the scalar (tuple) hardware paths.
+
+The PR 3 scalarization replaced :class:`AccessRange` objects with plain
+``(start, size, is_load)`` tuples inside the hardware models; these tests
+pin (a) the overlap predicate's behaviour exactly at range boundaries —
+size-1 accesses, exactly-adjacent ranges, the load-mark skip rule at
+equal addresses — and (b) that :class:`AccessRange`'s validation errors
+survive on every scalar ``*_range`` entry point, so a degenerate range
+can never slip into a model as a raw tuple.
+"""
+
+import pytest
+
+from repro.hw.efficeon import BitmaskAliasFile
+from repro.hw.exceptions import AliasException
+from repro.hw.itanium import AlatModel
+from repro.hw.queue_model import AliasRegisterQueue
+from repro.hw.ranges import AccessRange
+
+
+class TestOverlapBoundaries:
+    def test_size_one_self_overlap(self):
+        a = AccessRange(0x100, 1)
+        assert a.overlaps(a)
+        assert a.end == 0x100
+
+    def test_size_one_adjacent_bytes_disjoint(self):
+        assert not AccessRange(0x100, 1).overlaps(AccessRange(0x101, 1))
+        assert not AccessRange(0x101, 1).overlaps(AccessRange(0x100, 1))
+
+    def test_exactly_adjacent_ranges_do_not_overlap(self):
+        # [0x100, 0x107] vs [0x108, 0x10f]: adjacent, zero shared bytes.
+        lo = AccessRange(0x100, 8)
+        hi = AccessRange(0x108, 8)
+        assert not lo.overlaps(hi)
+        assert not hi.overlaps(lo)
+
+    def test_last_byte_overlap_detected(self):
+        # [0x100, 0x107] vs [0x107, 0x10e]: exactly one shared byte.
+        lo = AccessRange(0x100, 8)
+        hi = AccessRange(0x107, 8)
+        assert lo.overlaps(hi)
+        assert hi.overlaps(lo)
+
+    def test_containment_overlaps(self):
+        outer = AccessRange(0x100, 16)
+        inner = AccessRange(0x104, 2)
+        assert outer.overlaps(inner)
+        assert inner.overlaps(outer)
+
+
+class TestQueueBoundarySemantics:
+    def test_adjacent_ranges_never_alias(self):
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x100, 8, False)
+        queue.check_range(0, 0x108, 8, False)  # adjacent above: clean
+        assert queue.stats.exceptions == 0
+
+    def test_last_byte_overlap_raises(self):
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x100, 8, False)
+        with pytest.raises(AliasException):
+            queue.check_range(0, 0x107, 1, False)
+
+    def test_load_mark_skip_at_equal_addresses(self):
+        """A load checking the exact address a load set must NOT fire;
+        a store at the same address must (Section 2.4's load mark)."""
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x200, 8, True)  # set by a load
+        queue.check_range(0, 0x200, 8, True)  # load checker: skipped
+        assert queue.stats.exceptions == 0
+        with pytest.raises(AliasException):
+            queue.check_range(0, 0x200, 8, False)  # store checker: fires
+
+    def test_store_set_entry_visible_to_load_checker(self):
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x200, 8, False)  # set by a store
+        with pytest.raises(AliasException):
+            queue.check_range(0, 0x200, 8, True)
+
+
+class TestScalarPathValidation:
+    """AccessRange's errors survive the PR 3 tuple scalarization paths."""
+
+    def _object_boundary_messages(self):
+        with pytest.raises(ValueError) as size_err:
+            AccessRange(0x100, 0)
+        with pytest.raises(ValueError) as addr_err:
+            AccessRange(-1, 8)
+        return str(size_err.value), str(addr_err.value)
+
+    def test_queue_set_range_rejects_degenerate(self):
+        size_msg, addr_msg = self._object_boundary_messages()
+        queue = AliasRegisterQueue(8)
+        with pytest.raises(ValueError, match=size_msg):
+            queue.set_range(0, 0x100, 0, False)
+        with pytest.raises(ValueError, match=size_msg):
+            queue.set_range(0, 0x100, -4, False)
+        with pytest.raises(ValueError, match=addr_msg):
+            queue.set_range(0, -1, 8, False)
+        assert queue.stats.sets == 0
+        assert queue.live_orders() == []
+
+    def test_queue_check_range_rejects_degenerate(self):
+        size_msg, addr_msg = self._object_boundary_messages()
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x100, 8, False)
+        with pytest.raises(ValueError, match=size_msg):
+            queue.check_range(0, 0x100, 0, False)
+        with pytest.raises(ValueError, match=addr_msg):
+            queue.check_range(0, -8, 8, False)
+        assert queue.stats.checks == 0
+
+    def test_queue_check_then_set_range_rejects_degenerate(self):
+        queue = AliasRegisterQueue(8)
+        with pytest.raises(ValueError):
+            queue.check_then_set_range(0, 0x100, 0, False)
+        assert queue.live_orders() == []
+
+    def test_alat_scalar_paths_reject_degenerate(self):
+        size_msg, addr_msg = self._object_boundary_messages()
+        alat = AlatModel(8)
+        with pytest.raises(ValueError, match=size_msg):
+            alat.advanced_load_range(0, 0x100, 0, True)
+        with pytest.raises(ValueError, match=addr_msg):
+            alat.advanced_load_range(0, -1, 8, True)
+        assert alat.live_count == 0
+        with pytest.raises(ValueError, match=size_msg):
+            alat.store_check_range(0x100, 0, False)
+        with pytest.raises(ValueError, match=addr_msg):
+            alat.store_check_range(-1, 8, False)
+
+    def test_bitmask_scalar_paths_reject_degenerate(self):
+        size_msg, addr_msg = self._object_boundary_messages()
+        file = BitmaskAliasFile(8)
+        with pytest.raises(ValueError, match=size_msg):
+            file.set_range(0, 0x100, 0, False)
+        with pytest.raises(ValueError, match=addr_msg):
+            file.set_range(0, -1, 8, False)
+        assert file.stats.sets == 0
+        with pytest.raises(ValueError, match=size_msg):
+            file.check_range(0b1, 0x100, 0, False)
+        with pytest.raises(ValueError, match=addr_msg):
+            file.check_range(0b1, -1, 8, False)
+
+    def test_valid_scalar_calls_still_work(self):
+        queue = AliasRegisterQueue(8)
+        queue.set_range(0, 0x100, 1, False)  # size-1: smallest legal
+        assert queue.entry_at_offset(0) == AccessRange(0x100, 1)
