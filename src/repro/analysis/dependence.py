@@ -25,6 +25,7 @@ helpers here.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -53,19 +54,102 @@ class Dependence:
 
 
 def compute_dependences(block, analysis: AliasAnalysis) -> List[Dependence]:
-    """All base memory dependences of ``block`` (original program order)."""
+    """All base memory dependences of ``block`` (original program order).
+
+    Semantically this is the O(m²) scan over all (earlier, later) pairs with
+    at least one store, keeping every pair the analysis cannot prove NO.
+    The enumeration is bucketed instead of quadratic: pairs whose addresses
+    resolve to *different* data regions, and resolved same-region pairs with
+    disjoint byte intervals, are exactly the pairs
+    :func:`repro.analysis.aliasinfo.classify_pair` rejects without looking
+    at base registers — so they are skipped without being enumerated.
+    Every surviving candidate still goes through ``analysis.classify`` and
+    the result list is emitted in the original nested-loop (i, j) order,
+    keeping the output byte-identical to the quadratic scan.
+    """
     ops = block.memory_ops_in_program_order()
+    if len(ops) < 2:
+        return []
+
+    # Per-region pools of *earlier* ops, split store-only / all so a later
+    # load only ever pairs with earlier stores. Resolved pools are kept
+    # sorted by interval start for windowed overlap lookup.
+    res_all: Dict[str, List[Tuple[int, int, int]]] = {}  # (lo, hi, idx)
+    res_store: Dict[str, List[Tuple[int, int, int]]] = {}
+    res_max_size: Dict[str, int] = {}  # widest access seen per pool
+    kreg_all: Dict[str, List[int]] = {}  # region known, offset unknown
+    kreg_store: Dict[str, List[int]] = {}
+    unk_all: List[int] = []  # region unknown: pairs with everything
+    unk_store: List[int] = []
+    every_all: List[int] = []
+    every_store: List[int] = []
+
+    candidates: List[Tuple[int, int]] = []
+    for j, later in enumerate(ops):
+        sym = analysis.address_of(later)
+        lo, hi = sym.offset, None
+        if lo is not None:
+            hi = lo + sym.size - 1
+        if j:
+            if sym.region is None:
+                # Unknown region: nothing is provably NO by region alone.
+                pool = every_all if later.is_store else every_store
+                candidates.extend((i, j) for i in pool)
+            else:
+                pool = unk_all if later.is_store else unk_store
+                candidates.extend((i, j) for i in pool)
+                kpool = (kreg_all if later.is_store else kreg_store).get(
+                    sym.region
+                )
+                if kpool:
+                    candidates.extend((i, j) for i in kpool)
+                rpool = (res_all if later.is_store else res_store).get(
+                    sym.region
+                )
+                if rpool:
+                    if lo is None:
+                        candidates.extend((entry[2], j) for entry in rpool)
+                    else:
+                        # Overlap window: entries starting at most one
+                        # max-width access before our interval's end.
+                        width = res_max_size.get(sym.region, 1)
+                        start = bisect_left(rpool, (lo - width + 1, -1, -1))
+                        for t in range(start, len(rpool)):
+                            e_lo, e_hi, i = rpool[t]
+                            if e_lo > hi:
+                                break
+                            if e_hi >= lo:
+                                candidates.append((i, j))
+
+        if sym.region is None:
+            unk_all.append(j)
+            if later.is_store:
+                unk_store.append(j)
+        elif lo is None:
+            kreg_all.setdefault(sym.region, []).append(j)
+            if later.is_store:
+                kreg_store.setdefault(sym.region, []).append(j)
+        else:
+            entry = (lo, hi, j)
+            insort(res_all.setdefault(sym.region, []), entry)
+            if later.is_store:
+                insort(res_store.setdefault(sym.region, []), entry)
+            if sym.size > res_max_size.get(sym.region, 0):
+                res_max_size[sym.region] = sym.size
+        every_all.append(j)
+        if later.is_store:
+            every_store.append(j)
+
+    candidates.sort()
     deps: List[Dependence] = []
-    for i, earlier in enumerate(ops):
-        for later in ops[i + 1 :]:
-            if not (earlier.is_store or later.is_store):
-                continue
-            klass = analysis.classify(earlier, later)
-            if klass is AliasClass.NO:
-                continue
-            deps.append(
-                Dependence(earlier, later, must=(klass is AliasClass.MUST))
-            )
+    for i, j in candidates:
+        earlier, later = ops[i], ops[j]
+        klass = analysis.classify(earlier, later)
+        if klass is AliasClass.NO:
+            continue
+        deps.append(
+            Dependence(earlier, later, must=(klass is AliasClass.MUST))
+        )
     return deps
 
 
@@ -143,6 +227,12 @@ class DependenceSet:
     def incoming(self, inst: Instruction) -> List[Dependence]:
         """Dependences with ``inst`` as the destination (* ->dep inst)."""
         return list(self._by_dst.get(inst.uid, ()))
+
+    def iter_incoming(self, inst: Instruction) -> Tuple[Dependence, ...]:
+        """Like :meth:`incoming` without the defensive copy — for hot
+        read-only consumers (the allocator visits every dependence of
+        every scheduled op). Callers must not mutate the result."""
+        return self._by_dst.get(inst.uid, ())  # type: ignore[return-value]
 
     def replace_instruction(self, old: Instruction, new: Instruction) -> None:
         """Rewrite all dependences touching ``old`` to touch ``new``.

@@ -11,11 +11,15 @@ Commands
 ``figures [--only figN] [--scale F] [--suite a,b,c] [--jobs N]
 [--no-cache] [--stats]``
     Regenerate the paper's tables/figures and print them.
-``perf [--scale F] [--output BENCH.json] [--baseline BENCH.json]``
+``perf [--scale F] [--output BENCH.json] [--baseline BENCH.json]
+[--profile OUT.prof]``
     Run the perf-benchmark harness (:mod:`repro.perf`): time each
     (benchmark, scheme) cell's interpret/translate/simulate phases plus
     the end-to-end serial cold ``figures`` path, and write a
     ``BENCH_*.json`` trajectory point (see ``docs/PERF.md``).
+    ``--profile OUT.prof`` instead runs the serial cold figures path
+    once under :mod:`cProfile` and writes the profile for ``pstats`` /
+    ``snakeviz``.
 ``fuzz [--seed N] [--cases N] [--time-budget S] [--oracles a,b]
 [--minimize/--no-minimize] [--out-dir D]``
     Run the differential fuzzing campaign (:mod:`repro.fuzz`): generate
@@ -208,6 +212,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import PerfConfig, load_bench, run_perf, write_bench
     from repro.perf.harness import attach_baseline, render_summary
 
+    if args.profile:
+        import cProfile
+        import pstats
+
+        from repro.perf.harness import time_figures_cold
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = time_figures_cold(args.figures_scale)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(
+            f"figures cold (scale {result['scale']}, serial) : "
+            f"{result['wall_s']:.2f}s under cProfile"
+        )
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"wrote {args.profile}; top functions by cumulative time:")
+        stats.print_stats(15)
+        return 0
+
     benchmarks = (
         [b.strip() for b in args.benchmarks.split(",") if b.strip()]
         if args.benchmarks
@@ -327,10 +352,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", default="",
         help="comma-separated scheme subset (default: smarq,itanium,none)",
     )
-    perf_p.add_argument("--output", default="BENCH_pr3.json")
+    perf_p.add_argument("--output", default="BENCH_pr5.json")
     perf_p.add_argument(
         "--baseline", default="",
         help="previous BENCH json to embed and compute speedups against",
+    )
+    perf_p.add_argument(
+        "--profile", default="",
+        help="profile the serial cold figures path with cProfile and "
+        "write the stats to this file (skips the normal harness)",
     )
 
     fuzz_p = sub.add_parser(
@@ -351,7 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument(
         "--oracles", default="",
         help="comma-separated oracle subset "
-        "(default: alloc,queue,schemes,plans,engine)",
+        "(default: alloc,queue,schemes,plans,translate,engine)",
     )
     fuzz_p.add_argument(
         "--minimize", action="store_true", default=True,

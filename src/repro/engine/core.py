@@ -142,6 +142,25 @@ class ExecutionEngine:
                 f"{c.get('vliw.replay_compiles', 0)} replay fns, "
                 f"{c.get('vliw.plan_invalidations', 0)} invalidations",
             ]
+        tc_hits = c.get("translate.cache_hits", 0)
+        tc_misses = c.get("translate.cache_misses", 0)
+        tc_lookups = tc_hits + tc_misses
+        if tc_lookups:
+            rate = f" ({tc_hits / tc_lookups:.0%} hit)"
+            stage_bits = []
+            for stage in ("elim", "deps", "ddg", "prep"):
+                hits = c.get(f"translate.{stage}_hits", 0)
+                total = hits + c.get(f"translate.{stage}_misses", 0)
+                if total:
+                    stage_bits.append(f"{stage} {hits}/{total}")
+            lines.append(
+                f"translation cache     : {tc_hits} hits / "
+                f"{tc_misses} misses{rate}"
+            )
+            if stage_bits:
+                lines.append(
+                    f"stage memo hits       : {', '.join(stage_bits)}"
+                )
         if t:
             lines.append("per-phase wall time (summed across jobs):")
             for name in sorted(t):

@@ -29,10 +29,32 @@ Counter names used by the simulation stack:
     re-optimization or blacklisting;
 ``vliw.replay_compiles``
     straight-line replay functions generated for hot traces (tier 2 of
-    the planned executor, at most one per compiled region trace).
+    the planned executor, at most one per compiled region trace);
+``translate.cache_hits`` / ``translate.cache_misses``
+    full-translation lookups in the content-keyed translation cache (a
+    hit clones a previously optimized region instead of re-optimizing);
+``translate.cache_stores``
+    optimized regions serialized into the translation cache;
+``translate.elim_hits`` / ``translate.deps_hits`` / ``translate.ddg_hits``
+    / ``translate.prep_hits``
+    stage-memo hits inside a full-translation miss: the elimination
+    blob, base memory dependences, DDG structure, and scheduler priority
+    tables reused from an earlier translation of the same content
+    (each has a matching ``*_misses`` counter);
+``translate.persist_hits`` / ``translate.persist_misses`` /
+``translate.persist_stores``
+    persistent-tier traffic (opt-in, see
+    :mod:`repro.opt.translation_cache`).
 
 Phase names: ``run`` (whole DBT loop), ``optimize`` (translation +
 scheduling + allocation), ``execute`` (translated-region simulation).
+Inside ``optimize`` the pipeline times its sub-phases:
+``optimize.constraints`` (alias analysis, eliminations, dependence
+derivation), ``optimize.ddg`` (dependence-graph build), ``optimize.schedule``
+(list scheduling including the allocator hook), ``optimize.alloc`` (the
+allocator-hook share of scheduling, accumulated via :meth:`Tracer.add_time`
+— a subset of ``optimize.schedule``, not additive with it) and
+``optimize.cache`` (translation-cache fingerprinting and blob (de)serialization).
 """
 
 from __future__ import annotations
@@ -46,6 +68,10 @@ class Tracer:
     """Accumulates named counters and per-phase wall time (seconds)."""
 
     __slots__ = ("counters", "timings")
+
+    #: False on :class:`NullTracer`; hot paths consult it before paying
+    #: for per-event ``perf_counter`` bracketing that would be discarded.
+    active = True
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
@@ -64,6 +90,11 @@ class Tracer:
         finally:
             elapsed = time.perf_counter() - start
             self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into a phase total (for
+        callers that accumulate many tiny intervals and report once)."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
 
     # -- aggregation ---------------------------------------------------
     def merge(
@@ -84,12 +115,17 @@ class Tracer:
 class NullTracer(Tracer):
     """Tracer whose hooks do nothing (the default everywhere)."""
 
+    active = False
+
     def count(self, name: str, n: int = 1) -> None:
         pass
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         yield
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
 
 
 #: shared default instance; safe because it keeps no state

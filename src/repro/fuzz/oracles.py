@@ -21,6 +21,10 @@ implementations agreed). The configured pairs:
 ``plans``
     ``DbtReport`` with timing plans enabled vs ``SMARQ_NO_TIMING_PLANS=1``
     (must be byte-identical; PR 3's contract).
+``translate``
+    ``DbtReport`` with the translation cache enabled vs
+    ``SMARQ_NO_TRANSLATION_CACHE=1`` (must be byte-identical; the
+    region-translation-cache contract).
 ``engine``
     Parallel process-pool execution vs serial in-process execution of the
     same case (reports must be identical; exercised per-case here and in a
@@ -67,11 +71,14 @@ from repro.smarq.validator import (
 )
 
 _NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
+_NO_TRANSLATION_CACHE_ENV = "SMARQ_NO_TRANSLATION_CACHE"
 
 #: schemes whose final architectural state must equal pure interpretation
 STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none")
 #: schemes run twice for the timing-plans on/off report comparison
 PLANS_SCHEMES = ("smarq", "itanium")
+#: schemes run twice for the translation-cache on/off report comparison
+TRANSLATE_SCHEMES = ("smarq", "itanium")
 
 #: address assignments tried per case by the queue lockstep oracle
 QUEUE_ASSIGNMENTS = 4
@@ -104,6 +111,23 @@ def timing_plans_disabled():
             os.environ[_NO_PLANS_ENV] = prev
 
 
+@contextmanager
+def translation_cache_disabled():
+    """Force from-scratch translation for optimizations run inside.
+
+    The kill switch is read per translation, so the context must cover
+    the whole ``run()``, not just system construction."""
+    prev = os.environ.get(_NO_TRANSLATION_CACHE_ENV)
+    os.environ[_NO_TRANSLATION_CACHE_ENV] = "1"
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ[_NO_TRANSLATION_CACHE_ENV]
+        else:
+            os.environ[_NO_TRANSLATION_CACHE_ENV] = prev
+
+
 # ----------------------------------------------------------------------
 # Per-case shared state
 # ----------------------------------------------------------------------
@@ -121,7 +145,9 @@ class CaseRun:
     _allocated: Optional[tuple] = None
     _reference_state: Optional[tuple] = None
     _scheme_state: Dict[str, tuple] = field(default_factory=dict)
-    _scheme_report: Dict[Tuple[str, bool], dict] = field(default_factory=dict)
+    _scheme_report: Dict[Tuple[str, bool, bool], dict] = field(
+        default_factory=dict
+    )
 
     # -- superblock-level allocation -----------------------------------
     def build_inputs(self):
@@ -170,31 +196,36 @@ class CaseRun:
     def scheme_state(self, scheme: str):
         """(registers, memory bytes) after a full DBT run under scheme."""
         if scheme not in self._scheme_state:
-            self._run_dbt(scheme, plans=True)
+            self._run_dbt(scheme, plans=True, cache=True)
         return self._scheme_state[scheme]
 
-    def scheme_report(self, scheme: str, plans: bool) -> dict:
-        """DbtReport dict under scheme with timing plans on/off."""
-        key = (scheme, plans)
+    def scheme_report(
+        self, scheme: str, plans: bool, cache: bool = True
+    ) -> dict:
+        """DbtReport dict under scheme with timing plans / translation
+        cache on or off."""
+        key = (scheme, plans, cache)
         if key not in self._scheme_report:
-            self._run_dbt(scheme, plans)
+            self._run_dbt(scheme, plans, cache)
         return self._scheme_report[key]
 
-    def _run_dbt(self, scheme: str, plans: bool) -> None:
+    def _run_dbt(self, scheme: str, plans: bool, cache: bool) -> None:
+        from contextlib import ExitStack
+
         program = self.case.program()
         profiler = ProfilerConfig(
             hot_threshold=self.case.config.hot_threshold
         )
-        if plans:
+        with ExitStack() as stack:
+            if not plans:
+                stack.enter_context(timing_plans_disabled())
+            if not cache:
+                # Read per translation, so the whole run must be covered.
+                stack.enter_context(translation_cache_disabled())
             system = DbtSystem(program, scheme, profiler_config=profiler)
-        else:
-            with timing_plans_disabled():
-                system = DbtSystem(
-                    program, scheme, profiler_config=profiler
-                )
-        report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
-        self._scheme_report[(scheme, plans)] = report.to_dict()
-        if plans:
+            report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
+        self._scheme_report[(scheme, plans, cache)] = report.to_dict()
+        if plans and cache:
             self._scheme_state[scheme] = (
                 list(system.interpreter.registers),
                 bytes(system.memory._data),
@@ -412,7 +443,7 @@ def queue_oracle(run: CaseRun) -> List[Disagreement]:
 
 
 # ----------------------------------------------------------------------
-# schemes / plans / engine
+# schemes / plans / translate / engine
 # ----------------------------------------------------------------------
 def schemes_oracle(run: CaseRun) -> List[Disagreement]:
     out: List[Disagreement] = []
@@ -466,6 +497,27 @@ def plans_oracle(run: CaseRun) -> List[Disagreement]:
     return out
 
 
+def translate_oracle(run: CaseRun) -> List[Disagreement]:
+    """Translation cache on == translation cache off, byte for byte."""
+    out: List[Disagreement] = []
+    for scheme in TRANSLATE_SCHEMES:
+        with_cache = run.scheme_report(scheme, plans=True, cache=True)
+        without = run.scheme_report(scheme, plans=True, cache=False)
+        if with_cache != without:
+            keys = sorted(
+                k for k in with_cache
+                if with_cache.get(k) != without.get(k)
+            )
+            out.append(
+                Disagreement(
+                    "translate",
+                    f"{scheme}: report differs with translation cache off "
+                    f"(fields {keys})",
+                )
+            )
+    return out
+
+
 def engine_oracle(run: CaseRun) -> List[Disagreement]:
     """Parallel process-pool execution == serial in-process execution.
 
@@ -502,6 +554,7 @@ ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "queue": queue_oracle,
     "schemes": schemes_oracle,
     "plans": plans_oracle,
+    "translate": translate_oracle,
     "engine": engine_oracle,
 }
 

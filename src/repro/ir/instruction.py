@@ -27,7 +27,6 @@ SMARQ annotations live directly on the instruction:
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -101,11 +100,38 @@ _FLOAT_OPCODES = frozenset(
     {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FMA}
 )
 
-_uid_counter = itertools.count()
+_next_uid_value = 0
 
 
 def _next_uid() -> int:
-    return next(_uid_counter)
+    global _next_uid_value
+    uid = _next_uid_value
+    _next_uid_value = uid + 1
+    return uid
+
+
+def reserve_uids(max_uid: int) -> None:
+    """Advance the uid counter past ``max_uid``.
+
+    Deserialized instructions (the translation cache's persistent tier)
+    carry uids allocated by another process; reserving their range keeps
+    every *future* allocation from colliding with them, so uid-keyed
+    per-region indexes never mix two instructions under one key.
+    """
+    global _next_uid_value
+    if max_uid >= _next_uid_value:
+        _next_uid_value = max_uid + 1
+
+
+def uid_watermark() -> int:
+    """Highest uid allocated so far.
+
+    The translation cache stamps every stored blob with this value:
+    eliminated-but-still-referenced instructions can carry uids above the
+    surviving block's maximum, so scanning the blob itself would
+    under-reserve.
+    """
+    return _next_uid_value - 1
 
 
 @dataclass

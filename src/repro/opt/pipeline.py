@@ -17,18 +17,42 @@ exception the runtime calls :meth:`OptimizationPipeline.reoptimize` with
 the faulting memory-operation pair; the pair is recorded as a must-alias
 profile hint and the region is rebuilt from its original code, now
 refusing to speculate on that pair.
+
+Translation is memoized at two granularities (see
+:mod:`repro.opt.translation_cache`): whole translations are served from a
+content-keyed cache, and on a full-tier miss the stage products — the
+post-elimination block (``elim``), base memory dependences (``deps``),
+DDG structure (``ddg``) and scheduler priority tables (``prep``) — are
+memoized with stage-precise keys. Because base dependence classification
+ignores alias hints while eliminations and scheduling read them, a
+re-optimization after an alias exception recomputes constraints and
+allocation but reuses the DDG when the transformed block is unchanged.
+The sub-phases are tracer-visible as ``optimize.constraints``,
+``optimize.ddg``, ``optimize.schedule`` (with the allocator's share
+split out as ``optimize.alloc``) and ``optimize.cache``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.aliasinfo import AliasAnalysis
-from repro.analysis.dependence import DependenceSet, compute_dependences
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceSet,
+    compute_dependences,
+)
 from repro.ir.superblock import Superblock
 from repro.opt.load_elim import LoadElimination, LoadEliminationResult
 from repro.opt.store_elim import StoreElimination, StoreEliminationResult
+from repro.opt.translation_cache import (
+    TranslationCache,
+    get_translation_cache,
+    region_content_key,
+)
 from repro.sched.ddg import DataDependenceGraph
 from repro.sched.list_scheduler import (
     AllocatorHook,
@@ -38,6 +62,14 @@ from repro.sched.list_scheduler import (
 )
 from repro.sched.machine import MachineModel
 from repro.smarq.allocator import SmarqAllocator
+
+
+def _digest(obj) -> str:
+    """Stable hash of a config-like object tree (see ``canonical_config``)."""
+    from repro.engine.jobs import canonical_config
+
+    blob = json.dumps(canonical_config(obj), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -98,30 +130,131 @@ class OptimizationPipeline:
         config: Optional[OptimizerConfig] = None,
         region_map: Optional[Mapping[str, Tuple[int, int]]] = None,
         register_regions: Optional[Mapping[int, str]] = None,
+        tracer=None,
     ) -> None:
+        from repro.engine.instrumentation import NULL_TRACER
+
         self.machine = machine
         self.config = config or OptimizerConfig()
         self.region_map = dict(region_map or {})
         self.register_regions = dict(register_regions or {})
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: per-entry-pc alias hints learned from alias exceptions
         self._hints: Dict[int, Dict[Tuple[int, int], float]] = {}
         #: per-entry-pc per-mem-index fault counts; two faults ban the op
         self._fault_counts: Dict[int, Dict[int, int]] = {}
         self._no_speculate: Dict[int, set] = {}
         self.reoptimizations = 0
+        # Cache-key components that are fixed for this pipeline's lifetime
+        # (the guest data layout was copied above); the optimizer config is
+        # digested per call because tests mutate it between optimizations.
+        self._env_digest = _digest(
+            {"region_map": self.region_map, "regs": self.register_regions}
+        )
+        self._latency_sig = tuple(
+            sorted(
+                (op.name, lat) for op, (_unit, lat) in machine.op_table.items()
+            )
+        )
+        self._machine_digest = _digest(machine)
+
+    # -- cache keys ----------------------------------------------------
+    def _hint_keys(self, hints, banned) -> Tuple[Tuple, Tuple]:
+        return tuple(sorted(hints.items())), tuple(sorted(banned))
+
+    def _full_key(self, content, hints_key, banned_key) -> Tuple:
+        return (
+            "full",
+            self._machine_digest,
+            self._env_digest,
+            _digest(self.config),
+            content,
+            hints_key,
+            banned_key,
+        )
+
+    def _elim_key(self, content, hints_key, banned_key) -> Tuple:
+        """Eliminations never read the machine model, the allocator choice,
+        or the scheduling policy — leaving those out shares one elim memo
+        across every scheme evaluating the same guest region."""
+        c = self.config
+        return (
+            "elim",
+            self._env_digest,
+            (
+                c.speculate,
+                c.enable_load_elimination,
+                c.enable_store_elimination,
+                c.alias_rate_threshold,
+                c.max_eliminations_per_block,
+                c.load_elim_sources,
+                c.unroll_factor,
+            ),
+            content,
+            hints_key,
+            banned_key,
+        )
+
+    def _deps_key(self, content2) -> Tuple:
+        """Base dependence classification reads only addresses — alias
+        hints and speculation bans are deliberately absent, which is what
+        lets a post-exception re-optimization hit this tier."""
+        return ("deps", self._env_digest, content2)
+
+    def _ddg_key(self, content2) -> Tuple:
+        c = self.config
+        return (
+            "ddg",
+            self._env_digest,
+            self._latency_sig,
+            c.allow_store_reorder,
+            c.speculation_policy,
+            content2,
+        )
+
+    def _prep_key(self, content2, hints_key, banned_key) -> Tuple:
+        c = self.config
+        return (
+            "prep",
+            self._ddg_key(content2),
+            c.speculate,
+            c.alias_rate_threshold,
+            hints_key,
+            banned_key,
+        )
 
     # ------------------------------------------------------------------
     def optimize(self, original: Superblock) -> OptimizedRegion:
         """Produce an optimized, scheduled, alias-annotated region copy."""
         hints = self._hints.get(original.entry_pc, {})
         banned = self._no_speculate.get(original.entry_pc, set())
-        block = original.copy()
+        tracer = self.tracer
+
+        cache = get_translation_cache() if TranslationCache.enabled() else None
+        full_key = None
+        if cache is not None:
+            with tracer.phase("optimize.cache"):
+                hints_key, banned_key = self._hint_keys(hints, banned)
+                full_key = self._full_key(
+                    region_content_key(original), hints_key, banned_key
+                )
+                region = cache.get_translation(full_key, tracer)
+            if region is not None:
+                return region
+
+        region = self._optimize_impl(original, hints, banned, cache)
+        if cache is not None:
+            with tracer.phase("optimize.cache"):
+                cache.store_translation(full_key, region, tracer)
+        return region
+
+    def _optimize_impl(
+        self, original: Superblock, hints, banned, cache
+    ) -> OptimizedRegion:
         config = self.config
-
-        if config.unroll_factor > 1:
-            from repro.opt.unroll import unroll_loop
-
-            unroll_loop(block, config.unroll_factor)
+        tracer = self.tracer
+        if cache is not None:
+            hints_key, banned_key = self._hint_keys(hints, banned)
 
         def make_analysis(b) -> AliasAnalysis:
             return AliasAnalysis(
@@ -132,83 +265,177 @@ class OptimizationPipeline:
                 no_speculate=banned,
             )
 
-        analysis = make_analysis(block)
-        elim_budget = config.max_eliminations_per_block
+        with tracer.phase("optimize.constraints"):
+            cached_elim = None
+            elim_key = None
+            if cache is not None:
+                elim_key = self._elim_key(
+                    region_content_key(original), hints_key, banned_key
+                )
+                cached_elim = cache.get_stage("elim", elim_key, tracer)
+            if cached_elim is not None:
+                block, load_result, store_result = cached_elim
+            else:
+                block = original.copy()
 
-        # Without alias hardware, only check-free ("safe") eliminations run.
-        require_safe = not config.speculate
+                if config.unroll_factor > 1:
+                    from repro.opt.unroll import unroll_loop
 
-        load_result = LoadEliminationResult()
-        if config.enable_load_elimination:
-            load_pass = LoadElimination(
+                    unroll_loop(block, config.unroll_factor)
+
+                analysis = make_analysis(block)
+                elim_budget = config.max_eliminations_per_block
+
+                # Without alias hardware, only check-free ("safe")
+                # eliminations run.
+                require_safe = not config.speculate
+
+                load_result = LoadEliminationResult()
+                if config.enable_load_elimination:
+                    load_pass = LoadElimination(
+                        alias_rate_threshold=config.alias_rate_threshold,
+                        max_eliminations=elim_budget,
+                        require_safe=require_safe,
+                        sources=config.load_elim_sources,
+                    )
+                    load_result = load_pass.run(block, analysis)
+
+                store_result = StoreEliminationResult()
+                if config.enable_store_elimination:
+                    store_pass = StoreElimination(
+                        alias_rate_threshold=config.alias_rate_threshold,
+                        max_eliminations=max(
+                            0, elim_budget - load_result.eliminated
+                        ),
+                        require_safe=require_safe,
+                    )
+                    store_result = store_pass.run(
+                        block, analysis, pinned=load_result.protected_ops()
+                    )
+                if cache is not None:
+                    from repro.ir.instruction import uid_watermark
+
+                    cache.put_stage_pickled(
+                        "elim",
+                        elim_key,
+                        (block, load_result, store_result),
+                        uid_watermark(),
+                        tracer,
+                    )
+
+            # Rebuild analysis and base dependences on the transformed block.
+            analysis = make_analysis(block)
+            content2 = region_content_key(block) if cache is not None else None
+            base_deps: Optional[List[Dependence]] = None
+            if cache is not None:
+                triples = cache.get_stage(
+                    "deps", self._deps_key(content2), tracer
+                )
+                if triples is not None:
+                    insts = list(block)
+                    base_deps = [
+                        Dependence(insts[i], insts[j], must=must)
+                        for i, j, must in triples
+                    ]
+            if base_deps is None:
+                base_deps = compute_dependences(block, analysis)
+                if cache is not None:
+                    positions = {
+                        inst.uid: idx for idx, inst in enumerate(block)
+                    }
+                    cache.put_stage(
+                        "deps",
+                        self._deps_key(content2),
+                        tuple(
+                            (
+                                positions[d.src.uid],
+                                positions[d.dst.uid],
+                                d.must,
+                            )
+                            for d in base_deps
+                        ),
+                        tracer,
+                    )
+            deps = DependenceSet(base_deps)
+            for dep in load_result.extended_deps:
+                deps.add(dep)
+            for dep in store_result.extended_deps:
+                deps.add(dep)
+
+        with tracer.phase("optimize.ddg"):
+            ddg = None
+            if cache is not None:
+                structural = cache.get_stage(
+                    "ddg", self._ddg_key(content2), tracer
+                )
+                if structural is not None:
+                    ddg = DataDependenceGraph.from_structural(
+                        block,
+                        self.machine,
+                        structural,
+                        speculation_policy=config.speculation_policy,
+                    )
+            if ddg is None:
+                ddg = DataDependenceGraph(
+                    block,
+                    self.machine,
+                    memory_dependences=list(deps),
+                    allow_store_reorder=config.allow_store_reorder,
+                    speculation_policy=config.speculation_policy,
+                )
+                if cache is not None:
+                    cache.put_stage(
+                        "ddg", self._ddg_key(content2), ddg.structural(), tracer
+                    )
+
+        with tracer.phase("optimize.schedule"):
+            sched_config = SchedulerConfig(
+                speculate=config.speculate,
                 alias_rate_threshold=config.alias_rate_threshold,
-                max_eliminations=elim_budget,
-                require_safe=require_safe,
-                sources=config.load_elim_sources,
+                allow_store_reorder=config.allow_store_reorder,
             )
-            load_result = load_pass.run(block, analysis)
+            allocator = None
+            hook: AllocatorHook
+            if config.speculate and config.allocator == "smarq":
+                allocator = SmarqAllocator(
+                    self.machine, deps, list(block.instructions)
+                )
+                hook = allocator
+            elif config.speculate and config.allocator == "plainorder":
+                from repro.smarq.plain_order_alloc import PlainOrderAllocator
 
-        store_result = StoreEliminationResult()
-        if config.enable_store_elimination:
-            store_pass = StoreElimination(
-                alias_rate_threshold=config.alias_rate_threshold,
-                max_eliminations=max(0, elim_budget - load_result.eliminated),
-                require_safe=require_safe,
-            )
-            store_result = store_pass.run(
-                block, analysis, pinned=load_result.protected_ops()
-            )
+                allocator = PlainOrderAllocator(
+                    self.machine, deps, list(block.instructions)
+                )
+                hook = allocator
+            elif config.speculate and config.allocator == "bitmask":
+                from repro.smarq.bitmask_alloc import BitmaskAllocator
 
-        # Rebuild analysis and base dependences on the transformed block.
-        analysis = make_analysis(block)
-        deps = DependenceSet(compute_dependences(block, analysis))
-        for dep in load_result.extended_deps:
-            deps.add(dep)
-        for dep in store_result.extended_deps:
-            deps.add(dep)
-
-        ddg = DataDependenceGraph(
-            block,
-            self.machine,
-            memory_dependences=list(deps),
-            allow_store_reorder=config.allow_store_reorder,
-            speculation_policy=config.speculation_policy,
-        )
-        sched_config = SchedulerConfig(
-            speculate=config.speculate,
-            alias_rate_threshold=config.alias_rate_threshold,
-            allow_store_reorder=config.allow_store_reorder,
-        )
-        allocator = None
-        hook: AllocatorHook
-        if config.speculate and config.allocator == "smarq":
-            allocator = SmarqAllocator(
-                self.machine, deps, list(block.instructions)
+                allocator = BitmaskAllocator(
+                    self.machine,
+                    deps,
+                    list(block.instructions),
+                    num_registers=min(15, self.machine.alias_registers),
+                )
+                hook = allocator
+            elif config.speculate:
+                raise ValueError(f"unknown allocator {config.allocator!r}")
+            else:
+                hook = AllocatorHook()
+            scheduler = ListScheduler(
+                self.machine, sched_config, hook, tracer=tracer
             )
-            hook = allocator
-        elif config.speculate and config.allocator == "plainorder":
-            from repro.smarq.plain_order_alloc import PlainOrderAllocator
-
-            allocator = PlainOrderAllocator(
-                self.machine, deps, list(block.instructions)
+            prep = None
+            if cache is not None:
+                prep_key = self._prep_key(content2, hints_key, banned_key)
+                prep = cache.get_stage("prep", prep_key, tracer)
+            if prep is None:
+                prep = scheduler.prepare(ddg, alias_analysis=analysis)
+                if cache is not None:
+                    cache.put_stage("prep", prep_key, prep, tracer)
+            schedule = scheduler.schedule(
+                ddg, alias_analysis=analysis, prep=prep
             )
-            hook = allocator
-        elif config.speculate and config.allocator == "bitmask":
-            from repro.smarq.bitmask_alloc import BitmaskAllocator
-
-            allocator = BitmaskAllocator(
-                self.machine,
-                deps,
-                list(block.instructions),
-                num_registers=min(15, self.machine.alias_registers),
-            )
-            hook = allocator
-        elif config.speculate:
-            raise ValueError(f"unknown allocator {config.allocator!r}")
-        else:
-            hook = AllocatorHook()
-        scheduler = ListScheduler(self.machine, sched_config, hook)
-        schedule = scheduler.schedule(ddg, alias_analysis=analysis)
 
         return OptimizedRegion(
             block=block,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.dependence import Dependence
 from repro.ir.instruction import Instruction
@@ -60,10 +60,13 @@ class DataDependenceGraph:
         memory_dependences: Iterable[Dependence] = (),
         allow_store_reorder: bool = True,
         speculation_policy: str = "full",
+        _structural: Optional[Tuple[Tuple[int, int, str, int, bool], ...]] = None,
     ) -> None:
         """``speculation_policy`` is ``"full"`` (any MAY-alias pair may be
         reordered) or ``"loads_only"`` (only loads may hoist above stores —
-        the ALAT restriction)."""
+        the ALAT restriction). ``_structural`` replays a previously built
+        graph's edge list (see :meth:`structural`) instead of deriving the
+        edges — the translation cache's DDG memo."""
         if speculation_policy not in ("full", "loads_only"):
             raise ValueError(f"unknown speculation policy {speculation_policy!r}")
         self.block = block
@@ -72,13 +75,22 @@ class DataDependenceGraph:
         self._succ: Dict[int, List[DdgEdge]] = {}
         self._pred: Dict[int, List[DdgEdge]] = {}
         self._insts: Dict[int, Instruction] = {}
+        #: every edge in global insertion order (the structural memo form)
+        self._edges: List[DdgEdge] = []
+        #: dedup index: (src_uid, dst_uid, kind) -> highest latency kept
+        self._best: Dict[Tuple[int, int, EdgeKind], int] = {}
         for inst in block:
             self._succ[inst.uid] = []
             self._pred[inst.uid] = []
             self._insts[inst.uid] = inst
-        self._build_register_edges(block, machine)
-        self._build_control_edges(block)
-        self._build_memory_edges(block, memory_dependences, allow_store_reorder)
+        if _structural is not None:
+            self._replay_structural(block, _structural)
+        else:
+            self._build_register_edges(block, machine)
+            self._build_control_edges(block)
+            self._build_memory_edges(
+                block, memory_dependences, allow_store_reorder
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,12 +98,17 @@ class DataDependenceGraph:
     def _add(self, edge: DdgEdge) -> None:
         if edge.src is edge.dst:
             return
-        for existing in self._succ[edge.src.uid]:
-            if existing.dst is edge.dst and existing.kind is edge.kind:
-                if edge.latency <= existing.latency:
-                    return  # duplicate (e.g. a register used twice)
+        # Duplicate (src, dst, kind) edges (e.g. a register used twice)
+        # keep only the highest latency; successive survivors strictly
+        # increase, so one running maximum decides in O(1).
+        key = (edge.src.uid, edge.dst.uid, edge.kind)
+        best = self._best.get(key)
+        if best is not None and edge.latency <= best:
+            return
+        self._best[key] = edge.latency
         self._succ[edge.src.uid].append(edge)
         self._pred[edge.dst.uid].append(edge)
+        self._edges.append(edge)
 
     def _build_register_edges(self, block, machine) -> None:
         last_def: Dict[int, Instruction] = {}
@@ -124,17 +141,25 @@ class DataDependenceGraph:
         if not branches:
             return
         final = instructions[-1]
+        # Each branch pins every *later* store (a store may not become
+        # architectural on a path that already left the region) and every
+        # later branch (branches stay ordered). Only stores/branches can be
+        # edge targets, so scan that subsequence instead of the whole block.
+        targets = [
+            (idx, inst)
+            for idx, inst in enumerate(instructions)
+            if inst.is_store or inst.is_branch
+        ]
         positions = {inst.uid: idx for idx, inst in enumerate(instructions)}
         for branch in branches:
             bpos = positions[branch.uid]
-            for inst in instructions:
-                ipos = positions[inst.uid]
-                # Stores may not cross above an earlier branch: the branch
-                # could leave the region before the store was architectural.
-                if inst.is_store and ipos > bpos:
+            for ipos, inst in targets:
+                if ipos <= bpos:
+                    continue
+                if inst.is_store:
                     self._add(DdgEdge(branch, inst, EdgeKind.CONTROL, latency=0))
                 # Branches stay in order relative to each other.
-                if inst.is_branch and ipos > bpos and inst is not branch:
+                if inst.is_branch and inst is not branch:
                     self._add(DdgEdge(branch, inst, EdgeKind.CONTROL, latency=0))
         # Nothing moves below the terminating branch.
         if final.is_branch:
@@ -179,6 +204,62 @@ class DataDependenceGraph:
             )
 
     # ------------------------------------------------------------------
+    # Structural memoization (translation cache)
+    # ------------------------------------------------------------------
+    def structural(self) -> Tuple[Tuple[int, int, str, int, bool], ...]:
+        """Identity-free form of the edge list: ``(src_position,
+        dst_position, kind, latency, breakable)`` in global insertion
+        order. Replaying it over any block with identical content rebuilds
+        a graph whose per-instruction edge lists match this one's exactly.
+        """
+        positions = {
+            inst.uid: idx for idx, inst in enumerate(self.block)
+        }
+        return tuple(
+            (
+                positions[e.src.uid],
+                positions[e.dst.uid],
+                e.kind.value,
+                e.latency,
+                e.speculative_breakable,
+            )
+            for e in self._edges
+        )
+
+    def _replay_structural(
+        self, block, structural: Tuple[Tuple[int, int, str, int, bool], ...]
+    ) -> None:
+        instructions = list(block)
+        for src_pos, dst_pos, kind, latency, breakable in structural:
+            edge = DdgEdge(
+                instructions[src_pos],
+                instructions[dst_pos],
+                EdgeKind(kind),
+                latency=latency,
+                speculative_breakable=breakable,
+            )
+            # Already deduplicated at build time: append directly.
+            self._succ[edge.src.uid].append(edge)
+            self._pred[edge.dst.uid].append(edge)
+            self._edges.append(edge)
+
+    @classmethod
+    def from_structural(
+        cls,
+        block,
+        machine,
+        structural: Tuple[Tuple[int, int, str, int, bool], ...],
+        speculation_policy: str = "full",
+    ) -> "DataDependenceGraph":
+        """Rebuild a graph from :meth:`structural` output (cache hit)."""
+        return cls(
+            block,
+            machine,
+            speculation_policy=speculation_policy,
+            _structural=structural,
+        )
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def successors(self, inst: Instruction) -> List[DdgEdge]:
@@ -186,6 +267,15 @@ class DataDependenceGraph:
 
     def predecessors(self, inst: Instruction) -> List[DdgEdge]:
         return list(self._pred[inst.uid])
+
+    def iter_successors(self, inst: Instruction) -> List[DdgEdge]:
+        """:meth:`successors` without the defensive copy — callers must
+        not mutate the result (hot path: scheduler prep)."""
+        return self._succ[inst.uid]
+
+    def iter_predecessors(self, inst: Instruction) -> List[DdgEdge]:
+        """:meth:`predecessors` without the defensive copy."""
+        return self._pred[inst.uid]
 
     def instructions(self) -> List[Instruction]:
         return [self._insts[uid] for uid in self._insts]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.instruction import Instruction
@@ -82,6 +83,25 @@ class ScheduleResult:
         return {inst.uid: idx for idx, inst in enumerate(self.linear)}
 
 
+@dataclass(frozen=True)
+class SchedulePrep:
+    """Precomputed readiness and priority tables for one schedule.
+
+    Everything here is a pure function of the DDG structure, the
+    scheduler policy, and the alias profile (hints + bans) — computed by
+    :meth:`ListScheduler.prepare` and *position*-indexed (not uid-indexed)
+    so the translation cache can reuse one prep across blocks with
+    identical content. ``succ_adj[i]`` holds ``(dst_position, latency,
+    honoured)`` per outgoing edge; ``honoured`` is the per-edge constant
+    the readiness loop tests instead of re-deriving the speculation rules.
+    """
+
+    hard_left: Tuple[int, ...]
+    spec_left: Tuple[int, ...]
+    succ_adj: Tuple[Tuple[Tuple[int, int, bool], ...], ...]
+    height: Tuple[int, ...]
+
+
 class ListScheduler:
     """List scheduling over a :class:`DataDependenceGraph`."""
 
@@ -90,17 +110,28 @@ class ListScheduler:
         machine: MachineModel,
         config: Optional[SchedulerConfig] = None,
         hook: Optional[AllocatorHook] = None,
+        tracer=None,
     ) -> None:
+        from repro.engine.instrumentation import NULL_TRACER
+
         self.machine = machine
         self.config = config or SchedulerConfig()
         self.hook = hook or AllocatorHook()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
-    def schedule(self, ddg: DataDependenceGraph, alias_analysis=None) -> ScheduleResult:
+    def prepare(
+        self, ddg: DataDependenceGraph, alias_analysis=None
+    ) -> SchedulePrep:
+        """Build the position-indexed readiness/priority tables.
+
+        Split out of :meth:`schedule` so the optimization pipeline can
+        memoize the result: the tables depend only on DDG structure,
+        policy, and profile state, never on the allocator hook.
+        """
         instructions = list(ddg.block)
         n = len(instructions)
-        program_pos = {inst.uid: i for i, inst in enumerate(instructions)}
-        by_uid = {inst.uid: inst for inst in instructions}
+        pos = {inst.uid: i for i, inst in enumerate(instructions)}
         speculating = self.config.speculate
 
         def edge_honoured(edge) -> bool:
@@ -109,7 +140,7 @@ class ListScheduler:
             Every input (the speculation mode, the store-reorder policy,
             the alias analysis) is fixed for the duration of one schedule,
             so the answer is a per-edge constant and is evaluated exactly
-            once below — the readiness loop then tests a precomputed bool
+            once here — the readiness loop then tests a precomputed bool
             instead of re-deriving this chain per instruction per cycle.
             """
             if edge.kind is not EdgeKind.MEMORY:
@@ -132,46 +163,79 @@ class ListScheduler:
                     return True
             return False
 
+        hard = [0] * n
+        spec = [0] * n
+        succ: List[List[Tuple[int, int, bool]]] = [[] for _ in range(n)]
+        for di, inst in enumerate(instructions):
+            for edge in ddg.iter_predecessors(inst):
+                honoured = edge_honoured(edge)
+                if honoured:
+                    hard[di] += 1
+                else:
+                    spec[di] += 1
+                succ[pos[edge.src.uid]].append((di, edge.latency, honoured))
+
+        # Priority: latency-weighted height over always-honoured edges,
+        # computed with speculation on (optimistic heights pull loads up).
+        # Edges always point forward in program order, so one reverse pass
+        # over the adjacency just built resolves every height.
+        height = [0] * n
+        for i in range(n - 1, -1, -1):
+            best = 0
+            for dst_pos, latency, honoured in succ[i]:
+                if honoured:
+                    candidate = latency + height[dst_pos]
+                    if candidate > best:
+                        best = candidate
+            height[i] = best
+
+        return SchedulePrep(
+            hard_left=tuple(hard),
+            spec_left=tuple(spec),
+            succ_adj=tuple(tuple(entries) for entries in succ),
+            height=tuple(height),
+        )
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        ddg: DataDependenceGraph,
+        alias_analysis=None,
+        prep: Optional[SchedulePrep] = None,
+    ) -> ScheduleResult:
+        instructions = list(ddg.block)
+        n = len(instructions)
+        program_pos = {inst.uid: i for i, inst in enumerate(instructions)}
+        by_uid = {inst.uid: inst for inst in instructions}
+        if prep is None:
+            prep = self.prepare(ddg, alias_analysis)
+
         # Readiness is maintained incrementally instead of re-derived by
         # walking predecessor lists every cycle: per uid we keep the count
         # of honoured/breakable predecessor edges whose source is still
         # unscheduled, plus a running earliest-issue cycle updated when a
-        # source is placed. The per-candidate test is then O(1). Each edge
-        # contributes one successor-adjacency entry (with its honoured flag
-        # and latency baked in), and the functional unit and latency are
-        # resolved once per instruction (no enum hashing per cycle).
-        hard_left: Dict[int, int] = {}
-        spec_left: Dict[int, int] = {}
-        earliest_at: Dict[int, int] = {}
+        # source is placed. The per-candidate test is then O(1), and the
+        # functional unit and latency are resolved once per instruction
+        # (no enum hashing per cycle). The tables come position-indexed
+        # from ``prep`` (possibly memoized) and are re-keyed by uid here
+        # because this block's uids are private to it.
+        uids = [inst.uid for inst in instructions]
+        hard_left: Dict[int, int] = dict(zip(uids, prep.hard_left))
+        spec_left: Dict[int, int] = dict(zip(uids, prep.spec_left))
+        earliest_at: Dict[int, int] = dict.fromkeys(uids, 0)
         succ_adj: Dict[int, List[Tuple[int, int, bool]]] = {
-            inst.uid: [] for inst in instructions
+            uids[i]: [
+                (uids[dst_pos], latency, honoured)
+                for dst_pos, latency, honoured in prep.succ_adj[i]
+            ]
+            for i in range(n)
         }
-        for inst in instructions:
-            hard = spec = 0
-            for edge in ddg.predecessors(inst):
-                honoured = edge_honoured(edge)
-                if honoured:
-                    hard += 1
-                else:
-                    spec += 1
-                succ_adj[edge.src.uid].append((inst.uid, edge.latency, honoured))
-            hard_left[inst.uid] = hard
-            spec_left[inst.uid] = spec
-            earliest_at[inst.uid] = 0
+        height: Dict[int, int] = dict(zip(uids, prep.height))
         op_table = self.machine.op_table
         unit_lat = {inst.uid: op_table[inst.opcode] for inst in instructions}
 
-        # Priority: latency-weighted height over always-honoured edges,
-        # computed with speculation on (optimistic heights pull loads up).
-        height: Dict[int, int] = {}
-        for inst in reversed(instructions):
-            best = 0
-            for edge in ddg.successors(inst):
-                if edge_honoured(edge):
-                    candidate = edge.latency + height.get(edge.dst.uid, 0)
-                    if candidate > best:
-                        best = candidate
-            height[inst.uid] = best
+        track_alloc = self.tracer.active
+        alloc_seconds = 0.0
 
         scheduled: Dict[int, int] = {}  # uid -> cycle
         linear: List[Instruction] = []
@@ -249,7 +313,12 @@ class ListScheduler:
                         spec_left[dst_uid] -= 1
                 if speculative_now and inst.is_mem:
                     speculated_pairs += 1
-                before, after = self.hook.on_scheduled(inst, cycle)
+                if track_alloc:
+                    t0 = perf_counter()
+                    before, after = self.hook.on_scheduled(inst, cycle)
+                    alloc_seconds += perf_counter() - t0
+                else:
+                    before, after = self.hook.on_scheduled(inst, cycle)
                 linear.extend(before)
                 linear.append(inst)
                 linear.extend(after)
@@ -259,7 +328,13 @@ class ListScheduler:
                 issued = 0
 
         length = 1 + max(scheduled.values(), default=0)
-        self.hook.on_finish(linear)
+        if track_alloc:
+            t0 = perf_counter()
+            self.hook.on_finish(linear)
+            alloc_seconds += perf_counter() - t0
+            self.tracer.add_time("optimize.alloc", alloc_seconds)
+        else:
+            self.hook.on_finish(linear)
         cycle_of = dict(scheduled)
         # Pseudo-ops ride along in the issuing instruction's cycle.
         for idx, inst in enumerate(linear):

@@ -191,6 +191,7 @@ class DbtSystem:
             self.scheme.optimizer_config,
             region_map=program.region_map,
             register_regions=program.register_regions,
+            tracer=self.tracer,
         )
         self.simulator = VliwSimulator(
             self.scheme.machine, self.memory, tracer=self.tracer

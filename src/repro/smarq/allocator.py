@@ -187,7 +187,7 @@ class SmarqAllocator(AllocatorHook):
             return ([], [])
         before: List[Instruction] = []
 
-        for dep in self.deps.incoming(inst):  # S ->dep Y, Y == inst
+        for dep in self.deps.iter_incoming(inst):  # S ->dep Y, Y == inst
             s = dep.src
             if s.uid not in self._scheduled:
                 self._add_check(checker=s, target=inst)

@@ -82,7 +82,7 @@ class BitmaskAllocator(AllocatorHook):
             return ([], [])
 
         # New obligations: unscheduled dependence sources must check inst.
-        for dep in self.deps.incoming(inst):
+        for dep in self.deps.iter_incoming(inst):
             checker = dep.src
             if checker.uid in self._scheduled:
                 continue  # in program order: bit-mask needs nothing
