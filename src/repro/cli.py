@@ -210,7 +210,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import PerfConfig, load_bench, run_perf, write_bench
-    from repro.perf.harness import attach_baseline, render_summary
+    from repro.perf.harness import (
+        attach_baseline,
+        check_regression,
+        render_summary,
+    )
 
     if args.profile:
         import cProfile
@@ -256,6 +260,13 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     write_bench(args.output, payload)
     print(render_summary(payload))
     print(f"\nwrote {args.output}")
+    if args.fail_below > 0:
+        failures = check_regression(payload, args.fail_below)
+        if failures:
+            for failure in failures:
+                print(f"perf regression gate FAILED: {failure}")
+            return 1
+        print(f"perf regression gate passed (>= {args.fail_below:.2f}x)")
     return 0
 
 
@@ -352,10 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", default="",
         help="comma-separated scheme subset (default: smarq,itanium,none)",
     )
-    perf_p.add_argument("--output", default="BENCH_pr5.json")
+    perf_p.add_argument("--output", default="BENCH_pr6.json")
     perf_p.add_argument(
         "--baseline", default="",
         help="previous BENCH json to embed and compute speedups against",
+    )
+    perf_p.add_argument(
+        "--fail-below", type=float, default=0.0, metavar="RATIO",
+        help="exit non-zero when the execute-phase or cell-sweep speedup "
+        "vs --baseline falls below RATIO (the CI regression gate)",
     )
     perf_p.add_argument(
         "--profile", default="",

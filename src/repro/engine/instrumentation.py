@@ -28,8 +28,24 @@ Counter names used by the simulation stack:
     translations whose cached trace + plans were dropped on
     re-optimization or blacklisting;
 ``vliw.replay_compiles``
-    straight-line replay functions generated for hot traces (tier 2 of
-    the planned executor, at most one per compiled region trace);
+    timing plans that adopted the compiled ``py`` replay tier for their
+    trace (at most one per compiled region trace; an adoption served
+    from an already-compiled shared artifact also counts
+    ``vliw.replay_cache_hits`` — no codegen ran for it);
+``vliw.replay_cache_hits``
+    replay adoptions served from the process-wide artifact cache
+    (content-identical region clones sharing lowered IR + kernels);
+``vliw.backend_interp`` / ``vliw.backend_py`` / ``vliw.backend_vec``
+    region executions per replay backend tier (the generic dispatch
+    loop, the generated straight-line function, and the vectorized
+    kernel; counted only while a real tracer is installed — they are
+    observability counters, not report fields);
+``vliw.vec_compiles``
+    vectorized kernels compiled from lowered replay IR;
+``vliw.vec_fallbacks``
+    vec executions that hit a runtime fact outside the kernel's static
+    model and re-ran on the ``py`` tier (repeated fallbacks demote the
+    trace to ``py`` for good);
 ``translate.cache_hits`` / ``translate.cache_misses``
     full-translation lookups in the content-keyed translation cache (a
     hit clones a previously optimized region instead of re-optimizing);

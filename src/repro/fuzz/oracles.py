@@ -25,6 +25,10 @@ implementations agreed). The configured pairs:
     ``DbtReport`` with the translation cache enabled vs
     ``SMARQ_NO_TRANSLATION_CACHE=1`` (must be byte-identical; the
     region-translation-cache contract).
+``backends``
+    ``DbtReport`` under every replay backend tier — auto promotion vs
+    ``SMARQ_REPLAY_BACKEND=interp|py|vec`` forced — for every scheme
+    (must be byte-identical; the replay-IR lowering contract).
 ``engine``
     Parallel process-pool execution vs serial in-process execution of the
     same case (reports must be identical; exercised per-case here and in a
@@ -72,6 +76,7 @@ from repro.smarq.validator import (
 
 _NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
 _NO_TRANSLATION_CACHE_ENV = "SMARQ_NO_TRANSLATION_CACHE"
+_BACKEND_ENV = "SMARQ_REPLAY_BACKEND"
 
 #: schemes whose final architectural state must equal pure interpretation
 STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none")
@@ -79,6 +84,11 @@ STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none")
 PLANS_SCHEMES = ("smarq", "itanium")
 #: schemes run twice for the translation-cache on/off report comparison
 TRANSLATE_SCHEMES = ("smarq", "itanium")
+#: schemes run once per forced replay backend tier (all of them — the
+#: lowered-IR seam is the one piece every scheme flows through)
+BACKEND_SCHEMES = ("smarq", "smarq16", "itanium", "none", "efficeon", "plainorder")
+#: replay backend tiers forced by the backends oracle
+BACKEND_TIERS = ("interp", "py", "vec")
 
 #: address assignments tried per case by the queue lockstep oracle
 QUEUE_ASSIGNMENTS = 4
@@ -128,6 +138,23 @@ def translation_cache_disabled():
             os.environ[_NO_TRANSLATION_CACHE_ENV] = prev
 
 
+@contextmanager
+def backend_forced(tier: str):
+    """Force one replay backend tier for VliwSimulators built inside.
+
+    The selector is read once at simulator construction, but covering
+    the whole ``run()`` costs nothing and stays robust if that moves."""
+    prev = os.environ.get(_BACKEND_ENV)
+    os.environ[_BACKEND_ENV] = tier
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ[_BACKEND_ENV]
+        else:
+            os.environ[_BACKEND_ENV] = prev
+
+
 # ----------------------------------------------------------------------
 # Per-case shared state
 # ----------------------------------------------------------------------
@@ -146,6 +173,9 @@ class CaseRun:
     _reference_state: Optional[tuple] = None
     _scheme_state: Dict[str, tuple] = field(default_factory=dict)
     _scheme_report: Dict[Tuple[str, bool, bool], dict] = field(
+        default_factory=dict
+    )
+    _backend_report: Dict[Tuple[str, str], dict] = field(
         default_factory=dict
     )
 
@@ -208,6 +238,22 @@ class CaseRun:
         if key not in self._scheme_report:
             self._run_dbt(scheme, plans, cache)
         return self._scheme_report[key]
+
+    def backend_report(self, scheme: str, tier: str) -> dict:
+        """DbtReport dict under scheme with one replay tier forced."""
+        key = (scheme, tier)
+        if key not in self._backend_report:
+            program = self.case.program()
+            profiler = ProfilerConfig(
+                hot_threshold=self.case.config.hot_threshold
+            )
+            with backend_forced(tier):
+                system = DbtSystem(
+                    program, scheme, profiler_config=profiler
+                )
+                report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
+            self._backend_report[key] = report.to_dict()
+        return self._backend_report[key]
 
     def _run_dbt(self, scheme: str, plans: bool, cache: bool) -> None:
         from contextlib import ExitStack
@@ -518,6 +564,35 @@ def translate_oracle(run: CaseRun) -> List[Disagreement]:
     return out
 
 
+def backends_oracle(run: CaseRun) -> List[Disagreement]:
+    """Reports must not depend on the replay backend tier.
+
+    The auto-promoted run (already paid for by the schemes oracle on
+    most schemes) is the reference; each forced tier must reproduce its
+    report byte for byte. Backend tier counters are tracer-only
+    observability, so a tier that leaks into ``DbtReport`` — timing
+    semantics, alias detections, commit/abort counts — is a lowering
+    bug, not a tolerable wobble."""
+    out: List[Disagreement] = []
+    for scheme in BACKEND_SCHEMES:
+        auto = run.scheme_report(scheme, plans=True)
+        for tier in BACKEND_TIERS:
+            forced = run.backend_report(scheme, tier)
+            if forced != auto:
+                keys = sorted(
+                    k for k in auto if auto.get(k) != forced.get(k)
+                )
+                out.append(
+                    Disagreement(
+                        "backends",
+                        f"{scheme}: report under forced {tier!r} replay "
+                        f"backend differs from auto promotion "
+                        f"(fields {keys})",
+                    )
+                )
+    return out
+
+
 def engine_oracle(run: CaseRun) -> List[Disagreement]:
     """Parallel process-pool execution == serial in-process execution.
 
@@ -555,6 +630,7 @@ ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "schemes": schemes_oracle,
     "plans": plans_oracle,
     "translate": translate_oracle,
+    "backends": backends_oracle,
     "engine": engine_oracle,
 }
 

@@ -147,7 +147,9 @@ class OptimizationPipeline:
         self.reoptimizations = 0
         # Cache-key components that are fixed for this pipeline's lifetime
         # (the guest data layout was copied above); the optimizer config is
-        # digested per call because tests mutate it between optimizations.
+        # digested per field-value snapshot because tests mutate it between
+        # optimizations (see _config_digest).
+        self._config_digest_memo: Optional[Tuple[Tuple, str]] = None
         self._env_digest = _digest(
             {"region_map": self.region_map, "regs": self.register_regions}
         )
@@ -162,12 +164,31 @@ class OptimizationPipeline:
     def _hint_keys(self, hints, banned) -> Tuple[Tuple, Tuple]:
         return tuple(sorted(hints.items())), tuple(sorted(banned))
 
+    def _config_digest(self) -> str:
+        """Digest of the current optimizer config.
+
+        Memoized on the config's field-value snapshot: the sha256 over
+        the canonical JSON dominates the per-call key cost on the hot
+        translation path, while configs change rarely (tests mutate them
+        between optimizations — hence value comparison, not identity).
+        """
+        c = self.config
+        sig = tuple(
+            getattr(c, name) for name in type(c).__dataclass_fields__
+        )
+        memo = self._config_digest_memo
+        if memo is not None and memo[0] == sig:
+            return memo[1]
+        value = _digest(c)
+        self._config_digest_memo = (sig, value)
+        return value
+
     def _full_key(self, content, hints_key, banned_key) -> Tuple:
         return (
             "full",
             self._machine_digest,
             self._env_digest,
-            _digest(self.config),
+            self._config_digest(),
             content,
             hints_key,
             banned_key,
@@ -230,21 +251,34 @@ class OptimizationPipeline:
         banned = self._no_speculate.get(original.entry_pc, set())
         tracer = self.tracer
 
+        # The full translation key doubles as the replay artifact key
+        # (attached below as region._replay_key): it is computed even when
+        # the translation cache is disabled so the simulator can share
+        # lowered replay IR and compiled kernels across content-identical
+        # regions (repro.sim.replay_backends).
+        hints_key, banned_key = self._hint_keys(hints, banned)
+        full_key = self._full_key(
+            region_content_key(original), hints_key, banned_key
+        )
+
         cache = get_translation_cache() if TranslationCache.enabled() else None
-        full_key = None
         if cache is not None:
-            with tracer.phase("optimize.cache"):
-                hints_key, banned_key = self._hint_keys(hints, banned)
-                full_key = self._full_key(
-                    region_content_key(original), hints_key, banned_key
-                )
+            if tracer.active:
+                with tracer.phase("optimize.cache"):
+                    region = cache.get_translation(full_key, tracer)
+            else:
                 region = cache.get_translation(full_key, tracer)
             if region is not None:
+                region._replay_key = full_key
                 return region
 
         region = self._optimize_impl(original, hints, banned, cache)
+        region._replay_key = full_key
         if cache is not None:
-            with tracer.phase("optimize.cache"):
+            if tracer.active:
+                with tracer.phase("optimize.cache"):
+                    cache.store_translation(full_key, region, tracer)
+            else:
                 cache.store_translation(full_key, region, tracer)
         return region
 

@@ -10,6 +10,7 @@ from repro.perf.harness import (
     DEFAULT_BENCHMARKS,
     DEFAULT_SCHEMES,
     PerfConfig,
+    check_regression,
     load_bench,
     run_perf,
     time_figures_cold,
@@ -20,6 +21,7 @@ __all__ = [
     "DEFAULT_BENCHMARKS",
     "DEFAULT_SCHEMES",
     "PerfConfig",
+    "check_regression",
     "load_bench",
     "run_perf",
     "time_figures_cold",

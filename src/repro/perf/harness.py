@@ -37,6 +37,14 @@ Schema history:
   and cells — exactly what the figures pipeline sees — so best-of-N
   reflects the warm steady state. Schema-1/2 baselines remain readable:
   every added field is optional on the baseline side.
+* **4** — cells record replay backend-tier counters under ``backends``
+  (``interp``/``py``/``vec`` region-execution counts, vec kernel
+  compiles and runtime fallbacks, replay artifact compiles and
+  process-wide cache hits, and the derived ``vec_share``), and
+  :func:`check_regression` turns the baseline comparison into a hard CI
+  gate (``perf --fail-below``) over the ``execute_phase`` and
+  ``total_cells`` aggregate speedups. Schema-1/2/3 baselines remain
+  readable: every added field is optional on the baseline side.
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: three representative workloads: regular streams (swim), small hot loop
 #: with heavy aliasing (art), pointer-chasing stores (equake)
@@ -168,6 +176,24 @@ def _plan_summary(counters: Dict[str, int]) -> Dict[str, object]:
     }
 
 
+def _backend_summary(counters: Dict[str, int]) -> Dict[str, object]:
+    """Replay backend-tier counters of one cell, plus the vec share."""
+    interp = counters.get("vliw.backend_interp", 0)
+    py = counters.get("vliw.backend_py", 0)
+    vec = counters.get("vliw.backend_vec", 0)
+    total = interp + py + vec
+    return {
+        "interp": interp,
+        "py": py,
+        "vec": vec,
+        "vec_compiles": counters.get("vliw.vec_compiles", 0),
+        "vec_fallbacks": counters.get("vliw.vec_fallbacks", 0),
+        "replay_compiles": counters.get("vliw.replay_compiles", 0),
+        "replay_cache_hits": counters.get("vliw.replay_cache_hits", 0),
+        "vec_share": (vec / total) if total else 0.0,
+    }
+
+
 def time_figures_cold(scale: float = 0.1) -> Dict[str, float]:
     """Wall time of the serial cold figures path, in-process.
 
@@ -208,6 +234,7 @@ def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
             best.update(_spread(walls))
             best["plans"] = _plan_summary(best["counters"])
             best["translate"] = _translate_summary(best["counters"])
+            best["backends"] = _backend_summary(best["counters"])
             cells[f"{benchmark}/{scheme}"] = best
 
     payload: Dict[str, object] = {
@@ -280,6 +307,30 @@ def attach_baseline(
     payload["speedup"] = summary
 
 
+def check_regression(
+    payload: Dict[str, object], threshold: float
+) -> List[str]:
+    """Speedup gates below ``threshold``, as printable failures.
+
+    Gates the two aggregate trajectory metrics CI locks: the
+    execute-phase speedup and the whole cell sweep. A gate that could
+    not be computed (no ``--baseline``, or a baseline with no comparable
+    cells) fails closed — a silent skip would read as a pass exactly
+    when the comparison is most broken.
+    """
+    speedup = payload.get("speedup") or {}
+    failures: List[str] = []
+    for gate in ("execute_phase", "total_cells"):
+        value = speedup.get(gate)
+        if value is None:
+            failures.append(
+                f"{gate}: not computed (baseline missing or incomparable)"
+            )
+        elif value < threshold:
+            failures.append(f"{gate}: {value:.2f}x < {threshold:.2f}x")
+    return failures
+
+
 def write_bench(path: str, payload: Dict[str, object]) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -325,10 +376,17 @@ def render_summary(payload: Dict[str, object]) -> str:
             if translate and (translate["hits"] or translate["misses"])
             else ""
         )
+        backends = cell.get("backends")
+        be_note = (
+            f", vec {backends['vec_share']:.0%}"
+            if backends and backends["vec_share"]
+            else ""
+        )
         lines.append(
             f"  {key:<18} {cell['wall_s']:7.3f}s{spread}  "
             f"(opt {p['optimize']:.3f}s, exec {p['execute']:.3f}s, "
-            f"interp {p['interpret_derived']:.3f}s{plan_note}{tc_note})"
+            f"interp {p['interpret_derived']:.3f}s"
+            f"{plan_note}{tc_note}{be_note})"
         )
     speedup = payload.get("speedup")
     if speedup:

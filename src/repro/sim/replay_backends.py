@@ -1,0 +1,1011 @@
+"""Tiered replay backends compiled from the numeric replay IR.
+
+Three tiers execute a hot trace's functional replay (selected by
+``SMARQ_REPLAY_BACKEND`` or by per-trace promotion, see
+:mod:`repro.sim.vliw`):
+
+``interp``
+    the simulator's generic dispatch loop over the compiled trace — the
+    oracle, not compiled here;
+``py``
+    :func:`compile_py` — a straight-line Python function generated from
+    the IR: inlined 64-bit ALU arithmetic, little-endian memory access
+    with undo logging, and the adapter's hardware events lowered to
+    direct scalar model calls (dynamic escapes fall back to the
+    ``on_mem_op``/``on_rotate``/``on_amov`` callbacks);
+``vec``
+    :func:`compile_vec` — the alias hardware is **simulated statically at
+    compile time** over the IR's event stream (every queue/ALAT/bit-mask
+    operand is trace-static), reducing each region execution to register
+    locals, guarded address computation, and the irreducible runtime
+    residue: pairwise address-overlap tests (pruned when two addresses
+    provably share a base register) plus constant hardware-stat deltas
+    and a precomputed event fingerprint at each exit. Anything the
+    static model cannot decide — a bounds violation, a possible alias
+    overlap — returns :data:`FALLBACK` and the caller rolls back and
+    re-executes on the ``py`` tier, which is exact by construction; the
+    kernel itself never touches adapter state.
+
+The module also owns the process-wide **replay artifact cache**: lowered
+IR and compiled backend functions are keyed by the region's translation
+key (content + config + hints), the adapter class, and the adapter's
+:meth:`~repro.sim.schemes.HardwareAdapter.replay_config_key`, so the
+translation cache's content-identical region clones (one per repeat of a
+perf cell, for instance) stop re-generating identical replay code.
+Timing plans are deliberately *not* shared — they memoize per-region
+signature state and stay on the region object.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+from repro.hw.exceptions import AliasException
+from repro.sim import replay_ir as R
+
+_MASK64 = (1 << 64) - 1
+_HIGH = 1 << 63
+_TOP = 1 << 64
+
+#: shared empty required-target set for ALAT store checks
+_EMPTY_TARGETS = frozenset()
+
+_U64 = struct.Struct("<Q")
+
+#: sentinel returned by a vec kernel when a runtime fact escapes its
+#: static model; the caller rolls back and re-runs the ``py`` tier
+FALLBACK = (-2, -1, None)
+
+
+# ----------------------------------------------------------------------
+# py backend
+# ----------------------------------------------------------------------
+def _prologue(ir: R.ReplayIR) -> List[str]:
+    kinds = set()
+    for grp in ir.events:
+        for ev in grp:
+            kinds.add(ev[0])
+    stmts: List[str] = []
+    if kinds & R.QUEUE_EVENTS:
+        stmts += [
+            "q = ad.queue",
+            "q_chk = q.check_range",
+            "q_set = q.set_range",
+            "q_rot = q.rotate",
+            "q_amov = q.amov",
+        ]
+    if kinds & R.ALAT_EVENTS:
+        stmts += [
+            "al = ad.alat",
+            "al_sc = al.store_check_range",
+            "al_al = al.advanced_load_range",
+            "req_get = ad._required.get",
+        ]
+    if kinds & R.BITMASK_EVENTS:
+        stmts += [
+            "bf = ad.file",
+            "bf_chk = bf.check_range",
+            "bf_set = bf.set_range",
+        ]
+    dyn_kinds = {kind for kind, _obj in ir.dyn}
+    if "mem" in dyn_kinds:
+        stmts.append("on_mem_op = ad.on_mem_op")
+    if "rot" in dyn_kinds:
+        stmts.append("on_rotate = ad.on_rotate")
+    if "amov" in dyn_kinds:
+        stmts.append("on_amov = ad.on_amov")
+    return stmts
+
+
+def _event_stmts(ir: R.ReplayIR, evt: int, k: int, env: dict) -> List[str]:
+    """Statements servicing one op's lowered event group (``a`` holds the
+    memory-op address in the generated scope)."""
+    out: List[str] = []
+    for ev in ir.events[evt]:
+        e = ev[0]
+        if e == R.E_QCHK:
+            _, off, size, il, mi = ev
+            out.append(f"q_chk({off}, a, {size}, {bool(il)}, {mi})")
+        elif e == R.E_QSET:
+            _, off, size, il, mi = ev
+            out.append(f"q_set({off}, a, {size}, {bool(il)}, {mi})")
+        elif e == R.E_ROT:
+            out.append(f"q_rot({ev[1]})")
+        elif e == R.E_AMOV:
+            out.append(f"q_amov({ev[1]}, {ev[2]})")
+        elif e == R.E_ACHK:
+            _, size, il, mi = ev
+            env["EMPTY_TARGETS"] = _EMPTY_TARGETS
+            out.append(
+                f"al_sc(a, {size}, {bool(il)}, {mi}, "
+                f"req_get({mi}, EMPTY_TARGETS))"
+            )
+        elif e == R.E_AINS:
+            _, mi, size, il = ev
+            out.append(f"al_al({mi}, a, {size}, {bool(il)})")
+        elif e == R.E_BCHK:
+            _, mask, size, il, mi = ev
+            out.append(f"bf_chk({mask}, a, {size}, {bool(il)}, {mi})")
+        elif e == R.E_BSET:
+            _, idx, size, il, mi = ev
+            out.append(f"bf_set({idx}, a, {size}, {bool(il)}, {mi})")
+        else:  # E_DYN
+            kind, obj = ir.dyn[ev[1]]
+            name = f"I{k}"
+            env[name] = obj
+            if kind == "mem":
+                out.append(f"on_mem_op({name}, a)")
+            elif kind == "rot":
+                out.append(f"on_rotate({name})")
+            else:
+                out.append(f"on_amov({name})")
+    return out
+
+
+def compile_py(ir: R.ReplayIR) -> Callable:
+    """Generate the straight-line ``py`` replay function from the IR.
+
+    The generated function performs exactly the per-entry effects of the
+    planned dispatch loop in
+    :meth:`repro.sim.vliw.VliwSimulator._execute_planned` and returns
+    ``(idx, exit_kind, payload)`` where ``payload`` is the side-exit /
+    commit target pc, the program exit code, or the caught
+    :class:`~repro.hw.exceptions.AliasException`; ``idx`` is the index of
+    the last op whose effect ran (the replay signature's exit index).
+    Out-of-bounds accesses delegate to ``mcheck`` so the raised
+    :class:`~repro.sim.memory.MemoryFault` is byte-identical to the
+    accessor path's.
+    """
+    env: dict = {"A": AliasException, "ifb": int.from_bytes}
+    lines: List[str] = [
+        "def _replay(regs, data, msize, mcheck, ad, undo_append):",
+    ]
+    emit = lines.append
+    for stmt in _prologue(ir):
+        emit(f"    {stmt}")
+    emit("    i = -1")
+    emit("    try:")
+    pad = "        "
+
+    def emit_wrap(dest: int, expr: str) -> None:
+        emit(f"{pad}w = ({expr}) & {_MASK64}")
+        emit(f"{pad}regs[{dest}] = w - {_TOP} if w >= {_HIGH} else w")
+
+    for k, op in enumerate(ir.ops):
+        t = op[0]
+        if t == R.OP_ALU:
+            _, kind, d, a, b, imm = op
+            if kind == R.A_MOVI:
+                emit(f"{pad}regs[{d}] = {imm}")
+            elif kind == R.A_MOV:
+                emit(f"{pad}regs[{d}] = regs[{a}]")
+            elif kind == R.A_ADDI:
+                emit_wrap(d, f"regs[{a}] + {imm}")
+            elif kind == R.A_ADD:
+                emit_wrap(d, f"regs[{a}] + regs[{b}]")
+            elif kind == R.A_SUB:
+                emit_wrap(d, f"regs[{a}] - regs[{b}]")
+            elif kind == R.A_MUL:
+                emit_wrap(d, f"regs[{a}] * regs[{b}]")
+            elif kind == R.A_AND:
+                emit(f"{pad}regs[{d}] = regs[{a}] & regs[{b}]")
+            elif kind == R.A_OR:
+                emit(f"{pad}regs[{d}] = regs[{a}] | regs[{b}]")
+            elif kind == R.A_XOR:
+                emit(f"{pad}regs[{d}] = regs[{a}] ^ regs[{b}]")
+            elif kind == R.A_SHL:
+                emit_wrap(d, f"regs[{a}] << (regs[{b}] & 63)")
+            elif kind == R.A_SHR:
+                emit(
+                    f"{pad}regs[{d}] = (regs[{a}] & {_MASK64}) >> "
+                    f"(regs[{b}] & 63)"
+                )
+            elif kind == R.A_CMP:
+                emit(f"{pad}av = regs[{a}]")
+                emit(f"{pad}bv = regs[{b}]")
+                emit(f"{pad}regs[{d}] = (av > bv) - (av < bv)")
+            elif kind == R.A_FDIV:
+                emit(f"{pad}bv = regs[{b}]")
+                emit(f"{pad}regs[{d}] = regs[{a}] // bv if bv else 0")
+            elif kind == R.A_FMA:
+                emit_wrap(d, f"regs[{d}] + regs[{a}] * regs[{b}]")
+            else:  # A_DYN: raising closure, error timing preserved
+                env[f"f{k}"] = ir.dyn[d][1]
+                emit(f"{pad}f{k}(regs)")
+        elif t == R.OP_LD:
+            _, dreg, base, disp, size, evt = op
+            addr = f"regs[{base}] + {disp}" if disp else f"regs[{base}]"
+            emit(f"{pad}a = {addr}")
+            if evt is not None:
+                stmts = _event_stmts(ir, evt, k, env)
+                if stmts:
+                    emit(f"{pad}i = {k}")
+                    for stmt in stmts:
+                        emit(f"{pad}{stmt}")
+            emit(f"{pad}if a < 0 or a + {size} > msize: mcheck(a, {size})")
+            emit(f"{pad}regs[{dreg}] = ifb(data[a:a + {size}], 'little')")
+        elif t == R.OP_ST:
+            _, sreg, base, disp, size, evt = op
+            addr = f"regs[{base}] + {disp}" if disp else f"regs[{base}]"
+            emit(f"{pad}a = {addr}")
+            if evt is not None:
+                stmts = _event_stmts(ir, evt, k, env)
+                if stmts:
+                    emit(f"{pad}i = {k}")
+                    for stmt in stmts:
+                        emit(f"{pad}{stmt}")
+            emit(f"{pad}if a < 0 or a + {size} > msize: mcheck(a, {size})")
+            emit(f"{pad}undo_append((a, bytes(data[a:a + {size}])))")
+            mask = (1 << (8 * size)) - 1
+            emit(
+                f"{pad}data[a:a + {size}] = "
+                f"(regs[{sreg}] & {mask}).to_bytes({size}, 'little')"
+            )
+        elif t == R.OP_CBR:
+            _, code, a, b, pay = op
+            cmp_op = ("==", "!=", "<", ">=")[code]
+            rhs = f"regs[{b}]" if b is not None else "0"
+            emit(f"{pad}if regs[{a}] {cmp_op} {rhs}:")
+            emit(f"{pad}    return ({k}, {R.X_SIDE}, {ir.payloads[pay]!r})")
+        elif t == R.OP_BR:
+            emit(f"{pad}return ({k}, {R.X_BR}, {ir.payloads[op[1]]!r})")
+        elif t == R.OP_EXIT:
+            emit(f"{pad}return ({k}, {R.X_EXIT}, {ir.payloads[op[1]]!r})")
+        elif t == R.OP_EVT:
+            if op[1] is not None:
+                for stmt in _event_stmts(ir, op[1], k, env):
+                    emit(f"{pad}{stmt}")
+        # OP_NOP: no functional effect (timing plan accounts its slot)
+    emit(f"{pad}return ({len(ir.ops) - 1}, {R.X_FALL}, None)")
+    emit("    except A as e:")
+    emit(f"        return (i, {R.X_ALIAS}, e)")
+    exec(compile("\n".join(lines), "<vliw-replay-py>", "exec"), env)
+    return env["_replay"]  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# vec backend
+# ----------------------------------------------------------------------
+class _StaticHw:
+    """Compile-time simulation of one adapter family's alias hardware.
+
+    Every operand of the queue / ALAT / bit-mask models except the
+    access *addresses* is trace-static, so entry liveness, scan lengths,
+    rotation, eviction and the full stat stream can be resolved at
+    compile time. The one runtime residue is pairwise address overlap;
+    :meth:`check` returns the (address-local, size) pairs each check must
+    test, and the kernel falls back when any test fires (the ``py`` tier
+    then reproduces the exact exception, ordering and partial stats).
+    """
+
+    __slots__ = ("family", "stats", "entries", "orders", "base", "limit",
+                 "max_live")
+
+    def __init__(self, family: str, limit: int) -> None:
+        self.family = family
+        self.limit = limit
+        self.stats = {}
+        self.entries = {}  # key -> (addr_local, size, is_load)
+        self.orders: List[int] = []  # sorted keys (queue orders/ALAT keys)
+        self.base = 0
+        self.max_live = 0
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        self.stats[name] = self.stats.get(name, 0) + n
+
+    # -- queue ---------------------------------------------------------
+    def q_set(self, off: int, addr: str, size: int, il: int) -> bool:
+        if off < 0 or off >= self.limit or size <= 0:
+            return False
+        order = self.base + off
+        if order not in self.entries:
+            self.orders.append(order)
+            self.orders.sort()
+        self.entries[order] = (addr, size, il)
+        self._bump("sets")
+        if len(self.entries) > self.max_live:
+            self.max_live = len(self.entries)
+        return True
+
+    def q_check(self, off: int, size: int, il: int):
+        if off < 0 or off >= self.limit or size <= 0:
+            return None
+        own = self.base + off
+        pairs = []
+        for order in self.orders:
+            if order < own:
+                continue
+            e_addr, e_size, e_il = self.entries[order]
+            if il and e_il:
+                continue
+            pairs.append((e_addr, e_size))
+        self._bump("comparisons", len(pairs))
+        self._bump("checks")
+        return pairs
+
+    def q_rotate(self, amount: int) -> bool:
+        if amount < 0:
+            return False
+        new_base = self.base + amount
+        self.orders = [o for o in self.orders if o >= new_base]
+        self.entries = {
+            o: e for o, e in self.entries.items() if o >= new_base
+        }
+        self.base = new_base
+        self._bump("rotations")
+        self._bump("rotated_registers", amount)
+        return True
+
+    def q_amov(self, src: int, dst: int) -> bool:
+        if not (0 <= src < self.limit and 0 <= dst < self.limit):
+            return False
+        src_order = self.base + src
+        entry = self.entries.pop(src_order, None)
+        if entry is not None:
+            self.orders.remove(src_order)
+            if src != dst:
+                dst_order = self.base + dst
+                if dst_order not in self.entries:
+                    self.orders.append(dst_order)
+                    self.orders.sort()
+                self.entries[dst_order] = entry
+        self._bump("amovs")
+        return True
+
+    # -- ALAT ----------------------------------------------------------
+    def alat_insert(self, mem_index: int, addr: str, size: int,
+                    il: int) -> bool:
+        if size <= 0:
+            return False
+        if len(self.entries) >= self.limit:
+            oldest = self.orders.pop(0)
+            del self.entries[oldest]
+        if mem_index not in self.entries:
+            self.orders.append(mem_index)
+            self.orders.sort()
+        self.entries[mem_index] = (addr, size, il)
+        self._bump("inserts")
+        return True
+
+    def alat_store_check(self, size: int):
+        if size <= 0:
+            return None
+        pairs = [
+            (self.entries[key][0], self.entries[key][1])
+            for key in self.orders
+        ]
+        self._bump("store_checks")
+        self._bump("comparisons", len(pairs))
+        return pairs
+
+    # -- bit-mask file -------------------------------------------------
+    def bm_set(self, index: int, addr: str, size: int, il: int) -> bool:
+        if not 0 <= index < self.limit or size <= 0:
+            return False
+        self.entries[index] = (addr, size, il)
+        self._bump("sets")
+        return True
+
+    def bm_check(self, mask: int, size: int):
+        if size <= 0 or mask < 0 or mask >= (1 << self.limit):
+            return None
+        pairs = []
+        for index in range(self.limit):
+            if mask & (1 << index) and index in self.entries:
+                e_addr, e_size, _e_il = self.entries[index]
+                pairs.append((e_addr, e_size))
+        self._bump("checks")
+        self._bump("comparisons", len(pairs))
+        return pairs
+
+
+#: stat attribute emission order per hardware family (matches the
+#: dataclass fields the models expose; ``max_live`` is handled apart)
+_STAT_TARGETS = {
+    "queue": ("ad.queue.stats",
+              ("sets", "checks", "comparisons", "rotations",
+               "rotated_registers", "amovs")),
+    "alat": ("ad.alat.stats", ("inserts", "store_checks", "comparisons")),
+    "bitmask": ("ad.file.stats", ("sets", "checks", "comparisons")),
+}
+
+
+def _hw_family(ir: R.ReplayIR):
+    kinds = set()
+    for grp in ir.events:
+        for ev in grp:
+            kinds.add(ev[0])
+    if R.E_DYN in kinds:
+        return "dyn"
+    if kinds & R.QUEUE_EVENTS:
+        return "queue"
+    if kinds & R.ALAT_EVENTS:
+        return "alat"
+    if kinds & R.BITMASK_EVENTS:
+        return "bitmask"
+    return None
+
+
+#: ALU kinds whose result is emitted via the signed 64-bit wrap
+_WRAP_KINDS = frozenset(
+    (R.A_ADDI, R.A_ADD, R.A_SUB, R.A_MUL, R.A_SHL, R.A_FMA)
+)
+
+
+def _defer_wraps(ir: R.ReplayIR):
+    """Op indices whose ALU wrap may be deferred to the consumer.
+
+    The signed wrap is congruence-preserving (mod 2**64), so a wrapped
+    def whose every use is *wrap-transparent* — an operand of another
+    wrapped op, a shift amount or shifted value (only the low bits
+    matter), or a memory address/store value (masked at the access) —
+    can stay as the raw Python int and let each consumer normalize.
+    Opaque uses (signed compares, bitwise ops on the raw mixed-sign
+    representation, floor division, plain moves) force the wrap at the
+    def so the interp tier's exact value representation is reproduced.
+    Commit-time register writeback of a deferred value wraps at the exit
+    site instead (executed once per region, not once per def).
+    """
+    live = {}  # reg -> candidate wrap-def op index
+    wraps = set()
+    bad = set()
+
+    def u(reg, transparent=True):
+        if reg is None or transparent:
+            return
+        k0 = live.get(reg)
+        if k0 is not None:
+            bad.add(k0)
+
+    for k, op in enumerate(ir.ops):
+        t = op[0]
+        if t == R.OP_ALU:
+            _, kind, d, a, b, _imm = op
+            if kind == R.A_MOV:
+                u(a, False)
+            elif kind == R.A_ADDI:
+                u(a)
+            elif kind in (R.A_ADD, R.A_SUB, R.A_MUL, R.A_SHL, R.A_SHR):
+                u(a)
+                u(b)
+            elif kind == R.A_FMA:
+                u(d)
+                u(a)
+                u(b)
+            elif kind != R.A_MOVI:  # AND/OR/XOR/CMP/FDIV/dyn: raw values
+                u(a, False)
+                u(b, False)
+            if kind in _WRAP_KINDS:
+                live[d] = k
+                wraps.add(k)
+            else:
+                live.pop(d, None)
+        elif t == R.OP_LD:
+            u(op[2])  # base: masked at the access
+            live.pop(op[1], None)  # loaded value is canonical unsigned
+        elif t == R.OP_ST:
+            u(op[1])  # store value: masked at the access
+            u(op[2])
+        elif t == R.OP_CBR:
+            u(op[2], False)  # signed compare sees the exact value
+            if op[3] is not None:
+                u(op[3], False)
+    return wraps - bad
+
+
+def _max_sweep(ir: R.ReplayIR, family: str, limit: int) -> int:
+    """Largest pair-sweep any check in ``ir`` will emit (dry run of the
+    static hardware simulation; addresses are irrelevant to the count).
+    Also returns 0 if any tracked access is wider than 8 bytes, which
+    the bloom prefilter's two-bucket probes cannot cover."""
+    hw = _StaticHw(family, limit)
+    widest = 0
+    biggest = 0
+    for k, op in enumerate(ir.ops):
+        t = op[0]
+        if t == R.OP_LD or t == R.OP_ST:
+            evt = op[5]
+        elif t == R.OP_EVT:
+            evt = op[1]
+        else:
+            continue
+        if evt is None:
+            continue
+        for ev in ir.events[evt]:
+            e = ev[0]
+            pairs = None
+            if e == R.E_QCHK:
+                pairs = hw.q_check(ev[1], ev[2], ev[3])
+                widest = max(widest, ev[2])
+            elif e == R.E_QSET:
+                hw.q_set(ev[1], f"a{k}", ev[2], ev[3])
+                widest = max(widest, ev[2])
+            elif e == R.E_ROT:
+                hw.q_rotate(ev[1])
+            elif e == R.E_AMOV:
+                hw.q_amov(ev[1], ev[2])
+            elif e == R.E_ACHK:
+                pairs = hw.alat_store_check(ev[1])
+                widest = max(widest, ev[1])
+            elif e == R.E_AINS:
+                hw.alat_insert(ev[1], f"a{k}", ev[2], ev[3])
+                widest = max(widest, ev[2])
+            elif e == R.E_BCHK:
+                pairs = hw.bm_check(ev[1], ev[2])
+                widest = max(widest, ev[2])
+            elif e == R.E_BSET:
+                hw.bm_set(ev[1], f"a{k}", ev[2], ev[3])
+                widest = max(widest, ev[2])
+            if pairs:
+                biggest = max(biggest, len(pairs))
+    return 0 if widest > 8 else biggest
+
+
+#: pair count at/above which a sweep hides behind the bloom prefilter
+_BLOOM_SWEEP_MIN = 4
+
+
+def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
+    """Compile the vectorized kernel for one lowered trace.
+
+    Returns ``None`` when the trace cannot be statically lowered: a
+    dynamic escape (unknown adapter/opcode), a hardware operand the
+    static model rejects (the ``py`` tier then reproduces the model's
+    runtime error exactly), or a pair of accesses that provably always
+    overlap (the trace would fall back on every execution anyway).
+    Otherwise returns ``(fn, exit_fps)``: the kernel, with signature
+    ``(regs, data, msize, ad, undo_append)``, and a dict mapping each
+    ``(exit_idx, exit_kind)`` to the adapter event fingerprint of a
+    clean execution reaching that exit — precomputed so the caller can
+    skip the adapter's region-enter/exit bookkeeping entirely on this
+    tier. ``regs`` is the *guest* register file itself — scratch
+    registers live entirely in locals and guest registers are written
+    back only on commit-kind exits, so an abort or :data:`FALLBACK`
+    leaves it untouched (memory writes are undo-logged exactly like the
+    ``py`` tier and rolled back by the caller).
+    """
+    if ir.dyn:
+        return None
+    family = _hw_family(ir)
+    if family == "dyn":
+        return None
+    if family == "queue":
+        limit = adapter.queue.num_registers
+    elif family == "alat":
+        limit = adapter.alat.num_entries
+    elif family == "bitmask":
+        limit = adapter.file.num_registers
+    else:
+        limit = 0
+    hw = _StaticHw(family, limit) if family else None
+    # Bloom prefilter over 8-byte granules: when any sweep is long, every
+    # tracked set also ORs its two bucket bits into ``_bm`` and long
+    # sweeps probe their buckets first — disjoint accesses (the common
+    # case) skip the whole pairwise or-chain. Sound because an overlap
+    # implies a shared byte, whose granule is among the two buckets of
+    # both accesses (all tracked accesses are <= 8 bytes wide here).
+    bloom = (
+        hw is not None
+        and _max_sweep(ir, family, limit) >= _BLOOM_SWEEP_MIN
+    )
+
+    env: dict = {"ifb": int.from_bytes, "u64": _U64.unpack_from,
+                 "p64": _U64.pack_into, "_FB": FALLBACK}
+    defer_ok = _defer_wraps(ir)
+    lines: List[str] = [
+        # default args bind the helpers as locals (LOAD_FAST, not
+        # LOAD_GLOBAL, on every use); callers pass only the first five
+        "def _replay_vec(regs, data, msize, ad, undo_append, "
+        "u64=u64, p64=p64, ifb=ifb, _FB=_FB):",
+    ]
+    emit = lines.append
+    pad = "    "
+
+    bound = set()  # registers with a live local
+    written: List[int] = []  # registers written, in first-write order
+    written_set = set()
+    version: dict = {}  # register -> def count (symbolic address identity)
+    syms: dict = {}  # address local -> (base reg, base version, disp)
+    rsym: dict = {}  # (base reg, base version, disp) -> address local
+    asizes = set()  # (address local, size) pairs already bounds-guarded
+    guards = set()  # access sizes with a hoisted bounds-limit local
+    deferred_now = set()  # regs whose current local holds a raw (unwrapped) value
+    cse: dict = {}  # value-number key -> (reg, version at def, raw?)
+
+    def use(reg: int) -> str:
+        name = f"r{reg}"
+        if reg not in bound:
+            if reg < guest_count:
+                emit(f"{pad}{name} = regs[{reg}]")
+            else:
+                emit(f"{pad}{name} = 0")
+            bound.add(reg)
+        return name
+
+    def define(reg: int) -> str:
+        if reg not in written_set:
+            written_set.add(reg)
+            written.append(reg)
+        bound.add(reg)
+        deferred_now.discard(reg)
+        version[reg] = version.get(reg, 0) + 1
+        return f"r{reg}"
+
+    def emit_wrap(dest: int, expr: str) -> None:
+        # branchless signed wrap: ((v + 2**63) mod 2**64) - 2**63
+        name = define(dest)
+        emit(f"{pad}{name} = (({expr}) + {_HIGH} & {_MASK64}) - {_HIGH}")
+
+    def alu_op(k: int, kind: int, d: int, a, b, imm) -> None:
+        """One ALU op: value-numbered (a repeat of a still-valid pure
+        expression becomes a local copy) and wrap-deferred where
+        :func:`_defer_wraps` proved every use normalizes anyway."""
+        want_defer = k in defer_ok
+        key = None
+        if kind not in (R.A_MOVI, R.A_MOV, R.A_FMA):
+            key = (kind, a, version.get(a, 0), b,
+                   version.get(b, 0) if b is not None else None, imm)
+            hit = cse.get(key)
+            if hit is not None:
+                s_reg, s_ver, s_raw = hit
+                if version.get(s_reg, 0) == s_ver:
+                    sname = f"r{s_reg}"
+                    name = define(d)
+                    if s_raw and not want_defer:
+                        emit(f"{pad}{name} = ({sname} + {_HIGH} "
+                             f"& {_MASK64}) - {_HIGH}")
+                        s_raw = False
+                    elif name != sname:
+                        emit(f"{pad}{name} = {sname}")
+                    if s_raw:
+                        deferred_now.add(d)
+                    cse[key] = (d, version[d], s_raw)
+                    return
+        if kind == R.A_MOVI:
+            emit(f"{pad}{define(d)} = {imm}")
+        elif kind == R.A_MOV:
+            src = use(a)
+            emit(f"{pad}{define(d)} = {src}")
+        else:
+            wrapped = kind in _WRAP_KINDS
+            if kind == R.A_ADDI:
+                expr = f"{use(a)} + {imm}"
+            elif kind == R.A_ADD:
+                expr = f"{use(a)} + {use(b)}"
+            elif kind == R.A_SUB:
+                expr = f"{use(a)} - {use(b)}"
+            elif kind == R.A_MUL:
+                expr = f"{use(a)} * {use(b)}"
+            elif kind == R.A_AND:
+                expr = f"{use(a)} & {use(b)}"
+            elif kind == R.A_OR:
+                expr = f"{use(a)} | {use(b)}"
+            elif kind == R.A_XOR:
+                expr = f"{use(a)} ^ {use(b)}"
+            elif kind == R.A_SHL:
+                expr = f"{use(a)} << ({use(b)} & 63)"
+            elif kind == R.A_SHR:
+                expr = f"({use(a)} & {_MASK64}) >> ({use(b)} & 63)"
+            elif kind == R.A_CMP:
+                av, bv = use(a), use(b)
+                expr = f"({av} > {bv}) - ({av} < {bv})"
+            elif kind == R.A_FDIV:
+                av, bv = use(a), use(b)
+                expr = f"{av} // {bv} if {bv} else 0"
+            else:  # A_FMA
+                expr = f"{use(d)} + {use(a)} * {use(b)}"
+            if wrapped and want_defer:
+                name = define(d)
+                emit(f"{pad}{name} = {expr}")
+                deferred_now.add(d)
+            elif wrapped:
+                emit_wrap(d, expr)
+            else:
+                emit(f"{pad}{define(d)} = {expr}")
+        if key is not None:
+            cse[key] = (d, version[d], d in deferred_now)
+
+    def emit_addr(k: int, base: int, disp: int, size: int) -> str:
+        """Bounds-guarded access address for op ``k``.
+
+        Pre-masking folds the negative-address case into the upper-bound
+        compare (a negative or wrapped address masks to a huge value):
+        one comparison per access instead of two.
+        """
+        keyt = (base, version.get(base, 0), disp)
+        addr = rsym.get(keyt)
+        if addr is not None:
+            if (addr, size) not in asizes:
+                asizes.add((addr, size))
+                if size not in guards:
+                    guards.add(size)
+                    emit(f"{pad}mlim{size} = msize - {size}")
+                emit(f"{pad}if {addr} > mlim{size}: return _FB")
+            return addr
+        bname = use(base)
+        addr = f"a{k}"
+        syms[addr] = keyt
+        rsym[keyt] = addr
+        asizes.add((addr, size))
+        if size not in guards:
+            guards.add(size)
+            emit(f"{pad}mlim{size} = msize - {size}")
+        if disp:
+            emit(f"{pad}{addr} = {bname} + {disp} & {_MASK64}")
+        else:
+            emit(f"{pad}{addr} = {bname} & {_MASK64}")
+        emit(f"{pad}if {addr} > mlim{size}: return _FB")
+        return addr
+
+    if bloom:
+        emit(f"{pad}_bm = 0")
+
+    def bloom_add(addr: str, size: int) -> None:
+        if not bloom:
+            return
+        lo = f"1 << ({addr} >> 3 & 255)"
+        if size > 1:
+            emit(f"{pad}_bm |= {lo} | 1 << ({addr} + {size - 1} >> 3 & 255)")
+        else:
+            emit(f"{pad}_bm |= {lo}")
+
+    def emit_sweep(addr: str, size: int, pairs) -> bool:
+        """Alias pair tests for one check; any runtime overlap falls
+        back. Pairs whose addresses share a base register resolve
+        statically: disjoint displacements drop the test, an unavoidable
+        overlap rejects vectorization (returns False)."""
+        own = syms.get(addr)
+        tests = []
+        for p_addr, p_size in pairs:
+            p_sym = syms.get(p_addr)
+            if (
+                own is not None
+                and p_sym is not None
+                and own[0] == p_sym[0]
+                and own[1] == p_sym[1]
+            ):
+                d_own, d_p = own[2], p_sym[2]
+                if d_own < d_p + p_size and d_p < d_own + size:
+                    return False  # certain overlap: every run would FB
+                continue  # certain disjoint: no runtime test needed
+            tests.append(
+                f"({p_addr} < {addr} + {size} and {addr} < {p_addr} + {p_size})"
+            )
+        if not tests:
+            return True
+        chain = " or ".join(tests)
+        if bloom and len(tests) >= _BLOOM_SWEEP_MIN:
+            probe = f"_bm >> ({addr} >> 3 & 255) & 1"
+            if size > 1:
+                probe += f" or _bm >> ({addr} + {size - 1} >> 3 & 255) & 1"
+            emit(f"{pad}if {probe}:")
+            emit(f"{pad}    if {chain}: return _FB")
+        else:
+            emit(f"{pad}if {chain}: return _FB")
+        return True
+
+    def emit_events(evt: Optional[int], addr: str) -> bool:
+        """Statically apply one op's events; False aborts vectorization."""
+        if evt is None:
+            return True
+        for ev in ir.events[evt]:
+            e = ev[0]
+            if e == R.E_QCHK:
+                _, off, size, il, _mi = ev
+                pairs = hw.q_check(off, size, il)
+                if pairs is None or not emit_sweep(addr, size, pairs):
+                    return False
+            elif e == R.E_QSET:
+                _, off, size, il, _mi = ev
+                if not hw.q_set(off, addr, size, il):
+                    return False
+                bloom_add(addr, size)
+            elif e == R.E_ROT:
+                if not hw.q_rotate(ev[1]):
+                    return False
+            elif e == R.E_AMOV:
+                if not hw.q_amov(ev[1], ev[2]):
+                    return False
+            elif e == R.E_ACHK:
+                _, size, _il, _mi = ev
+                pairs = hw.alat_store_check(size)
+                if pairs is None or not emit_sweep(addr, size, pairs):
+                    return False
+            elif e == R.E_AINS:
+                _, mi, size, il = ev
+                if not hw.alat_insert(mi, addr, size, il):
+                    return False
+                bloom_add(addr, size)
+            elif e == R.E_BCHK:
+                _, mask, size, il, _mi = ev
+                pairs = hw.bm_check(mask, size)
+                if pairs is None or not emit_sweep(addr, size, pairs):
+                    return False
+            elif e == R.E_BSET:
+                _, idx, size, il, _mi = ev
+                if not hw.bm_set(idx, addr, size, il):
+                    return False
+                bloom_add(addr, size)
+            else:  # E_DYN: unreachable (ir.dyn rejected above)
+                return False
+        return True
+
+    # fingerprint of a clean execution, in each adapter family's
+    # event_fingerprint() component order (exception components are 0 by
+    # construction: the kernel falls back instead of raising)
+    if hw is not None:
+        def fp_now():
+            s = hw.stats
+            if family == "queue":
+                return (s.get("sets", 0), s.get("checks", 0),
+                        s.get("rotations", 0), s.get("rotated_registers", 0),
+                        s.get("amovs", 0), 0)
+            if family == "alat":
+                return (s.get("inserts", 0), s.get("store_checks", 0), 0, 0)
+            return (s.get("sets", 0), s.get("checks", 0), 0)
+    else:
+        # no hardware events anywhere in the trace: replicate the
+        # adapter's zero-delta fingerprint shape
+        shape = adapter.event_fingerprint()
+        zero_fp = (0,) * len(shape) if isinstance(shape, tuple) else 0
+
+        def fp_now():
+            return zero_fp
+
+    exit_fps: dict = {}
+
+    def exit_lines(k: int, xkind: int, payload, commit: bool,
+                   indent: str) -> List[str]:
+        exit_fps[(k, xkind)] = fp_now()
+        out: List[str] = []
+        if hw is not None and hw.stats:
+            target, fields = _STAT_TARGETS[family]
+            out.append(f"{indent}_hs = {target}")
+            for name in fields:
+                n = hw.stats.get(name, 0)
+                if n:
+                    out.append(f"{indent}_hs.{name} += {n}")
+            if family == "queue" and hw.max_live:
+                out.append(
+                    f"{indent}if _hs.max_live < {hw.max_live}: "
+                    f"_hs.max_live = {hw.max_live}"
+                )
+        if commit:
+            for reg in written:
+                if reg < guest_count:
+                    if reg in deferred_now:
+                        out.append(
+                            f"{indent}regs[{reg}] = (r{reg} + {_HIGH} "
+                            f"& {_MASK64}) - {_HIGH}"
+                        )
+                    else:
+                        out.append(f"{indent}regs[{reg}] = r{reg}")
+        out.append(f"{indent}return ({k}, {xkind}, {payload!r})")
+        return out
+
+    for k, op in enumerate(ir.ops):
+        t = op[0]
+        if t == R.OP_ALU:
+            if op[1] == R.A_DYN:  # unreachable (ir.dyn rejected above)
+                return None
+            alu_op(k, op[1], op[2], op[3], op[4], op[5])
+        elif t == R.OP_LD or t == R.OP_ST:
+            _, vreg, base, disp, size, evt = op
+            addr = emit_addr(k, base, disp, size)
+            if not emit_events(evt, addr):
+                return None
+            if t == R.OP_LD:
+                name = define(vreg)
+                if size == 8:
+                    emit(f"{pad}{name} = u64(data, {addr})[0]")
+                else:
+                    emit(
+                        f"{pad}{name} = "
+                        f"ifb(data[{addr}:{addr} + {size}], 'little')"
+                    )
+            else:
+                sname = use(vreg)
+                mask = (1 << (8 * size)) - 1
+                emit(
+                    f"{pad}undo_append(({addr}, "
+                    f"data[{addr}:{addr} + {size}]))"
+                )
+                if size == 8:
+                    emit(f"{pad}p64(data, {addr}, {sname} & {mask})")
+                else:
+                    emit(
+                        f"{pad}data[{addr}:{addr} + {size}] = "
+                        f"({sname} & {mask}).to_bytes({size}, 'little')"
+                    )
+        elif t == R.OP_CBR:
+            _, code, a, b, pay = op
+            cmp_op = ("==", "!=", "<", ">=")[code]
+            lhs = use(a)
+            rhs = use(b) if b is not None else "0"
+            emit(f"{pad}if {lhs} {cmp_op} {rhs}:")
+            for line in exit_lines(k, R.X_SIDE, ir.payloads[pay],
+                                   commit=False, indent=pad + "    "):
+                emit(line)
+        elif t == R.OP_BR:
+            for line in exit_lines(k, R.X_BR, ir.payloads[op[1]],
+                                   commit=True, indent=pad):
+                emit(line)
+        elif t == R.OP_EXIT:
+            for line in exit_lines(k, R.X_EXIT, ir.payloads[op[1]],
+                                   commit=True, indent=pad):
+                emit(line)
+        elif t == R.OP_EVT:
+            if not emit_events(op[1], "0"):
+                return None
+        # OP_NOP: no functional effect
+    for line in exit_lines(len(ir.ops) - 1, R.X_FALL, None, commit=True,
+                           indent=pad):
+        emit(line)
+    exec(compile("\n".join(lines), "<vliw-replay-vec>", "exec"), env)
+    return env["_replay_vec"], exit_fps
+
+
+# ----------------------------------------------------------------------
+# process-wide replay artifact cache
+# ----------------------------------------------------------------------
+class ReplayArtifact:
+    """Shareable replay code for one (trace content, hardware) identity.
+
+    Holds everything that is a pure function of the lowered trace: the
+    numeric IR and the compiled ``py``/``vec`` kernels. Timing plans
+    (signature memos, execution counts) are per-region and never live
+    here. ``vec_state``: 0 untried, 1 compiled, -1 unavailable/disabled
+    (non-lowerable trace, or demoted after repeated fallbacks).
+    """
+
+    __slots__ = ("ir", "py_fn", "vec_fn", "vec_fps", "vec_state",
+                 "vec_fallbacks", "vec_guest_count")
+
+    def __init__(self) -> None:
+        self.ir: Optional[R.ReplayIR] = None
+        self.py_fn: Optional[Callable] = None
+        self.vec_fn: Optional[Callable] = None
+        self.vec_fps: Optional[dict] = None
+        self.vec_state = 0
+        self.vec_fallbacks = 0
+        self.vec_guest_count = 0
+
+
+#: vec kernels falling back this many times are demoted to the py tier
+VEC_FALLBACK_LIMIT = 4
+
+_CACHE_LIMIT = 256
+_artifacts: "OrderedDict[Tuple, ReplayArtifact]" = OrderedDict()
+
+
+def artifact_for(key: Tuple) -> ReplayArtifact:
+    """The shared artifact for ``key``, creating (and LRU-evicting) as
+    needed. ``key`` must fold in everything replay code depends on:
+    the region's translation key (content, optimizer config, machine,
+    alias hints/bans), the adapter class, and the adapter instance's
+    ``replay_config_key()``."""
+    art = _artifacts.get(key)
+    if art is not None:
+        _artifacts.move_to_end(key)
+        return art
+    art = ReplayArtifact()
+    _artifacts[key] = art
+    if len(_artifacts) > _CACHE_LIMIT:
+        _artifacts.popitem(last=False)
+    return art
+
+
+def invalidate_artifacts(replay_key) -> int:
+    """Drop every cached artifact lowered from ``replay_key`` (region
+    re-optimized or blacklisted). Returns the number dropped."""
+    stale = [k for k in _artifacts if k[0] == replay_key]
+    for k in stale:
+        del _artifacts[k]
+    return len(stale)
+
+
+def reset_artifact_cache() -> None:
+    """Clear the cache (tests)."""
+    _artifacts.clear()

@@ -1,0 +1,275 @@
+"""Numeric replay IR — the lowered form every replay backend consumes.
+
+A hot region's compiled trace (see :func:`repro.sim.vliw._compile_trace`)
+is lowered **once** into a flat, int-coded program: a list of op tuples
+positionally parallel to the trace, plus three side tables (adapter event
+groups, branch/exit payloads, and — only when an adapter or opcode cannot
+be lowered statically — dynamic escapes holding live objects). Backends
+never look at :class:`~repro.ir.instruction.Instruction` objects again:
+
+* the ``py`` backend (:func:`repro.sim.replay_backends.compile_py`)
+  emits today's straight-line replay function from the IR;
+* the ``vec`` backend (:func:`repro.sim.replay_backends.compile_vec`)
+  statically simulates the alias hardware over the IR's event stream and
+  compiles the residue — register locals, guarded address computations,
+  bloom-prefiltered alias pair sweeps — into a kernel that falls back to
+  the ``py`` tier whenever a runtime fact (bounds violation, possible
+  alias overlap) escapes the static model;
+* the ``interp`` tier keeps using the trace directly (it is the oracle).
+
+The IR is serializable (:meth:`ReplayIR.to_payload` /
+:func:`ReplayIR.from_payload`) exactly when it contains no dynamic
+escapes; ``None`` operand slots are encoded as ``-1`` (no legal operand
+is negative) and payload entries keep ``None`` as-is (they may be
+legitimately absent exit codes).
+
+Exit kinds (shared with the simulator's replay signatures) live here so
+the backends and :mod:`repro.sim.vliw` agree on one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.instruction import Instruction, Opcode
+
+# -- replay exit kinds (the signature vocabulary) -----------------------
+X_FALL = 0  # ran off the end of the trace
+X_SIDE = 1  # taken conditional branch (side exit)
+X_BR = 2  # unconditional region exit (commit)
+X_EXIT = 3  # program exit
+X_ALIAS = 4  # alias exception during a functional effect
+
+# -- op codes -----------------------------------------------------------
+OP_ALU = 0  # (OP_ALU, alu_kind, dest, a, b, imm)
+OP_LD = 1  # (OP_LD, dest, base, disp, size, evt)
+OP_ST = 2  # (OP_ST, src, base, disp, size, evt)
+OP_CBR = 3  # (OP_CBR, cc, a, b, pay)      cc: 0 == / 1 != / 2 < / 3 >=
+OP_BR = 4  # (OP_BR, pay)
+OP_EXIT = 5  # (OP_EXIT, pay)
+OP_EVT = 6  # (OP_EVT, evt)                 rotate/AMOV bookkeeping
+OP_NOP = 7  # (OP_NOP,)
+
+# -- ALU kinds ----------------------------------------------------------
+(
+    A_MOVI,  # dest = imm
+    A_MOV,  # dest = a
+    A_ADDI,  # dest = wrap(a + imm)   (SUB-immediate folds a negative imm)
+    A_ADD,  # dest = wrap(a + b)     (FADD shares the integer model)
+    A_SUB,  # dest = wrap(a - b)     (FSUB likewise)
+    A_MUL,  # dest = wrap(a * b)     (FMUL likewise)
+    A_AND,
+    A_OR,
+    A_XOR,
+    A_SHL,  # dest = wrap(a << (b & 63))
+    A_SHR,  # dest = (a & MASK64) >> (b & 63)
+    A_CMP,  # dest = sign(a - b)
+    A_FDIV,  # dest = a // b if b else 0
+    A_FMA,  # dest = wrap(dest + a * b)
+    A_DYN,  # unsupported opcode: dyn table holds the raising closure
+) = range(15)
+
+# -- adapter event kinds ------------------------------------------------
+# Events are grouped per op (one tuple of event tuples per annotated
+# memory op / rotate / AMOV); ``is_load`` fields are 0/1 ints.
+E_QCHK = 1  # (E_QCHK, ar_offset, size, is_load, mem_index)  queue check
+E_QSET = 2  # (E_QSET, ar_offset, size, is_load, mem_index)  queue set
+E_ROT = 3  # (E_ROT, amount)                                queue rotate
+E_AMOV = 4  # (E_AMOV, src_offset, dst_offset)               queue amov
+E_ACHK = 5  # (E_ACHK, size, is_load, mem_index)             ALAT store check
+E_AINS = 6  # (E_AINS, mem_index, size, is_load)             ALAT insert
+E_BCHK = 7  # (E_BCHK, mask, size, is_load, mem_index)       bitmask check
+E_BSET = 8  # (E_BSET, index, size, is_load, mem_index)      bitmask set
+E_DYN = 9  # (E_DYN, dyn_index)                              dynamic escape
+
+#: event kinds whose hardware family the vec backend simulates statically
+QUEUE_EVENTS = frozenset((E_QCHK, E_QSET, E_ROT, E_AMOV))
+ALAT_EVENTS = frozenset((E_ACHK, E_AINS))
+BITMASK_EVENTS = frozenset((E_BCHK, E_BSET))
+
+# trace entry kinds — mirror repro.sim.vliw's _K_* constants (kept in
+# lock step by lower_trace's consumption of the compiled trace)
+_K_ALU = 0
+_K_LD = 1
+_K_ST = 2
+_K_CBR = 3
+_K_BR = 4
+_K_EXIT = 5
+_K_ROTATE = 6
+_K_AMOV = 7
+_K_NOP = 8
+
+
+class ReplayIR:
+    """One hot trace lowered to flat numeric form.
+
+    ``ops`` is positionally parallel to the compiled trace (op ``k``
+    lowers trace entry ``k``), so backend exit indexes line up with the
+    timing plan's ``cycle_after`` array and replay signatures without
+    translation. ``events``/``payloads`` are side tables referenced by
+    index from the op tuples; ``dyn`` holds ``(kind, object)`` escapes
+    (``"alu"`` → raising closure, ``"mem"``/``"rot"``/``"amov"`` →
+    Instruction for the dynamic adapter callbacks).
+    """
+
+    __slots__ = ("ops", "events", "payloads", "dyn")
+
+    def __init__(self, ops, events, payloads, dyn) -> None:
+        self.ops: List[Tuple] = ops
+        self.events: List[Tuple[Tuple, ...]] = events
+        self.payloads: List[Optional[int]] = payloads
+        self.dyn: List[Tuple[str, object]] = dyn
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def serializable(self) -> bool:
+        """True when the IR is pure numbers (no dynamic escapes)."""
+        return not self.dyn
+
+    # -- serialization --------------------------------------------------
+    def to_payload(self) -> dict:
+        """Flat JSON-able encoding (``None`` op/event slots become -1).
+
+        Raises :class:`ValueError` when the IR carries dynamic escapes —
+        those hold live closures/Instructions and cannot round-trip.
+        """
+        if self.dyn:
+            raise ValueError(
+                "replay IR with dynamic escapes is not serializable "
+                f"({len(self.dyn)} escape(s))"
+            )
+
+        def enc(t):
+            return [-1 if v is None else int(v) for v in t]
+
+        return {
+            "version": 1,
+            "ops": [enc(op) for op in self.ops],
+            "events": [[enc(ev) for ev in grp] for grp in self.events],
+            "payloads": list(self.payloads),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReplayIR":
+        """Inverse of :meth:`to_payload` (``-1`` slots become None)."""
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unknown replay IR payload version {payload.get('version')!r}"
+            )
+
+        def dec(t):
+            return tuple(None if v == -1 else v for v in t)
+
+        return cls(
+            ops=[dec(op) for op in payload["ops"]],
+            events=[tuple(dec(ev) for ev in grp) for grp in payload["events"]],
+            payloads=list(payload["payloads"]),
+            dyn=[],
+        )
+
+
+def _lower_alu(inst: Instruction, k: int, aux, dyn) -> Tuple:
+    """Lower one ALU instruction to its IR tuple (mirrors the opcode
+    dispatch of the simulator's replay codegen / ``_execute_alu``)."""
+    op = inst.opcode
+    d = inst.dest
+    srcs = inst.srcs
+    imm = inst.imm
+    if op is Opcode.MOVI:
+        return (OP_ALU, A_MOVI, d, None, None, imm or 0)
+    if op is Opcode.MOV:
+        return (OP_ALU, A_MOV, d, srcs[0], None, None)
+    if op in (Opcode.ADD, Opcode.SUB) and imm is not None:
+        delta = imm if op is Opcode.ADD else -imm
+        return (OP_ALU, A_ADDI, d, srcs[0], None, delta)
+    if op in (Opcode.ADD, Opcode.FADD):
+        return (OP_ALU, A_ADD, d, srcs[0], srcs[1], None)
+    if op in (Opcode.SUB, Opcode.FSUB):
+        return (OP_ALU, A_SUB, d, srcs[0], srcs[1], None)
+    if op in (Opcode.MUL, Opcode.FMUL):
+        return (OP_ALU, A_MUL, d, srcs[0], srcs[1], None)
+    if op is Opcode.AND:
+        return (OP_ALU, A_AND, d, srcs[0], srcs[1], None)
+    if op is Opcode.OR:
+        return (OP_ALU, A_OR, d, srcs[0], srcs[1], None)
+    if op is Opcode.XOR:
+        return (OP_ALU, A_XOR, d, srcs[0], srcs[1], None)
+    if op is Opcode.SHL:
+        return (OP_ALU, A_SHL, d, srcs[0], srcs[1], None)
+    if op is Opcode.SHR:
+        return (OP_ALU, A_SHR, d, srcs[0], srcs[1], None)
+    if op is Opcode.CMP:
+        return (OP_ALU, A_CMP, d, srcs[0], srcs[1], None)
+    if op is Opcode.FDIV:
+        return (OP_ALU, A_FDIV, d, srcs[0], srcs[1], None)
+    if op is Opcode.FMA:
+        return (OP_ALU, A_FMA, d, srcs[0], srcs[1], None)
+    # Unsupported opcode: the trace's raising closure runs at execution
+    # time (not lowering time), preserving partial effects before it.
+    dyn.append(("alu", aux))
+    return (OP_ALU, A_DYN, len(dyn) - 1, None, None, None)
+
+
+def lower_trace(linear: List[Instruction], trace, adapter_cls) -> ReplayIR:
+    """Lower one compiled trace to numeric replay IR.
+
+    ``linear[k]`` is the instruction compiled into ``trace[k]`` (the
+    trace is positionally parallel to the linear stream). Adapter
+    interactions are lowered through the adapter class's structured
+    ``lower_*_event`` protocol (see
+    :class:`~repro.sim.schemes.HardwareAdapter`): a hook returning a
+    tuple of event tuples lowers the op statically; ``None`` records a
+    dynamic escape that backends service through the adapter's
+    ``on_mem_op``/``on_rotate``/``on_amov`` callbacks.
+    """
+    ops: List[Tuple] = []
+    events: List[Tuple[Tuple, ...]] = []
+    payloads: List[Optional[int]] = []
+    dyn: List[Tuple[str, object]] = []
+
+    def add_events(evts, kind: str, inst) -> Optional[int]:
+        if evts is None:  # dynamic escape
+            dyn.append((kind, inst))
+            evts = ((E_DYN, len(dyn) - 1),)
+        if not evts:
+            return None
+        events.append(tuple(evts))
+        return len(events) - 1
+
+    def add_payload(value) -> int:
+        payloads.append(value)
+        return len(payloads) - 1
+
+    for k, (kind, _uses, _dest, _lat, _ui, aux) in enumerate(trace):
+        if kind == _K_ALU:
+            ops.append(_lower_alu(linear[k], k, aux, dyn))
+        elif kind == _K_LD:
+            base, disp, size, dreg, inst, call_adapter = aux
+            evt = None
+            if call_adapter:
+                evt = add_events(adapter_cls.lower_mem_event(inst), "mem", inst)
+            ops.append((OP_LD, dreg, base, disp, size, evt))
+        elif kind == _K_ST:
+            base, disp, size, sreg, inst, call_adapter = aux
+            evt = None
+            if call_adapter:
+                evt = add_events(adapter_cls.lower_mem_event(inst), "mem", inst)
+            ops.append((OP_ST, sreg, base, disp, size, evt))
+        elif kind == _K_CBR:
+            code, a, b, target = aux
+            ops.append((OP_CBR, code, a, b, add_payload(target)))
+        elif kind == _K_BR:
+            ops.append((OP_BR, add_payload(aux)))
+        elif kind == _K_EXIT:
+            ops.append((OP_EXIT, add_payload(aux)))
+        elif kind == _K_ROTATE:
+            evt = add_events(adapter_cls.lower_rotate_event(aux), "rot", aux)
+            ops.append((OP_EVT, evt))
+        elif kind == _K_AMOV:
+            evt = add_events(adapter_cls.lower_amov_event(aux), "amov", aux)
+            ops.append((OP_EVT, evt))
+        else:  # _K_NOP: no functional effect
+            ops.append((OP_NOP,))
+    return ReplayIR(ops, events, payloads, dyn)

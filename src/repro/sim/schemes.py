@@ -87,45 +87,45 @@ class HardwareAdapter:
         return 0
 
     # ------------------------------------------------------------------
-    # Replay-codegen hooks (used by the VLIW simulator's tier-2 compiled
-    # replay, :func:`repro.sim.vliw._compile_replay`). Each hook returns
-    # Python statements specialized for ONE compiled instruction; the
-    # generated function binds the local ``ad`` to the adapter instance
-    # at call time and the local ``a`` holds the memory-op address. The
-    # base implementations fall back to the dynamic callbacks above, so
-    # subclasses only override to cut call overhead — any override MUST
-    # produce byte-identical state changes, stats, and exceptions.
+    # Structured replay-lowering protocol (consumed by
+    # :func:`repro.sim.replay_ir.lower_trace`). Each hook lowers ONE
+    # compiled instruction's hardware interaction into numeric IR event
+    # tuples (see the ``E_*`` constants in :mod:`repro.sim.replay_ir`);
+    # every replay backend then services the same lowered form. Returning
+    # ``None`` means the interaction cannot be expressed statically — the
+    # lowering records a dynamic escape and backends call the
+    # ``on_mem_op``/``on_rotate``/``on_amov`` callbacks above instead
+    # (correct for any adapter, but unavailable to the vectorized tier).
+    # An empty tuple means the op provably never touches the hardware
+    # (backends elide it entirely). Any static lowering MUST produce
+    # byte-identical state changes, stats, and exceptions.
     # ------------------------------------------------------------------
     @classmethod
-    def replay_prologue_source(cls) -> List[str]:
-        """Per-call local bindings available to the per-op hooks below."""
-        return [
-            "on_mem_op = ad.on_mem_op",
-            "on_rotate = ad.on_rotate",
-            "on_amov = ad.on_amov",
-        ]
+    def lower_mem_event(cls, inst: Instruction):
+        """IR events equivalent to ``on_mem_op(inst, addr)``."""
+        return None
 
     @classmethod
-    def replay_mem_op_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
-        """Statements equivalent to ``on_mem_op(inst, a)`` for ``inst``.
+    def lower_rotate_event(cls, inst: Instruction):
+        """IR events equivalent to ``on_rotate(inst)``."""
+        return None
 
-        An empty list means the op provably never touches the hardware
-        (the call is elided from the generated code entirely).
+    @classmethod
+    def lower_amov_event(cls, inst: Instruction):
+        """IR events equivalent to ``on_amov(inst)``."""
+        return None
+
+    def replay_config_key(self):
+        """Hashable identity of this adapter's hardware configuration.
+
+        Keys the process-wide replay artifact cache (together with the
+        region's translation key and the adapter class), so lowered IR
+        and compiled backends are shared only between executions whose
+        hardware would behave identically. ``None`` (the base default)
+        opts out of cross-region sharing entirely — safe for unknown
+        subclasses with un-modeled configuration.
         """
-        env[name] = inst
-        return [f"on_mem_op({name}, a)"]
-
-    @classmethod
-    def replay_rotate_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
-        """Statements equivalent to ``on_rotate(inst)``."""
-        env[name] = inst
-        return [f"on_rotate({name})"]
-
-    @classmethod
-    def replay_amov_source(cls, inst: Instruction, name: str, env: dict) -> List[str]:
-        """Statements equivalent to ``on_amov(inst)``."""
-        env[name] = inst
-        return [f"on_amov({name})"]
+        return None
 
 
 class NullAdapter(HardwareAdapter):
@@ -137,22 +137,21 @@ class NullAdapter(HardwareAdapter):
     # timing-transparent and the fingerprint is the base class's 0.
     timing_transparent = True
 
-    # every callback is a no-op, so the compiled replay emits nothing
+    # every callback is a no-op, so replay lowers to no events at all
     @classmethod
-    def replay_prologue_source(cls) -> List[str]:
-        return []
+    def lower_mem_event(cls, inst):
+        return ()
 
     @classmethod
-    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
-        return []
+    def lower_rotate_event(cls, inst):
+        return ()
 
     @classmethod
-    def replay_rotate_source(cls, inst, name, env) -> List[str]:
-        return []
+    def lower_amov_event(cls, inst):
+        return ()
 
-    @classmethod
-    def replay_amov_source(cls, inst, name, env) -> List[str]:
-        return []
+    def replay_config_key(self):
+        return ("null",)
 
 
 class SmarqAdapter(HardwareAdapter):
@@ -213,40 +212,36 @@ class SmarqAdapter(HardwareAdapter):
             s.exceptions - e[5],
         )
 
-    # compiled replay: call the queue's scalar entry points directly with
-    # the P/C dispatch and all static operands folded in at codegen time
+    # static lowering: the queue's scalar entry points with the P/C
+    # dispatch and every static operand folded into the event tuples
     @classmethod
-    def replay_prologue_source(cls) -> List[str]:
-        return [
-            "q = ad.queue",
-            "q_chk = q.check_range",
-            "q_set = q.set_range",
-            "q_rot = q.rotate",
-            "q_amov = q.amov",
-        ]
+    def lower_mem_event(cls, inst):
+        from repro.sim.replay_ir import E_QCHK, E_QSET
 
-    @classmethod
-    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
         if not (inst.p_bit or inst.c_bit):
-            return []
-        args = (
-            f"{inst.ar_offset}, a, {inst.size}, {inst.is_load}, "
-            f"{inst.mem_index}"
-        )
-        stmts = []
+            return ()
+        args = (inst.ar_offset, inst.size, int(inst.is_load), inst.mem_index)
+        events = []
         if inst.c_bit:  # check-before-set, exactly like check_then_set
-            stmts.append(f"q_chk({args})")
+            events.append((E_QCHK,) + args)
         if inst.p_bit:
-            stmts.append(f"q_set({args})")
-        return stmts
+            events.append((E_QSET,) + args)
+        return tuple(events)
 
     @classmethod
-    def replay_rotate_source(cls, inst, name, env) -> List[str]:
-        return [f"q_rot({inst.rotate_by})"]
+    def lower_rotate_event(cls, inst):
+        from repro.sim.replay_ir import E_ROT
+
+        return ((E_ROT, inst.rotate_by),)
 
     @classmethod
-    def replay_amov_source(cls, inst, name, env) -> List[str]:
-        return [f"q_amov({inst.amov_src}, {inst.amov_dst})"]
+    def lower_amov_event(cls, inst):
+        from repro.sim.replay_ir import E_AMOV
+
+        return ((E_AMOV, inst.amov_src, inst.amov_dst),)
+
+    def replay_config_key(self):
+        return ("smarq", self.queue.num_registers)
 
 
 class ItaniumAdapter(HardwareAdapter):
@@ -329,39 +324,30 @@ class ItaniumAdapter(HardwareAdapter):
             s.false_positives - e[3],
         )
 
-    # compiled replay: direct scalar ALAT calls. ``ad._required`` is
-    # rebound by on_region_enter before every replay, so the prologue
-    # reads it per call (it is per-region, not per-class).
+    # static lowering: direct scalar ALAT events. The required-target
+    # map is per-region runtime state (``ad._required``, rebound by
+    # on_region_enter), so the event only carries the checker's index —
+    # backends resolve the set at call time.
     @classmethod
-    def replay_prologue_source(cls) -> List[str]:
-        return [
-            "al = ad.alat",
-            "al_sc = al.store_check_range",
-            "al_al = al.advanced_load_range",
-            "req_get = ad._required.get",
-        ]
+    def lower_mem_event(cls, inst):
+        from repro.sim.replay_ir import E_ACHK, E_AINS
 
-    @classmethod
-    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
         if inst.is_store:
-            env["EMPTY_TARGETS"] = _EMPTY_SET
-            return [
-                f"al_sc(a, {inst.size}, {inst.is_load}, {inst.mem_index}, "
-                f"req_get({inst.mem_index}, EMPTY_TARGETS))"
-            ]
+            return ((E_ACHK, inst.size, int(inst.is_load), inst.mem_index),)
         if inst.p_bit:
-            return [
-                f"al_al({inst.mem_index}, a, {inst.size}, {inst.is_load})"
-            ]
-        return []
+            return ((E_AINS, inst.mem_index, inst.size, int(inst.is_load)),)
+        return ()
 
     @classmethod
-    def replay_rotate_source(cls, inst, name, env) -> List[str]:
-        return []  # ALAT has no rotation (on_rotate is a no-op)
+    def lower_rotate_event(cls, inst):
+        return ()  # ALAT has no rotation (on_rotate is a no-op)
 
     @classmethod
-    def replay_amov_source(cls, inst, name, env) -> List[str]:
-        return []
+    def lower_amov_event(cls, inst):
+        return ()
+
+    def replay_config_key(self):
+        return ("alat", self.alat.num_entries)
 
 
 class EfficeonAdapter(HardwareAdapter):
@@ -415,37 +401,34 @@ class EfficeonAdapter(HardwareAdapter):
         e = self._entry_events
         return (s.sets - e[0], s.checks - e[1], s.exceptions - e[2])
 
-    # compiled replay: direct scalar bit-mask file calls
+    # static lowering: direct scalar bit-mask file events
     @classmethod
-    def replay_prologue_source(cls) -> List[str]:
-        return [
-            "bf = ad.file",
-            "bf_chk = bf.check_range",
-            "bf_set = bf.set_range",
-        ]
+    def lower_mem_event(cls, inst):
+        from repro.sim.replay_ir import E_BCHK, E_BSET
 
-    @classmethod
-    def replay_mem_op_source(cls, inst, name, env) -> List[str]:
-        stmts = []
+        events = []
         if inst.c_bit and inst.ar_mask:
-            stmts.append(
-                f"bf_chk({inst.ar_mask}, a, {inst.size}, {inst.is_load}, "
-                f"{inst.mem_index})"
+            events.append(
+                (E_BCHK, inst.ar_mask, inst.size, int(inst.is_load),
+                 inst.mem_index)
             )
         if inst.p_bit and inst.ar_offset is not None:
-            stmts.append(
-                f"bf_set({inst.ar_offset}, a, {inst.size}, {inst.is_load}, "
-                f"{inst.mem_index})"
+            events.append(
+                (E_BSET, inst.ar_offset, inst.size, int(inst.is_load),
+                 inst.mem_index)
             )
-        return stmts
+        return tuple(events)
 
     @classmethod
-    def replay_rotate_source(cls, inst, name, env) -> List[str]:
-        return []  # bit-mask file has no rotation (on_rotate is a no-op)
+    def lower_rotate_event(cls, inst):
+        return ()  # bit-mask file has no rotation (on_rotate is a no-op)
 
     @classmethod
-    def replay_amov_source(cls, inst, name, env) -> List[str]:
-        return []
+    def lower_amov_event(cls, inst):
+        return ()
+
+    def replay_config_key(self):
+        return ("bitmask", self.file.num_registers)
 
 
 @dataclass

@@ -15,7 +15,12 @@ quadratic, an allocator that re-heapifies) fails deterministically:
    exceed pushes;
 4. hot regions are served by memoized timing plans — re-executions along
    a seen path are plan *hits*, and disabling the machinery with
-   ``SMARQ_NO_TIMING_PLANS=1`` changes nothing observable in the report.
+   ``SMARQ_NO_TIMING_PLANS=1`` changes nothing observable in the report;
+5. every region execution lands on exactly one replay backend tier
+   (``vliw.backend_interp``/``py``/``vec`` partition
+   ``vliw.regions_executed``), the bench payload carries the schema-4
+   per-cell backend summary, and the ``--fail-below`` regression gate
+   trips on low speedups and on missing baselines.
 """
 
 import pytest
@@ -141,3 +146,66 @@ class TestTimingPlansAreMemoized:
         assert tracer.counters.get("vliw.plan_hits", 0) == 0
         assert tracer.counters.get("vliw.plan_misses", 0) == 0
         assert interpreted == baseline  # DbtReport dataclass equality
+
+
+class TestBackendTiersPartitionExecutions:
+    def test_every_region_execution_is_counted_on_one_tier(self):
+        """The three backend counters must account for every region
+        entry: unplanned scoreboard runs and forced-interp dispatch are
+        ``interp``, generated straight-line runs are ``py``, kernel runs
+        are ``vec`` (a vec fallback re-runs and counts as ``py``)."""
+        _report, tracer = _run_cell()
+        c = tracer.counters
+        executed = c.get("vliw.regions_executed", 0)
+        tiers = (
+            c.get("vliw.backend_interp", 0)
+            + c.get("vliw.backend_py", 0)
+            + c.get("vliw.backend_vec", 0)
+        )
+        assert executed > 0
+        assert tiers == executed
+        # a hot cell must actually reach the top tier
+        assert c.get("vliw.backend_vec", 0) > 0
+
+
+class TestBenchSchema4:
+    def test_cells_carry_backend_summary(self):
+        from repro.perf import PerfConfig, run_perf
+        from repro.sim.replay_backends import reset_artifact_cache
+
+        # earlier tests may have warmed the process-wide artifact cache,
+        # which would hide the vec compile this asserts on
+        reset_artifact_cache()
+        config = PerfConfig(
+            benchmarks=["art"], schemes=["smarq"], scale=0.05,
+            repeats=1, figures_scale=None,
+        )
+        payload = run_perf(config)
+        assert payload["bench_schema"] == 4
+        cell = payload["cells"]["art/smarq"]
+        backends = cell["backends"]
+        executed = cell["counters"]["vliw.regions_executed"]
+        assert (
+            backends["interp"] + backends["py"] + backends["vec"]
+            == executed
+        )
+        assert 0.0 < backends["vec_share"] <= 1.0
+        assert backends["vec_compiles"] >= 1
+
+
+class TestRegressionGate:
+    def test_trips_below_threshold_only(self):
+        from repro.perf import check_regression
+
+        payload = {"speedup": {"execute_phase": 1.20, "total_cells": 0.90}}
+        assert check_regression(payload, 0.95) == [
+            "total_cells: 0.90x < 0.95x"
+        ]
+        assert check_regression(payload, 0.85) == []
+
+    def test_missing_baseline_fails_closed(self):
+        from repro.perf import check_regression
+
+        failures = check_regression({}, 0.95)
+        assert len(failures) == 2
+        assert all("not computed" in f for f in failures)

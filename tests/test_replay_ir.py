@@ -1,0 +1,357 @@
+"""Replay IR and tiered-backend tests.
+
+Hot traces lower once into the numeric replay IR
+(:mod:`repro.sim.replay_ir`) and execute on one of three backends
+(:mod:`repro.sim.replay_backends`): the generic dispatch loop
+(``interp``, the oracle), the generated straight-line function (``py``)
+and the statically pre-simulated kernel (``vec``). These tests pin:
+
+* the IR round-trips through its numeric payload encoding exactly when
+  it carries no dynamic escapes;
+* all three tiers are byte-identical — outcome, registers, memory and
+  stats — for every shipped scheme and every exit kind;
+* auto mode promotes per-plan by execution count at the documented
+  thresholds, and ``SMARQ_REPLAY_BACKEND`` forces/kills tiers (with a
+  forced ``vec`` degrading to ``py`` for non-lowerable traces);
+* re-optimization/blacklisting invalidation drops the shared artifacts
+  along with the timing plans.
+"""
+
+import json
+
+import pytest
+
+import repro.sim.replay_backends as backends_mod
+import repro.sim.replay_ir as R
+import repro.sim.vliw as vliw_mod
+from repro.engine.instrumentation import Tracer
+from repro.ir.instruction import Opcode, binop, branch, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.opt.pipeline import OptimizationPipeline, OptimizerConfig
+from repro.sched.machine import MachineModel
+from repro.sim.memory import Memory
+from repro.sim.schemes import (
+    EfficeonAdapter,
+    ItaniumAdapter,
+    NullAdapter,
+    SmarqAdapter,
+)
+from repro.sim.vliw import VliwSimulator, invalidate_timing_plans
+
+MACHINE = MachineModel()
+
+SCHEME_FACTORIES = {
+    "smarq": lambda: SmarqAdapter(64),
+    "itanium": ItaniumAdapter,
+    "efficeon": EfficeonAdapter,
+    "none": NullAdapter,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifacts():
+    backends_mod.reset_artifact_cache()
+    yield
+    backends_mod.reset_artifact_cache()
+
+
+def translate(insts, speculate=True):
+    block = Superblock(entry_pc=0, instructions=list(insts))
+    pipeline = OptimizationPipeline(
+        MACHINE, OptimizerConfig(speculate=speculate)
+    )
+    return pipeline.optimize(block)
+
+
+def side_exit_region():
+    """Commits when r3 == 0, takes the side exit otherwise."""
+    return translate(
+        [
+            movi(1, 0x100),
+            movi(2, 9),
+            store(1, 2),
+            branch(Opcode.BNE, 7, srcs=(3, 0)),
+            binop(Opcode.ADD, 4, 2, 2),
+            branch(Opcode.BR, 0),
+        ]
+    )
+
+
+def alias_region():
+    """Speculation may hoist ``load r2, [r3]`` above the store; r3 ==
+    0x100 then collides at runtime."""
+    return translate(
+        [
+            movi(1, 0x100),
+            load(9, 8),
+            store(1, 9),
+            load(2, 3),
+            branch(Opcode.BR, 0),
+        ]
+    )
+
+
+def exit_region():
+    """Ends the guest program (X_EXIT) with code 7."""
+    return translate(
+        [
+            movi(1, 0x100),
+            movi(2, 3),
+            store(1, 2),
+            branch(Opcode.EXIT, 7),
+        ]
+    )
+
+
+def run_once(region, r3=0, adapter=None, sim=None, tracer=None):
+    memory = Memory(4096)
+    memory.write(0x100, 0xAB, 8)
+    registers = [0] * 64
+    registers[3] = r3
+    sim = sim or VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+    sim.memory = memory
+    adapter = adapter or SmarqAdapter(64)
+    outcome = sim.execute_region(region, adapter, registers)
+    return outcome, registers, memory, sim
+
+
+def lowered_ir(region, adapter_cls=SmarqAdapter):
+    """Lower a region's compiled trace (populating the trace cache)."""
+    run_once(region)
+    linear, _cls, _machine, trace, _ft, _ftrace, _plan = region._vliw_trace
+    return R.lower_trace(linear, trace, adapter_cls)
+
+
+class TestIRRoundTrip:
+    def test_payload_round_trip_is_exact(self):
+        ir = lowered_ir(side_exit_region())
+        assert ir.serializable
+        payload = ir.to_payload()
+        json.dumps(payload)  # JSON-able end to end
+        back = R.ReplayIR.from_payload(payload)
+        assert back.ops == ir.ops
+        assert back.events == ir.events
+        assert back.payloads == ir.payloads
+        assert back.dyn == []
+
+    def test_round_trip_for_every_scheme(self):
+        for name, factory in SCHEME_FACTORIES.items():
+            adapter_cls = type(factory())
+            ir = lowered_ir(alias_region(), adapter_cls)
+            back = R.ReplayIR.from_payload(ir.to_payload())
+            assert back.ops == ir.ops, name
+            assert back.events == ir.events, name
+
+    def test_dynamic_escapes_refuse_serialization(self):
+        ir = R.ReplayIR(ops=[], events=[], payloads=[], dyn=[("alu", None)])
+        assert not ir.serializable
+        with pytest.raises(ValueError):
+            ir.to_payload()
+
+    def test_unknown_payload_version_raises(self):
+        ir = lowered_ir(side_exit_region())
+        payload = ir.to_payload()
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            R.ReplayIR.from_payload(payload)
+
+
+class TestTierByteIdentity:
+    """Every tier must be byte-identical for every scheme and exit."""
+
+    def run_tier(self, monkeypatch, tier, make_region, r3, factory, n=3):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", tier)
+        backends_mod.reset_artifact_cache()
+        region = make_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        assert sim._backend == tier
+        runs = []
+        for _ in range(n):  # cold + warm kernel paths
+            out, regs, mem, _ = run_once(
+                region, r3=r3, adapter=factory(), sim=sim
+            )
+            runs.append((out, list(regs), mem.read_bytes(0, 4096)))
+        return runs, sim.stats, tracer
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_FACTORIES))
+    @pytest.mark.parametrize(
+        "shape,make_region,r3",
+        [
+            ("commit", side_exit_region, 0),
+            ("side_exit", side_exit_region, 1),
+            ("alias", alias_region, 0x100),
+            ("alias_clean", alias_region, 0x300),
+            ("exit", exit_region, 0),
+        ],
+    )
+    def test_tiers_agree(self, monkeypatch, scheme, shape, make_region, r3):
+        factory = SCHEME_FACTORIES[scheme]
+        baseline = None
+        for tier in ("interp", "py", "vec"):
+            runs, stats, _ = self.run_tier(
+                monkeypatch, tier, make_region, r3, factory
+            )
+            if baseline is None:
+                baseline = (runs, stats)
+            else:
+                assert runs == baseline[0], (scheme, shape, tier)
+                assert stats == baseline[1], (scheme, shape, tier)
+
+    def test_expected_exit_statuses(self, monkeypatch):
+        cases = {
+            ("commit", side_exit_region, 0): "commit",
+            ("side_exit", side_exit_region, 1): "side_exit",
+            ("exit", exit_region, 0): "exit",
+        }
+        for (shape, make_region, r3), status in cases.items():
+            runs, _, _ = self.run_tier(
+                monkeypatch, "vec", make_region, r3, NullAdapter
+            )
+            assert runs[0][0].status == status, shape
+
+
+class TestTierPromotion:
+    def test_auto_mode_promotes_at_thresholds(self, monkeypatch):
+        monkeypatch.delenv("SMARQ_REPLAY_BACKEND", raising=False)
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        assert sim._backend is None
+        total = vliw_mod._VEC_THRESHOLD + 2
+        for i in range(1, total + 1):
+            run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+            plan = region._vliw_trace[6]
+            assert plan.executions == i
+            if i < vliw_mod._REPLAY_THRESHOLD:
+                assert plan.replay_fn is None, i
+            if i < vliw_mod._VEC_THRESHOLD:
+                assert plan.artifact.vec_fn is None, i
+            else:
+                assert plan.artifact.vec_fn is not None, i
+        interp_runs = vliw_mod._REPLAY_THRESHOLD - 1
+        vec_runs = total - vliw_mod._VEC_THRESHOLD + 1
+        py_runs = total - interp_runs - vec_runs
+        assert tracer.counters.get("vliw.backend_interp", 0) == interp_runs
+        assert tracer.counters.get("vliw.backend_py", 0) == py_runs
+        assert tracer.counters.get("vliw.backend_vec", 0) == vec_runs
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 1
+
+    def test_shared_artifact_skips_recompilation(self):
+        """A content-identical clone adopts the cached kernels without
+        compiling again (the process-wide artifact cache)."""
+        region_a = side_exit_region()
+        region_b = side_exit_region()
+        if getattr(region_a, "_replay_key", None) is None:
+            pytest.skip("regions carry no translation key")
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        for _ in range(vliw_mod._VEC_THRESHOLD):
+            run_once(region_a, r3=0, adapter=NullAdapter(), sim=sim)
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 1
+        for _ in range(vliw_mod._VEC_THRESHOLD):
+            run_once(region_b, r3=0, adapter=NullAdapter(), sim=sim)
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 1
+        assert tracer.counters.get("vliw.replay_cache_hits", 0) >= 1
+
+
+class TestBackendKillSwitch:
+    def test_forced_interp_never_compiles(self, monkeypatch):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "interp")
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        n = vliw_mod._VEC_THRESHOLD + 4
+        for _ in range(n):
+            run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+        plan = region._vliw_trace[6]
+        assert plan.replay_fn is None
+        assert plan.artifact.vec_fn is None
+        assert tracer.counters.get("vliw.backend_interp", 0) == n
+        assert tracer.counters.get("vliw.replay_compiles", 0) == 0
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 0
+
+    def test_forced_py_adopts_immediately_and_never_vectorizes(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "py")
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+        plan = region._vliw_trace[6]
+        assert plan.replay_fn is not None
+        for _ in range(vliw_mod._VEC_THRESHOLD + 2):
+            run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+        assert plan.artifact.vec_fn is None
+        assert tracer.counters.get("vliw.backend_interp", 0) == 0
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 0
+
+    def test_forced_vec_adopts_immediately(self, monkeypatch):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "vec")
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+        plan = region._vliw_trace[6]
+        assert plan.artifact.vec_fn is not None
+        assert tracer.counters.get("vliw.backend_vec", 0) == 1
+
+    def test_forced_vec_degrades_to_py_when_not_lowerable(self, monkeypatch):
+        """Traces the static lowering rejects (dynamic escapes, certain
+        overlaps) cannot vectorize; forced vec must silently run the py
+        tier instead."""
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "vec")
+        monkeypatch.setattr(
+            backends_mod, "compile_vec", lambda *a, **k: None
+        )
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        out = run_once(region, r3=0, adapter=NullAdapter(), sim=sim)[0]
+        assert out.status == "commit"
+        plan = region._vliw_trace[6]
+        assert plan.artifact.vec_fn is None
+        assert plan.artifact.vec_state == -1
+        assert plan.replay_fn is not None
+        assert tracer.counters.get("vliw.backend_py", 0) == 1
+        assert tracer.counters.get("vliw.backend_vec", 0) == 0
+
+    def test_unknown_value_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "jit")
+        sim = VliwSimulator(MACHINE, Memory(4096))
+        assert sim._backend is None
+
+
+class TestArtifactInvalidation:
+    def test_invalidation_drops_plans_and_artifacts(self, monkeypatch):
+        monkeypatch.setenv("SMARQ_REPLAY_BACKEND", "vec")
+        region = side_exit_region()
+        tracer = Tracer()
+        sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+        run_once(region, r3=0, adapter=NullAdapter(), sim=sim)
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 1
+        replay_key = getattr(region, "_replay_key", None)
+
+        assert invalidate_timing_plans(region) is True
+        assert region._vliw_trace is None
+        if replay_key is not None:
+            assert not any(
+                k[0] == replay_key for k in backends_mod._artifacts
+            )
+        # idempotent; a re-run recompiles everything from scratch
+        assert invalidate_timing_plans(region) is False
+        out = run_once(region, r3=0, adapter=NullAdapter(), sim=sim)[0]
+        assert out.status == "commit"
+        assert tracer.counters.get("vliw.vec_compiles", 0) == 2
+
+    def test_runtime_reoptimization_invalidates(self):
+        """The runtime invalidation hook is what re-optimize/blacklist
+        call; its contract is pinned here via the public helper."""
+        region = alias_region()
+        sim = VliwSimulator(MACHINE, Memory(4096))
+        for _ in range(vliw_mod._VEC_THRESHOLD):
+            run_once(region, r3=0x300, adapter=NullAdapter(), sim=sim)
+        assert region._vliw_trace is not None
+        assert invalidate_timing_plans(region) is True
+        assert region._vliw_trace is None
