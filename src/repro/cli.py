@@ -27,13 +27,27 @@ Commands
     independent implementations; disagreements are delta-debugged to
     minimal repros under ``--out-dir`` (see ``docs/TESTING.md``).
     Exit status 1 if any oracle pair disagreed.
+``serve [--host H] [--port P] [--jobs N] [--no-cache] [--memo-limit N]``
+    Run the long-lived simulation/translation daemon
+    (:mod:`repro.serve`): batched JSON job submission over a local TCP
+    socket, in-flight dedupe, bounded result memo, streamed per-job
+    results and a stats endpoint. Prints ``listening on host:port``
+    once ready; runs until a drain shutdown request or Ctrl-C. See
+    ``docs/SERVE.md``.
+``load [--address H:P | --spawn] [--mix warm|cold|mixed] ...``
+    Drive a serve daemon with the load generator: configurable batch
+    mix and client concurrency, reporting p50/p99 latency, throughput
+    and failures (``--out`` writes the JSON payload; ``--assert-p99-ms``
+    / ``--assert-max-failed`` turn it into a CI gate).
 
 ``figures`` and ``compare`` route every simulation through the
 :mod:`repro.engine` execution engine: ``--jobs N`` fans (benchmark,
 scheme) cells across N worker processes, reports are cached persistently
 under ``~/.cache/repro`` (disable with ``--no-cache``), and ``--stats``
 prints the engine's cache/instrumentation summary after the output.
-Figure output is byte-identical across ``--jobs`` settings.
+``--serve host:port`` instead sends every cell to a running daemon
+(whose warm caches then do the work); output is byte-identical across
+``--jobs`` settings and the ``--serve`` path.
 """
 
 from __future__ import annotations
@@ -95,8 +109,18 @@ _FIGURES = {
 }
 
 
-def _make_engine(args: argparse.Namespace) -> ExecutionEngine:
-    """Engine configured from the shared --jobs/--no-cache flags."""
+def _make_engine(args: argparse.Namespace):
+    """Engine configured from the shared --jobs/--no-cache/--serve flags.
+
+    With ``--serve host:port`` the returned engine is a
+    :class:`~repro.serve.client.RemoteEngine` that ships every job to
+    the daemon; the local flags (--jobs/--no-cache) are the server's
+    business then.
+    """
+    if getattr(args, "serve", None):
+        from repro.serve import RemoteEngine, ServeClient, parse_address
+
+        return RemoteEngine(ServeClient(parse_address(args.serve)))
     cache = NullCache() if args.no_cache else ReportCache()
     return ExecutionEngine(executor=make_executor(args.jobs), cache=cache)
 
@@ -255,6 +279,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     config.figures_scale = None if args.skip_figures else args.figures_scale
 
     payload = run_perf(config)
+    if args.serve_load:
+        from repro.perf.harness import measure_serve_load
+
+        payload["serve_load"] = measure_serve_load(
+            scale=args.scale,
+            benchmarks=benchmarks,
+            schemes=schemes,
+        )
     if args.baseline:
         attach_baseline(payload, load_bench(args.baseline))
     write_bench(args.output, payload)
@@ -301,6 +333,99 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if stats.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        memo_limit=args.memo_limit,
+    )
+    server = ReproServer(config)
+    host, port = server.start()
+    # The ready line is the spawn contract: `repro load --spawn` (and the
+    # CI serve-smoke job) parse the address off it.
+    print(f"repro serve listening on {host}:{port}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, draining", flush=True)
+        server.stop()
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+
+    from repro.serve import (
+        LoadConfig,
+        parse_address,
+        render_load,
+        run_load,
+        spawned_server,
+    )
+
+    if bool(args.address) == bool(args.spawn):
+        print(
+            "load: give exactly one of --address host:port or --spawn",
+            file=sys.stderr,
+        )
+        return 2
+    config = LoadConfig(
+        batches=args.batches,
+        batch_size=args.batch_size,
+        clients=args.clients,
+        mix=args.mix,
+        scale=args.scale,
+    )
+    if args.benchmarks:
+        config.benchmarks = [
+            b.strip() for b in args.benchmarks.split(",") if b.strip()
+        ]
+    if args.schemes:
+        config.schemes = [
+            s.strip() for s in args.schemes.split(",") if s.strip()
+        ]
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"load: {exc}", file=sys.stderr)
+        return 2
+
+    with contextlib.ExitStack() as stack:
+        if args.spawn:
+            address = stack.enter_context(spawned_server(jobs=args.jobs))
+        else:
+            address = parse_address(args.address)
+        payload = run_load(address, config)
+    print(render_load(payload))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    rc = 0
+    if payload["failed"] > args.assert_max_failed >= 0:
+        print(
+            f"load gate FAILED: {payload['failed']} failed jobs "
+            f"(max allowed {args.assert_max_failed})"
+        )
+        rc = 1
+    if args.assert_p99_ms > 0 and payload["p99_ms"] > args.assert_p99_ms:
+        print(
+            f"load gate FAILED: p99 {payload['p99_ms']:.1f}ms "
+            f"> bound {args.assert_p99_ms:.1f}ms"
+        )
+        rc = 1
+    return rc
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -313,6 +438,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats", action="store_true",
         help="print engine cache/instrumentation statistics",
+    )
+    parser.add_argument(
+        "--serve", default="", metavar="HOST:PORT",
+        help="send every job to a running `repro serve` daemon instead "
+        "of simulating locally (--jobs/--no-cache are then the "
+        "server's business)",
     )
 
 
@@ -374,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
         "vs --baseline falls below RATIO (the CI regression gate)",
     )
     perf_p.add_argument(
+        "--serve-load", action="store_true",
+        help="also measure service-mode throughput/latency (cold CLI vs "
+        "cold vs warm server) into the serve_load section",
+    )
+    perf_p.add_argument(
         "--profile", default="",
         help="profile the serial cold figures path with cProfile and "
         "write the stats to this file (skips the normal harness)",
@@ -396,8 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_p.add_argument(
         "--oracles", default="",
-        help="comma-separated oracle subset "
-        "(default: alloc,queue,schemes,plans,translate,engine)",
+        help="comma-separated oracle subset (default: alloc,queue,"
+        "schemes,plans,translate,backends,engine,serve)",
     )
     fuzz_p.add_argument(
         "--minimize", action="store_true", default=True,
@@ -417,6 +553,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for failure corpus entries and pytest repros "
         "(default fuzz-out/)",
     )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the warm batched simulation daemon"
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; the protocol is "
+        "trusted-local — do not expose it beyond loopback)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the ready line prints "
+        "the chosen port)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation (default 1 = in-process)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent report cache (~/.cache/repro)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default="",
+        help="report-cache directory override",
+    )
+    serve_p.add_argument(
+        "--memo-limit", type=int, default=512, metavar="N",
+        help="in-RAM result memo capacity in jobs, LRU-evicted "
+        "(default 512; 0 disables the memo)",
+    )
+
+    load_p = sub.add_parser(
+        "load", help="drive a serve daemon with the load generator"
+    )
+    load_p.add_argument(
+        "--address", default="", metavar="HOST:PORT",
+        help="target a running daemon",
+    )
+    load_p.add_argument(
+        "--spawn", action="store_true",
+        help="spawn a fresh daemon subprocess for the run instead",
+    )
+    load_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for a --spawn'd daemon (default 1)",
+    )
+    load_p.add_argument("--batches", type=int, default=4)
+    load_p.add_argument("--batch-size", type=int, default=6)
+    load_p.add_argument(
+        "--clients", type=int, default=2,
+        help="concurrent client connections (default 2)",
+    )
+    load_p.add_argument(
+        "--mix", default="mixed", choices=("warm", "cold", "mixed"),
+        help="request mix shape (default mixed)",
+    )
+    load_p.add_argument("--scale", type=float, default=0.05)
+    load_p.add_argument(
+        "--benchmarks", default="",
+        help="comma-separated benchmark pool (default swim,art,equake)",
+    )
+    load_p.add_argument(
+        "--schemes", default="",
+        help="comma-separated scheme pool (default smarq,itanium,none)",
+    )
+    load_p.add_argument(
+        "--out", default="",
+        help="write the JSON latency/throughput payload here",
+    )
+    load_p.add_argument(
+        "--assert-p99-ms", type=float, default=0.0, metavar="MS",
+        help="exit non-zero when p99 latency exceeds MS (CI gate; "
+        "0 = no gate)",
+    )
+    load_p.add_argument(
+        "--assert-max-failed", type=int, default=-1, metavar="N",
+        help="exit non-zero when more than N jobs failed (CI gate; "
+        "-1 = no gate)",
+    )
     return parser
 
 
@@ -429,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "perf": _cmd_perf,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
+        "load": _cmd_load,
     }[args.command]
     return handler(args)
 

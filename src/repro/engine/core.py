@@ -57,6 +57,16 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[DbtReport]:
         """Reports for every spec, in input order."""
+        return [r.report for r in self.run_results(specs)]
+
+    def run_results(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Full :class:`JobResult` records for every spec, in input order.
+
+        Same pipeline as :meth:`run`, but callers that need provenance —
+        the job fingerprint, whether the report came from the cache, the
+        per-job tracer snapshot — get it instead of the bare report. The
+        serve daemon streams these fields per job.
+        """
         specs = list(specs)
         for spec in specs:
             spec.validate()
@@ -97,7 +107,7 @@ class ExecutionEngine:
         self.stats.wall_seconds += time.perf_counter() - start
         self.stats.counters = dict(self.tracer.counters)
         self.stats.timings = dict(self.tracer.timings)
-        return [r.report for r in results if r is not None]
+        return [r for r in results if r is not None]
 
     def run_one(self, spec: JobSpec) -> DbtReport:
         """Convenience wrapper for a single job (always in-process)."""

@@ -41,15 +41,50 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Fans jobs across worker processes; falls back per job on failure."""
+    """Fans jobs across worker processes; falls back per job on failure.
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    With ``keep_alive=True`` the worker pool outlives individual ``run``
+    calls: long-running hosts (the ``repro serve`` daemon) pay the pool
+    spin-up cost once instead of per batch. A pool broken by a dying
+    worker is discarded and lazily rebuilt on the next batch, so one
+    crashed job never takes the host down with it.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, keep_alive: bool = False
+    ) -> None:
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.keep_alive = keep_alive
+        self._pool = None
         self._fallbacks = 0
 
     @property
     def fallbacks(self) -> int:
         return self._fallbacks
+
+    def _acquire_pool(self):
+        import concurrent.futures as cf
+
+        if not self.keep_alive:
+            return cf.ProcessPoolExecutor(max_workers=self.max_workers)
+        if self._pool is None:
+            self._pool = cf.ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _release_pool(self, pool, broken: bool) -> None:
+        if broken or not self.keep_alive:
+            try:
+                pool.shutdown(wait=not broken)
+            except Exception:
+                pass
+            if pool is self._pool:
+                self._pool = None
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op without keep_alive)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         import concurrent.futures as cf
@@ -60,28 +95,35 @@ class ParallelExecutor(Executor):
 
         results: List[Optional[JobResult]] = [None] * len(specs)
         pending: List[int] = []
+        pool = self._acquire_pool()
+        broken = False
         try:
-            with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {}
-                for i, spec in enumerate(specs):
-                    try:
-                        futures[pool.submit(execute_job, spec)] = i
-                    except Exception:
-                        pending.append(i)
-                for future, i in futures.items():
-                    try:
-                        results[i] = future.result()
-                    except ValueError:
-                        raise  # bad spec fails identically in a worker
-                    except Exception:
-                        # Unpicklable scheme, killed worker, broken pool:
-                        # redo this job in-process.
-                        pending.append(i)
+            futures = {}
+            for i, spec in enumerate(specs):
+                try:
+                    futures[pool.submit(execute_job, spec)] = i
+                except Exception:
+                    pending.append(i)
+            for future, i in futures.items():
+                try:
+                    results[i] = future.result()
+                except ValueError:
+                    raise  # bad spec fails identically in a worker
+                except cf.process.BrokenProcessPool:
+                    broken = True
+                    pending.append(i)
+                except Exception:
+                    # Unpicklable scheme, killed worker, broken pool:
+                    # redo this job in-process.
+                    pending.append(i)
         except cf.process.BrokenProcessPool:
+            broken = True
             pending.extend(
                 i for i, r in enumerate(results)
                 if r is None and i not in pending
             )
+        finally:
+            self._release_pool(pool, broken)
 
         for i in sorted(set(pending)):
             results[i] = execute_job(specs[i])

@@ -33,6 +33,11 @@ implementations agreed). The configured pairs:
     Parallel process-pool execution vs serial in-process execution of the
     same case (reports must be identical; exercised per-case here and in a
     batched end-of-run sweep by the runner).
+``serve``
+    The case submitted through a live ``repro serve`` daemon (a shared
+    in-process server, started lazily on first use) vs serial in-process
+    execution — the full wire round trip: spec encode, socket framing,
+    dispatch, report decode (reports must be byte-identical).
 
 The oracles deliberately re-run the sub-implementations from scratch per
 leg; a :class:`CaseRun` memo keeps the shared expensive pieces (the
@@ -623,6 +628,69 @@ def engine_oracle(run: CaseRun) -> List[Disagreement]:
     return out
 
 
+#: the lazily-started shared daemon the serve oracle submits through
+_SHARED_SERVER = None
+
+
+def _shared_server_address():
+    """Start (once) and return the address of the oracle's daemon.
+
+    One in-process server shared across all cases: cache disabled (every
+    submission must actually simulate), small memo (distinct seeds never
+    collide anyway). Stopped at interpreter exit; tier-1 test runs that
+    never invoke the serve oracle never start it.
+    """
+    global _SHARED_SERVER
+    if _SHARED_SERVER is None:
+        import atexit
+
+        from repro.serve import ReproServer, ServeConfig
+
+        server = ReproServer(ServeConfig(cache=False, memo_limit=64))
+        address = server.start()
+        atexit.register(server.stop)
+        _SHARED_SERVER = (server, address)
+    return _SHARED_SERVER[1]
+
+
+def serve_oracle(run: CaseRun) -> List[Disagreement]:
+    """Submission through a live daemon == serial in-process execution.
+
+    Exercises the full service-mode seam on adversarial programs: the
+    case travels as a self-describing benchmark name through spec
+    encoding, socket framing, the dispatcher, and report decoding."""
+    from repro.engine.executor import SerialExecutor
+    from repro.engine.jobs import JobSpec
+    from repro.fuzz.generator import case_benchmark_name
+    from repro.serve import ServeClient, ServeError
+
+    name = case_benchmark_name(run.case)
+    spec = JobSpec(
+        benchmark=name, scheme_key="smarq", scale=1.0,
+        hot_threshold=run.case.config.hot_threshold,
+    )
+    local = SerialExecutor().run([spec])[0].report.to_dict()
+    try:
+        with ServeClient(_shared_server_address()) as client:
+            remote = client.submit([spec]).reports()[0].to_dict()
+    except ServeError as exc:
+        return [
+            Disagreement(
+                "serve", f"server failed a case the serial path runs: {exc}"
+            )
+        ]
+    if remote != local:
+        keys = sorted(k for k in local if local.get(k) != remote.get(k))
+        return [
+            Disagreement(
+                "serve",
+                f"server report differs from serial in-process run "
+                f"(fields {keys})",
+            )
+        ]
+    return []
+
+
 #: oracle name -> per-case implementation, in documentation order
 ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "alloc": alloc_oracle,
@@ -632,6 +700,7 @@ ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "translate": translate_oracle,
     "backends": backends_oracle,
     "engine": engine_oracle,
+    "serve": serve_oracle,
 }
 
 ORACLE_NAMES = tuple(ORACLES)

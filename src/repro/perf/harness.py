@@ -45,6 +45,14 @@ Schema history:
   gate (``perf --fail-below``) over the ``execute_phase`` and
   ``total_cells`` aggregate speedups. Schema-1/2/3 baselines remain
   readable: every added field is optional on the baseline side.
+* **5** — optional ``serve_load`` section (``perf --serve-load``,
+  :func:`measure_serve_load`): the same job set timed three ways —
+  cold one-process-per-job CLI (``python -m repro run`` subprocesses),
+  cold first-touch batches against a freshly spawned ``repro serve``
+  daemon, and warm repeat batches against the same daemon (memo/cache
+  hits) — each with throughput + p50/p99 latency, plus the derived
+  ``warm_vs_cli`` / ``warm_vs_cold_server`` throughput ratios. Earlier
+  baselines remain readable: the section is optional on both sides.
 """
 
 from __future__ import annotations
@@ -57,7 +65,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: three representative workloads: regular streams (swim), small hot loop
 #: with heavy aliasing (art), pointer-chasing stores (equake)
@@ -213,6 +221,104 @@ def time_figures_cold(scale: float = 0.1) -> Dict[str, float]:
     if rc != 0:  # pragma: no cover - defensive
         raise RuntimeError(f"figures run failed with exit code {rc}")
     return {"scale": scale, "jobs": 1, "wall_s": wall}
+
+
+def measure_serve_load(
+    scale: float = 0.05,
+    benchmarks: Optional[List[str]] = None,
+    schemes: Optional[List[str]] = None,
+    warm_batches: int = 3,
+) -> Dict[str, object]:
+    """Time one job set cold-CLI vs cold-server vs warm-server.
+
+    The job set is the ``benchmarks x schemes`` grid at ``scale``. The
+    cold CLI leg runs each job as its own ``python -m repro run``
+    subprocess — interpreter start-up, import, simulate, exit — which is
+    what service mode exists to amortize. The server legs drive a
+    freshly spawned daemon (private cache dir, so nothing is pre-warmed)
+    through the load generator: one cold first-touch batch, then
+    ``warm_batches`` repeats of the same batch served from the memo.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    import repro
+    from repro.serve import LoadConfig, run_load, spawned_server
+
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    schemes = list(schemes or DEFAULT_SCHEMES)
+    jobs = [(b, s) for b in benchmarks for s in schemes]
+
+    env = os.environ.copy()
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    for benchmark, scheme in jobs:
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run", benchmark,
+                "--scheme", scheme, "--scale", str(scale),
+            ],
+            check=True,
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+    cli_wall = time.perf_counter() - start
+    cli_cold = {
+        "jobs": len(jobs),
+        "wall_s": cli_wall,
+        "throughput_jps": len(jobs) / cli_wall if cli_wall else 0.0,
+    }
+
+    base = LoadConfig(
+        batch_size=len(jobs),
+        clients=1,
+        scale=scale,
+        benchmarks=benchmarks,
+        schemes=schemes,
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with spawned_server(jobs=1, cache_dir=Path(cache_dir)) as address:
+            # One warm-mix batch is the repeat batch's first touch: all
+            # misses, and exactly the specs the warm leg then repeats —
+            # so the warm leg below is served purely from the memo.
+            cold_cfg = LoadConfig(**{**vars(base), "mix": "warm", "batches": 1})
+            server_cold = run_load(address, cold_cfg)
+            warm_cfg = LoadConfig(
+                **{**vars(base), "mix": "warm", "batches": warm_batches}
+            )
+            server_warm = run_load(address, warm_cfg)
+
+    def _trim(payload: Dict[str, object]) -> Dict[str, object]:
+        keep = (
+            "mix", "batches", "batch_size", "clients", "jobs_total",
+            "completed", "failed", "wall_s", "throughput_jps",
+            "p50_ms", "p99_ms", "max_ms", "mean_ms",
+        )
+        return {k: payload[k] for k in keep}
+
+    section: Dict[str, object] = {
+        "scale": scale,
+        "benchmarks": benchmarks,
+        "schemes": schemes,
+        "cli_cold": cli_cold,
+        "server_cold": {**_trim(server_cold), "mix": "first-touch"},
+        "server_warm": _trim(server_warm),
+    }
+    if cli_cold["throughput_jps"]:
+        section["warm_vs_cli"] = (
+            server_warm["throughput_jps"] / cli_cold["throughput_jps"]
+        )
+    if server_cold["throughput_jps"]:
+        section["warm_vs_cold_server"] = (
+            server_warm["throughput_jps"] / server_cold["throughput_jps"]
+        )
+    return section
 
 
 def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
@@ -388,6 +494,30 @@ def render_summary(payload: Dict[str, object]) -> str:
             f"interp {p['interpret_derived']:.3f}s"
             f"{plan_note}{tc_note}{be_note})"
         )
+    serve_load = payload.get("serve_load")
+    if serve_load:
+        cli = serve_load["cli_cold"]
+        cold = serve_load["server_cold"]
+        warm = serve_load["server_warm"]
+        lines.append(
+            f"serve: cold CLI                     : "
+            f"{cli['throughput_jps']:.2f} jobs/s ({cli['jobs']} procs)"
+        )
+        lines.append(
+            f"serve: cold server (first touch)    : "
+            f"{cold['throughput_jps']:.2f} jobs/s "
+            f"(p99 {cold['p99_ms']:.0f}ms)"
+        )
+        lines.append(
+            f"serve: warm server                  : "
+            f"{warm['throughput_jps']:.2f} jobs/s "
+            f"(p99 {warm['p99_ms']:.1f}ms)"
+        )
+        if "warm_vs_cli" in serve_load:
+            lines.append(
+                f"serve: warm vs cold CLI             : "
+                f"{serve_load['warm_vs_cli']:.1f}x throughput"
+            )
     speedup = payload.get("speedup")
     if speedup:
         lines.append("speedup vs baseline:")

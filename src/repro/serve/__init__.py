@@ -1,0 +1,48 @@
+"""Service mode: a warm, batched simulation/translation daemon.
+
+``python -m repro serve`` keeps the translation cache, replay-IR
+artifacts, timing plans, and report cache warm in one long-lived process
+and serves batched job submissions over a trusted local TCP socket;
+``python -m repro load`` drives it with configurable request mixes and
+records latency percentiles + throughput. See docs/SERVE.md for the
+protocol, lifecycle, eviction discipline, and stats fields.
+"""
+
+from repro.serve.client import (
+    BatchOutcome,
+    RemoteEngine,
+    RemoteResult,
+    ServeClient,
+    ServeError,
+    parse_address,
+)
+from repro.serve.jobqueue import JobQueue, ResultMemo
+from repro.serve.loadgen import (
+    LoadConfig,
+    build_batches,
+    percentile,
+    render_load,
+    run_load,
+    spawned_server,
+)
+from repro.serve.server import ReproServer, ServeConfig, running_server
+
+__all__ = [
+    "BatchOutcome",
+    "JobQueue",
+    "LoadConfig",
+    "RemoteEngine",
+    "RemoteResult",
+    "ReproServer",
+    "ResultMemo",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "build_batches",
+    "parse_address",
+    "percentile",
+    "render_load",
+    "run_load",
+    "running_server",
+    "spawned_server",
+]

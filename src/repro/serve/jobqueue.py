@@ -1,0 +1,199 @@
+"""Server-side job queue: in-flight dedupe + bounded result memo.
+
+Two layers sit between a submitted batch and the execution engine:
+
+* **in-flight dedupe** — jobs are keyed by their content fingerprint
+  (:func:`~repro.engine.jobs.job_fingerprint`); a fingerprint that is
+  already queued or executing is *attached to*, not re-enqueued, so N
+  concurrent clients asking for the same simulation pay for exactly one
+  run (the ``dedup_hits`` counter certifies this in the warm-state
+  contract tests);
+* **bounded result memo** — a strict-LRU map from fingerprint to the
+  finished :class:`~repro.engine.jobs.JobResult`, capped at
+  ``memo_limit`` entries with an eviction counter, so a warm server's
+  memory stays bounded no matter how many distinct jobs flow through it
+  (the persistent report cache under ``$REPRO_CACHE_DIR`` is the
+  unbounded durable tier; this memo is the RAM tier).
+
+Everything here is thread-safe under one lock: connection handler
+threads submit and wait, the single dispatcher thread drains and
+completes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.jobs import JobResult, JobSpec, job_fingerprint
+
+#: how a submitted job was satisfied, reported per result line
+VIA_NEW = "run"        # enqueued for execution
+VIA_DEDUP = "dedup"    # attached to an identical in-flight job
+VIA_MEMO = "memo"      # served from the in-memory result memo
+
+
+class ResultMemo:
+    """Strict-LRU fingerprint -> JobResult map with an eviction counter."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(0, limit)
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        result = self._entries.get(fingerprint)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: JobResult) -> None:
+        if self.limit == 0:
+            return
+        self._entries[fingerprint] = result
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+
+@dataclass
+class Ticket:
+    """One submitted job's claim on a (possibly shared) outcome."""
+
+    spec: JobSpec
+    fingerprint: str
+    future: "Future[JobResult]"
+    via: str
+
+
+class JobQueue:
+    """Dedupe + FIFO pending queue feeding the dispatcher thread."""
+
+    def __init__(self, memo_limit: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: "deque[Tuple[str, JobSpec]]" = deque()
+        self._inflight: Dict[str, "Future[JobResult]"] = {}
+        self.memo = ResultMemo(memo_limit)
+        self.submitted = 0
+        self.dedup_hits = 0
+        self.completed = 0
+        self.failed = 0
+        self._closed = False
+
+    # -- client side ----------------------------------------------------
+    def submit(self, specs: List[JobSpec]) -> List[Ticket]:
+        """Claim a ticket per spec; new fingerprints join the queue.
+
+        Raises ``RuntimeError`` once the queue is closed for draining —
+        the connection handler maps that to a ``shutting-down`` error.
+        """
+        tickets: List[Ticket] = []
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("job queue is closed (server draining)")
+            for spec in specs:
+                fingerprint = job_fingerprint(spec)
+                self.submitted += 1
+                memoized = self.memo.get(fingerprint)
+                if memoized is not None:
+                    future: "Future[JobResult]" = Future()
+                    future.set_result(memoized)
+                    tickets.append(
+                        Ticket(spec, fingerprint, future, VIA_MEMO)
+                    )
+                    continue
+                inflight = self._inflight.get(fingerprint)
+                if inflight is not None:
+                    self.dedup_hits += 1
+                    tickets.append(
+                        Ticket(spec, fingerprint, inflight, VIA_DEDUP)
+                    )
+                    continue
+                future = Future()
+                self._inflight[fingerprint] = future
+                self._pending.append((fingerprint, spec))
+                tickets.append(Ticket(spec, fingerprint, future, VIA_NEW))
+            if self._pending:
+                self._wakeup.notify_all()
+        return tickets
+
+    # -- dispatcher side ------------------------------------------------
+    def drain_batch(
+        self, timeout: float = 0.1, max_batch: int = 0
+    ) -> List[Tuple[str, JobSpec]]:
+        """Every currently-pending unique job (up to ``max_batch``).
+
+        Blocks up to ``timeout`` seconds waiting for work; an empty list
+        means "nothing arrived" — callers loop on it.
+        """
+        with self._wakeup:
+            if not self._pending:
+                self._wakeup.wait(timeout)
+            batch: List[Tuple[str, JobSpec]] = []
+            while self._pending and (not max_batch or len(batch) < max_batch):
+                batch.append(self._pending.popleft())
+            return batch
+
+    def complete(self, fingerprint: str, result: JobResult) -> None:
+        with self._lock:
+            self.memo.put(fingerprint, result)
+            future = self._inflight.pop(fingerprint, None)
+            self.completed += 1
+        if future is not None:
+            future.set_result(result)
+
+    def fail(self, fingerprint: str, error: BaseException) -> None:
+        with self._lock:
+            future = self._inflight.pop(fingerprint, None)
+            self.failed += 1
+        if future is not None:
+            future.set_exception(error)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions; queued work keeps draining."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+
+    def abandon(self) -> int:
+        """Drop every queued-but-unstarted job (non-drain shutdown)."""
+        with self._wakeup:
+            dropped = 0
+            while self._pending:
+                fingerprint, _spec = self._pending.popleft()
+                future = self._inflight.pop(fingerprint, None)
+                if future is not None:
+                    future.set_exception(
+                        RuntimeError("server shut down before execution")
+                    )
+                    dropped += 1
+            return dropped
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def idle(self) -> bool:
+        with self._lock:
+            return not self._pending and not self._inflight

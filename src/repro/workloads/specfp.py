@@ -145,6 +145,12 @@ def make_benchmark(name: str, scale: float = 1.0) -> GuestProgram:
         from repro.fuzz.generator import benchmark_program
 
         return benchmark_program(name)
+    if name.startswith("fault:"):
+        # Fault-injection benchmarks for the serve failure-path tests;
+        # rejected unless SMARQ_FAULT_BENCHMARKS=1 (see repro.serve.faults).
+        from repro.serve.faults import make_fault_benchmark
+
+        return make_fault_benchmark(name, scale)
     traits = benchmark_traits(name)
     traits.iterations = max(100, int(traits.iterations * scale))
     return build_from_traits(traits)

@@ -168,7 +168,7 @@ class TestBackendTiersPartitionExecutions:
         assert c.get("vliw.backend_vec", 0) > 0
 
 
-class TestBenchSchema4:
+class TestBenchSchema:
     def test_cells_carry_backend_summary(self):
         from repro.perf import PerfConfig, run_perf
         from repro.sim.replay_backends import reset_artifact_cache
@@ -181,7 +181,7 @@ class TestBenchSchema4:
             repeats=1, figures_scale=None,
         )
         payload = run_perf(config)
-        assert payload["bench_schema"] == 4
+        assert payload["bench_schema"] == 5
         cell = payload["cells"]["art/smarq"]
         backends = cell["backends"]
         executed = cell["counters"]["vliw.regions_executed"]
@@ -209,3 +209,97 @@ class TestRegressionGate:
         failures = check_regression({}, 0.95)
         assert len(failures) == 2
         assert all("not computed" in f for f in failures)
+
+
+class TestServeWarmState:
+    """The daemon's warm-state contracts, observed via the stats endpoint."""
+
+    BATCH = [
+        JobSpec(benchmark=b, scheme_key=s, scale=0.05)
+        for b in ("art", "swim")
+        for s in ("smarq", "none")
+    ]
+
+    def test_repeat_batch_is_all_memo_hits(self):
+        from repro.serve import ServeClient, ServeConfig, running_server
+
+        with running_server(ServeConfig(cache=False)) as server:
+            with ServeClient(server.address) as client:
+                first = client.submit(self.BATCH)
+                assert first.failed == 0
+                assert all(r.via == "run" for r in first.results)
+                second = client.submit(self.BATCH)
+                assert second.failed == 0
+                assert all(r.via == "memo" for r in second.results)
+                assert all(r.from_cache for r in second.results)
+                stats = client.stats()
+        assert stats["memo"]["hits"] == len(self.BATCH)
+        # the memo served the repeat; the engine never saw it
+        assert stats["engine"]["jobs"] == len(self.BATCH)
+
+    def test_repeat_batch_recompiles_nothing(self):
+        """With the memo *and* report cache disabled, the repeat batch
+        re-executes through the engine — and the warm process-wide tiers
+        must absorb all of it: zero new translation-cache misses, zero
+        new replay-IR compiles, zero new timing-plan compiles."""
+        from repro.serve import ServeClient, ServeConfig, running_server
+
+        with running_server(
+            ServeConfig(cache=False, memo_limit=0)
+        ) as server:
+            with ServeClient(server.address) as client:
+                assert client.submit(self.BATCH).failed == 0
+                cold = client.stats()["counters"]
+                assert client.submit(self.BATCH).failed == 0
+                warm = client.stats()["counters"]
+
+        assert warm["dbt.runs"] == 2 * len(self.BATCH)
+        for counter in ("translate.cache_misses", "vliw.vec_compiles"):
+            assert warm.get(counter, 0) == cold.get(counter, 0), counter
+        # `vliw.replay_compiles` counts per-plan artifact adoptions, not
+        # codegen: on the repeat batch every adoption must be served by
+        # the process-wide artifact cache (no fresh lowering).
+        adopted = warm["vliw.replay_compiles"] - cold["vliw.replay_compiles"]
+        cache_hits = warm.get("vliw.replay_cache_hits", 0) - cold.get(
+            "vliw.replay_cache_hits", 0
+        )
+        assert adopted == cache_hits
+        # and the repeat batch really was served by those warm tiers
+        assert (
+            warm["translate.cache_hits"] > cold["translate.cache_hits"]
+        )
+
+    def test_concurrent_duplicates_coalesce_to_one_simulation(self):
+        import threading
+
+        from repro.serve import ServeClient, ServeConfig, running_server
+
+        # Slow enough (~1s) that the second submission lands while the
+        # first is still in flight.
+        spec = JobSpec(benchmark="art", scheme_key="smarq", scale=0.4)
+        with running_server(ServeConfig(cache=False)) as server:
+            outcomes = {}
+
+            def submit(name):
+                with ServeClient(server.address) as client:
+                    outcomes[name] = client.submit([spec])
+
+            threads = [
+                threading.Thread(target=submit, args=(n,))
+                for n in ("a", "b")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServeClient(server.address) as client:
+                stats = client.stats()
+
+        reports = [
+            outcomes[n].results[0].report.to_dict() for n in ("a", "b")
+        ]
+        assert reports[0] == reports[1]
+        # one submission simulated; the other attached to it in flight
+        # (or, worst case under scheduler delay, hit the memo)
+        assert stats["counters"]["dbt.runs"] == 1
+        assert stats["jobs"]["dedup_hits"] + stats["memo"]["hits"] == 1

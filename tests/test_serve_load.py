@@ -1,0 +1,116 @@
+"""Load-generator tests: mix construction, percentile math, and one
+end-to-end run against a spawned daemon subprocess (the CI serve-smoke
+job's exact path, asserting zero failed jobs and sane latency fields).
+"""
+
+import json
+
+import pytest
+
+from repro.serve import LoadConfig, build_batches, percentile
+
+
+class TestBatchConstruction:
+    def test_warm_mix_repeats_one_batch(self):
+        config = LoadConfig(mix="warm", batches=3, batch_size=4)
+        batches = build_batches(config)
+        assert len(batches) == 3
+        assert all(len(b) == 4 for b in batches)
+        assert batches[1] == batches[0]
+        assert batches[2] == batches[0]
+
+    def test_cold_mix_never_repeats_a_job(self):
+        config = LoadConfig(mix="cold", batches=4, batch_size=5)
+        batches = build_batches(config)
+        fingerprints = [
+            (s.benchmark, s.scheme_key, s.scale, s.hot_threshold)
+            for batch in batches
+            for s in batch
+        ]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_mixed_mix_alternates_fresh_and_repeat(self):
+        config = LoadConfig(mix="mixed", batches=4, batch_size=3)
+        batches = build_batches(config)
+        assert batches[1] == batches[0]  # odd batches repeat the first
+        assert batches[2] != batches[0]  # later even batches are fresh
+        assert batches[3] == batches[0]
+
+    def test_same_config_same_batches(self):
+        a = build_batches(LoadConfig(mix="mixed", batches=5, batch_size=4))
+        b = build_batches(LoadConfig(mix="mixed", batches=5, batch_size=4))
+        assert a == b
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LoadConfig(mix="tepid").validate()
+        with pytest.raises(ValueError):
+            LoadConfig(batches=0).validate()
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(samples, 0.50) == 30.0
+        assert percentile(samples, 0.99) == 50.0
+        assert percentile(samples, 0.01) == 10.0
+
+    def test_empty_and_single(self):
+        assert percentile([], 0.99) == 0.0
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestEndToEndLoad:
+    def test_spawned_daemon_serves_the_ci_smoke_mix(self, tmp_path):
+        """The CI serve-smoke job in miniature: spawn `python -m repro
+        serve`, drive a warm mix, gate on failures, write the artifact."""
+        from repro.cli import main
+
+        out = tmp_path / "load.json"
+        rc = main(
+            [
+                "load", "--spawn", "--mix", "warm",
+                "--batches", "3", "--batch-size", "3", "--clients", "2",
+                "--scale", "0.02", "--benchmarks", "art",
+                "--schemes", "smarq,itanium,none",
+                "--out", str(out),
+                "--assert-max-failed", "0",
+                "--assert-p99-ms", "60000",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["failed"] == 0
+        assert payload["completed"] == payload["jobs_total"] == 9
+        assert payload["throughput_jps"] > 0
+        assert 0 < payload["p50_ms"] <= payload["p99_ms"] <= payload["max_ms"]
+        # the warm repeats were actually served warm
+        stats = payload["server_stats"]
+        assert stats["memo"]["hits"] >= 3
+
+    def test_load_gates_trip(self, capsys):
+        """The CI gate flags must actually fail the run."""
+        from repro.cli import main
+
+        rc = main(
+            [
+                "load", "--spawn", "--mix", "warm",
+                "--batches", "2", "--batch-size", "2",
+                "--clients", "1", "--scale", "0.02",
+                "--benchmarks", "art", "--schemes", "smarq,none",
+                "--assert-p99-ms", "0.001",
+            ]
+        )
+        assert rc == 1
+        assert "load gate FAILED" in capsys.readouterr().out
+
+    def test_address_and_spawn_are_exclusive(self, capsys):
+        from repro.cli import main
+
+        assert main(["load"]) == 2
+        assert (
+            main(["load", "--spawn", "--address", "127.0.0.1:1"]) == 2
+        )
