@@ -4,8 +4,10 @@ Commands
 --------
 ``list``
     Show available benchmarks and schemes.
-``run BENCH [--scheme S] [--scale F]``
+``run BENCH [--scheme S] [--scale F] [--certify/--no-certify] [--stats]``
     Run one benchmark under one scheme; print the run report.
+    ``--certify``/``--no-certify`` force the static alias certifier on
+    or off for any scheme; ``--stats`` adds the certify counters.
 ``compare BENCH [--scale F] [--jobs N] [--no-cache] [--stats]``
     Run one benchmark under every scheme; print a speedup table.
 ``figures [--only figN] [--scale F] [--suite a,b,c] [--jobs N]
@@ -85,7 +87,7 @@ from repro.engine import (
 from repro.frontend.profiler import ProfilerConfig
 from repro.sim.dbt import DbtSystem
 from repro.sim.schemes import SCHEME_NAMES
-from repro.workloads import SPECFP_BENCHMARKS, make_benchmark
+from repro.workloads import CERT_BENCHMARKS, SPECFP_BENCHMARKS, make_benchmark
 
 #: figure name -> (run, render, scheme keys to prefetch, runner setup)
 _FIGURES = {
@@ -126,22 +128,45 @@ def _make_engine(args: argparse.Namespace):
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print("benchmarks:", " ".join(SPECFP_BENCHMARKS))
+    print("benchmarks:", " ".join(SPECFP_BENCHMARKS + CERT_BENCHMARKS))
     print("schemes:   ", " ".join(SCHEME_NAMES))
     print("figures:   ", " ".join(_FIGURES))
     return 0
 
 
-def _run_one(bench: str, scheme: str, scale: float):
+def _run_one(bench: str, scheme: str, scale: float, certify=None, tracer=None):
     program = make_benchmark(bench, scale=scale)
+    if certify is not None:
+        import dataclasses
+
+        from repro.sim.schemes import make_scheme
+
+        built = make_scheme(scheme)
+        scheme = dataclasses.replace(
+            built,
+            optimizer_config=dataclasses.replace(
+                built.optimizer_config, certify=certify
+            ),
+        )
     system = DbtSystem(
-        program, scheme, profiler_config=ProfilerConfig(hot_threshold=20)
+        program,
+        scheme,
+        profiler_config=ProfilerConfig(hot_threshold=20),
+        tracer=tracer,
     )
     return system.run()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    report = _run_one(args.benchmark, args.scheme, args.scale)
+    tracer = None
+    if args.stats:
+        from repro.engine.instrumentation import Tracer
+
+        tracer = Tracer()
+    report = _run_one(
+        args.benchmark, args.scheme, args.scale,
+        certify=args.certify, tracer=tracer,
+    )
     print(f"benchmark           : {report.program}")
     print(f"scheme              : {report.scheme}")
     print(f"guest instructions  : {report.guest_instructions}")
@@ -156,6 +181,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"alias exceptions    : {report.alias_exceptions} "
           f"(false positives {report.false_positive_exceptions})")
     print(f"re-optimizations    : {report.reoptimizations}")
+    checks = sum(s.check_constraints for s in report.region_stats.values())
+    print(f"check constraints   : {checks}")
+    if tracer is not None:
+        certified = tracer.counters.get("certify.pairs_certified", 0)
+        dropped = tracer.counters.get("certify.deps_dropped", 0)
+        rejected = tracer.counters.get("certify.rejected", 0)
+        print(f"certify             : {certified} pairs certified, "
+              f"{dropped} dependences dropped, "
+              f"{rejected} certificates rejected")
     return 0
 
 
@@ -458,12 +492,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list benchmarks, schemes, figures")
 
     run_p = sub.add_parser("run", help="run one benchmark under one scheme")
-    run_p.add_argument("benchmark", choices=SPECFP_BENCHMARKS)
+    run_p.add_argument(
+        "benchmark", choices=SPECFP_BENCHMARKS + CERT_BENCHMARKS
+    )
     run_p.add_argument("--scheme", default="smarq", choices=SCHEME_NAMES)
     run_p.add_argument("--scale", type=float, default=0.25)
+    run_p.add_argument(
+        "--certify", action="store_true", default=None,
+        help="force the static alias certifier on (any scheme)",
+    )
+    run_p.add_argument(
+        "--no-certify", action="store_false", dest="certify",
+        help="force the static alias certifier off",
+    )
+    run_p.add_argument(
+        "--stats", action="store_true",
+        help="also print certify counters from a run tracer",
+    )
 
     cmp_p = sub.add_parser("compare", help="run one benchmark on all schemes")
-    cmp_p.add_argument("benchmark", choices=SPECFP_BENCHMARKS)
+    cmp_p.add_argument(
+        "benchmark", choices=SPECFP_BENCHMARKS + CERT_BENCHMARKS
+    )
     cmp_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_flags(cmp_p)
 

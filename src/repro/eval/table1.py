@@ -12,6 +12,10 @@ micro-programs against the executable hardware models:
   does not check it.
 * **store-store** — two reordered aliasing stores are detected by the
   ordered queue and the bit-mask file, but invisible to the ALAT.
+* **static certification** (our grounded extension, the ``smarq-cert``
+  scheme) — a provably disjoint load/store pair is certified by the
+  prover, revalidated by the independent checker, and needs *no*
+  runtime check at all; the pure-hardware schemes always pay one.
 """
 
 from __future__ import annotations
@@ -19,12 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.analysis.certify import certify_region, check_certificate
+from repro.analysis.dependence import Dependence
 from repro.eval.report import render_table
 from repro.hw.efficeon import EFFICEON_MAX_REGISTERS, BitmaskAliasFile
 from repro.hw.exceptions import AliasException, AliasRegisterOverflow
 from repro.hw.itanium import AlatModel
 from repro.hw.queue_model import AliasRegisterQueue
 from repro.hw.ranges import AccessRange
+from repro.ir.instruction import Instruction, Opcode, load, store
+from repro.ir.superblock import Superblock
 
 
 @dataclass
@@ -102,6 +110,27 @@ def _store_store_alat() -> bool:
     return False
 
 
+def _static_certify() -> bool:
+    """A load and a store through bases a constant 64 bytes apart: the
+    linear prover certifies disjointness, the independent checker accepts
+    the certificate, and the pair needs no runtime check at all."""
+    ld = load(20, 8, disp=0, size=8)
+    st = store(9, 21, disp=0, size=8)
+    block = Superblock(
+        entry_pc=0x100,
+        instructions=[
+            Instruction(Opcode.ADD, dest=9, srcs=(8,), imm=64),
+            ld,
+            st,
+        ],
+    )
+    deps = [Dependence(ld, st)]
+    cert = certify_region(block, deps)
+    if cert.num_certified != 1:
+        return False
+    return not check_certificate(cert, block, deps)
+
+
 def run_table1() -> Table1Result:
     return Table1Result(
         properties={
@@ -109,16 +138,25 @@ def run_table1() -> Table1Result:
                 "scalable": _scalable_bitmask(),
                 "false_positive": False,  # mask names exactly the targets
                 "store_store": _store_store_bitmask(),
+                "static_certify": False,  # bit masks only see runtime addresses
             },
             "itanium-alat": {
                 "scalable": True,
                 "false_positive": _false_positive_alat(),
                 "store_store": _store_store_alat(),
+                "static_certify": False,  # the ALAT only sees runtime addresses
             },
             "order-based": {
                 "scalable": _scalable_ordered(),
                 "false_positive": _false_positive_ordered(),
                 "store_store": _store_store_ordered(),
+                "static_certify": False,  # plain SMARQ checks every pair
+            },
+            "order-based+cert": {
+                "scalable": _scalable_ordered(),
+                "false_positive": _false_positive_ordered(),
+                "store_store": _store_store_ordered(),
+                "static_certify": _static_certify(),
             },
         }
     )
@@ -133,15 +171,25 @@ def render_table1(result: Table1Result) -> str:
                 "Good" if props["scalable"] else "Poor",
                 "Yes" if props["false_positive"] else "No",
                 "Yes" if props["store_store"] else "No",
+                "Yes" if props["static_certify"] else "No",
             ]
         )
     return render_table(
         "Table 1: Comparison between HW Alias Detection Schemes (demonstrated)",
-        ["scheme", "scalability", "false positives", "detects store-store"],
+        [
+            "scheme",
+            "scalability",
+            "false positives",
+            "detects store-store",
+            "static certify",
+        ],
         rows,
         note=(
             "Paper: Efficeon = poor scalability / no FP / store-store yes; "
             "Itanium = scalable / FP yes / store-store no; order-based = "
-            "scalable / no FP / store-store yes."
+            "scalable / no FP / store-store yes. The static-certify column "
+            "is our grounded extension (smarq-cert): a software proof "
+            "checked independently of the prover removes the runtime check "
+            "entirely."
         ),
     )

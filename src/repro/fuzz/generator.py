@@ -33,6 +33,12 @@ Ops are compact JSON lists:
     FADD/FMUL filler creating value dependences between memory ops.
 ``["movi", dest, imm]``
     immediate definition.
+``["pmov", u_index, base_ref, delta]``
+    pointer bump: unknown base register ``u_index`` becomes
+    ``base_ref + delta`` (an ``ADD`` immediate). Creates derived
+    pointers at provable constant separation — the certifier's
+    bread and butter — while staying inside the region bounds
+    (generation caps the per-case delta sum).
 """
 
 from __future__ import annotations
@@ -180,6 +186,14 @@ class FuzzCase:
         if kind == "movi":
             _, dest, imm = op
             return movi(dest, imm)
+        if kind == "pmov":
+            _, u_index, ref, delta = op
+            return Instruction(
+                Opcode.ADD,
+                dest=UNKNOWN_BASE_REG + u_index,
+                srcs=(self.base_register(ref),),
+                imm=delta,
+            )
         raise ValueError(f"unknown fuzz op {op!r}")
 
     def known_region_map(self) -> Dict[str, Tuple[int, int]]:
@@ -374,9 +388,24 @@ def generate_case(seed: int) -> FuzzCase:
     )
     ops: List[list] = []
     n_ops = rng.randint(4, 22)
+    # Pointer-bump budget: the sum of pmov deltas stays well under the
+    # region headroom (see _REGION_BYTES) so every derived pointer —
+    # including chains of bumps — remains in bounds even combined with
+    # the walking offset, and the minimizer can drop any subset of ops
+    # without pushing survivors out of range.
+    pmov_budget = 192
     while len(ops) < n_ops:
-        if rng.random() < 0.12:
+        roll = rng.random()
+        if roll < 0.12:
             _emit_forwarding_chain(rng, cfg, ops)
+        elif roll < 0.24:
+            delta = rng.choice((8, 16, 32, 64))
+            if delta <= pmov_budget:
+                ops.append(
+                    ["pmov", rng.randrange(cfg.unknown_bases),
+                     _base_ref(rng, cfg), delta]
+                )
+                pmov_budget -= delta
         else:
             _emit_random_op(rng, cfg, ops)
     return FuzzCase(config=cfg, ops=ops)

@@ -38,6 +38,14 @@ implementations agreed). The configured pairs:
     in-process server, started lazily on first use) vs serial in-process
     execution — the full wire round trip: spec encode, socket framing,
     dispatch, report decode (reports must be byte-identical).
+``certify``
+    The static alias certifier vs its independent proof checker vs the
+    running system: every certificate the (possibly mutant) prover
+    emits must survive the clean checker, synthetic runtime alias
+    hints must force refusal, the hardware replay must perform *no*
+    check on a certified pair, and ``smarq-cert``'s architectural
+    state must match both the ``SMARQ_NO_CERTIFY=1`` run and pure
+    interpretation.
 
 The oracles deliberately re-run the sub-implementations from scratch per
 leg; a :class:`CaseRun` memo keeps the shared expensive pieces (the
@@ -53,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.certify import certify_region, check_certificate
 from repro.analysis.constraints import ConstraintCycleError, derive_constraints
 from repro.analysis.dependence import DependenceSet, compute_dependences
 from repro.analysis.liveness import working_set_lower_bound
@@ -82,9 +91,10 @@ from repro.smarq.validator import (
 _NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
 _NO_TRANSLATION_CACHE_ENV = "SMARQ_NO_TRANSLATION_CACHE"
 _BACKEND_ENV = "SMARQ_REPLAY_BACKEND"
+_NO_CERTIFY_ENV = "SMARQ_NO_CERTIFY"
 
 #: schemes whose final architectural state must equal pure interpretation
-STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none")
+STATE_SCHEMES = ("smarq", "smarq16", "itanium", "efficeon", "none", "smarq-cert")
 #: schemes run twice for the timing-plans on/off report comparison
 PLANS_SCHEMES = ("smarq", "itanium")
 #: schemes run twice for the translation-cache on/off report comparison
@@ -144,6 +154,23 @@ def translation_cache_disabled():
 
 
 @contextmanager
+def certify_disabled():
+    """Force certification off for translations run inside.
+
+    The kill switch is read per translation, so the context must cover
+    the whole ``run()``, mirroring :func:`translation_cache_disabled`."""
+    prev = os.environ.get(_NO_CERTIFY_ENV)
+    os.environ[_NO_CERTIFY_ENV] = "1"
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ[_NO_CERTIFY_ENV]
+        else:
+            os.environ[_NO_CERTIFY_ENV] = prev
+
+
+@contextmanager
 def backend_forced(tier: str):
     """Force one replay backend tier for VliwSimulators built inside.
 
@@ -174,6 +201,9 @@ class CaseRun:
 
     case: FuzzCase
     queue_factory: Callable[[int], object] = AliasRegisterQueue
+    #: alias prover under test — None for the sound default, a mutant
+    #: in the certify mutation tests (static oracle legs only)
+    prover: Optional[object] = None
     _allocated: Optional[tuple] = None
     _reference_state: Optional[tuple] = None
     _scheme_state: Dict[str, tuple] = field(default_factory=dict)
@@ -183,6 +213,8 @@ class CaseRun:
     _backend_report: Dict[Tuple[str, str], dict] = field(
         default_factory=dict
     )
+    _nocert_state: Optional[tuple] = None
+    _nocert_report: Dict[str, dict] = field(default_factory=dict)
 
     # -- superblock-level allocation -----------------------------------
     def build_inputs(self):
@@ -259,6 +291,39 @@ class CaseRun:
                 report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
             self._backend_report[key] = report.to_dict()
         return self._backend_report[key]
+
+    def nocert_state(self):
+        """smarq-cert architectural state under ``SMARQ_NO_CERTIFY=1``."""
+        if self._nocert_state is None:
+            program = self.case.program()
+            profiler = ProfilerConfig(
+                hot_threshold=self.case.config.hot_threshold
+            )
+            with certify_disabled():
+                system = DbtSystem(
+                    program, "smarq-cert", profiler_config=profiler
+                )
+                system.run(max_guest_steps=_MAX_GUEST_STEPS)
+            self._nocert_state = (
+                list(system.interpreter.registers),
+                bytes(system.memory._data),
+            )
+        return self._nocert_state
+
+    def nocert_report(self, scheme: str) -> dict:
+        """DbtReport dict under scheme with ``SMARQ_NO_CERTIFY=1``."""
+        if scheme not in self._nocert_report:
+            program = self.case.program()
+            profiler = ProfilerConfig(
+                hot_threshold=self.case.config.hot_threshold
+            )
+            with certify_disabled():
+                system = DbtSystem(
+                    program, scheme, profiler_config=profiler
+                )
+                report = system.run(max_guest_steps=_MAX_GUEST_STEPS)
+            self._nocert_report[scheme] = report.to_dict()
+        return self._nocert_report[scheme]
 
     def _run_dbt(self, scheme: str, plans: bool, cache: bool) -> None:
         from contextlib import ExitStack
@@ -691,6 +756,153 @@ def serve_oracle(run: CaseRun) -> List[Disagreement]:
     return []
 
 
+# ----------------------------------------------------------------------
+# certify: static prover vs independent checker vs the running system
+# ----------------------------------------------------------------------
+def certify_oracle(run: CaseRun) -> List[Disagreement]:
+    """Soundness contract of the static alias certifier.
+
+    Leg 1 certifies the case body with the prover under test
+    (``run.prover``; the sound default when None) and revalidates with
+    the clean checker — any complaint means an unsound certificate
+    escaped the prover. Leg 2 re-certifies under synthetic runtime
+    alias hints naming every certified pair: profile feedback outranks
+    static proof, so a sound prover refuses them all (a hint-blind
+    mutant does not, and the checker flags it). Leg 3 replays the
+    checker-approved allocation on the hardware model with each
+    certified pair's addresses collided: a check firing there means a
+    dropped constraint leaked back into the allocation. Leg 4 (skipped
+    under an injected mutant, whose bugs the static legs catch) pins
+    system-level parity: smarq-cert's architectural state equals both
+    the ``SMARQ_NO_CERTIFY=1`` run and pure interpretation, and a
+    non-certifying scheme's report is byte-identical under the kill
+    switch.
+    """
+    out: List[Disagreement] = []
+    case = run.case
+    block, analysis, machine, dep_set = run.build_inputs()
+    base_deps = [d for d in dep_set if not d.extended]
+    region_map = case.known_region_map()
+    initial_regions = case.known_initial_regions()
+
+    # Leg 1: prover-emitted certificate vs the independent checker.
+    cert = certify_region(
+        block, base_deps, region_map=region_map,
+        initial_regions=initial_regions, prover=run.prover,
+    )
+    problems = check_certificate(
+        cert, block, base_deps, region_map=region_map,
+        initial_regions=initial_regions,
+    )
+    if problems:
+        out.append(
+            Disagreement(
+                "certify",
+                f"checker rejects certificate from prover "
+                f"{cert.prover!r}: " + "; ".join(problems[:3]),
+            )
+        )
+        return out
+
+    insts = list(block)
+    pairs = cert.certified_pairs()
+    if pairs:
+        # Leg 2: synthetic hints on every certified pair must flip each
+        # verdict to refused — checked, again, by the clean checker.
+        hints: Dict[Tuple[int, int], float] = {}
+        for sp, dp in pairs:
+            mi, mj = insts[sp].mem_index, insts[dp].mem_index
+            if mi is not None and mj is not None:
+                lo, hi = sorted((mi, mj))
+                hints[(lo, hi)] = 1.0
+        hinted = certify_region(
+            block, base_deps, region_map=region_map,
+            initial_regions=initial_regions, alias_hints=hints,
+            prover=run.prover,
+        )
+        hint_problems = check_certificate(
+            hinted, block, base_deps, region_map=region_map,
+            initial_regions=initial_regions, alias_hints=hints,
+        )
+        if hint_problems:
+            out.append(
+                Disagreement(
+                    "certify",
+                    "prover ignores runtime alias hints: "
+                    + "; ".join(hint_problems[:3]),
+                )
+            )
+            return out
+
+        # Leg 3: allocation without the certified dependences performs
+        # no runtime check on them, even with their addresses collided.
+        positions = {inst.uid: i for i, inst in enumerate(block)}
+        kept = [
+            d for d in base_deps
+            if (positions[d.src.uid], positions[d.dst.uid]) not in pairs
+        ]
+        allocator = SmarqAllocator(
+            machine, DependenceSet(kept), list(block.instructions)
+        )
+        ddg = DataDependenceGraph(block, machine, memory_dependences=kept)
+        result = ListScheduler(
+            machine, SchedulerConfig(), allocator
+        ).schedule(ddg, alias_analysis=analysis)
+        checks, antis = semantic_pairs_from_allocator(allocator)
+        certified_insts = [
+            (insts[sp], insts[dp]) for sp, dp in sorted(pairs)
+        ]
+        try:
+            validate_allocation(
+                result.linear, checks, antis,
+                case.config.alias_registers,
+                queue_factory=run.queue_factory,
+                probe_boundaries=True,
+                certified_pairs=certified_insts,
+            )
+        except ValidationError as exc:
+            out.append(
+                Disagreement("certify", f"certified allocation: {exc}")
+            )
+            return out
+
+    # Leg 4: system-level parity (the sound prover's integration).
+    if run.prover is None:
+        state_on = run.scheme_state("smarq-cert")
+        state_off = run.nocert_state()
+        if state_on != state_off:
+            out.append(
+                Disagreement(
+                    "certify",
+                    "smarq-cert architectural state differs under "
+                    "SMARQ_NO_CERTIFY=1",
+                )
+            )
+        if state_on != run.reference_state():
+            out.append(
+                Disagreement(
+                    "certify",
+                    "smarq-cert architectural state diverges from pure "
+                    "interpretation",
+                )
+            )
+        report_on = run.scheme_report("smarq", plans=True)
+        report_off = run.nocert_report("smarq")
+        if report_on != report_off:
+            keys = sorted(
+                k for k in report_on
+                if report_on.get(k) != report_off.get(k)
+            )
+            out.append(
+                Disagreement(
+                    "certify",
+                    f"non-certifying scheme report changed under "
+                    f"SMARQ_NO_CERTIFY=1 (fields {keys})",
+                )
+            )
+    return out
+
+
 #: oracle name -> per-case implementation, in documentation order
 ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "alloc": alloc_oracle,
@@ -701,6 +913,7 @@ ORACLES: Dict[str, Callable[[CaseRun], List[Disagreement]]] = {
     "backends": backends_oracle,
     "engine": engine_oracle,
     "serve": serve_oracle,
+    "certify": certify_oracle,
 }
 
 ORACLE_NAMES = tuple(ORACLES)

@@ -70,6 +70,9 @@ class FuzzConfig:
     #: hardware implementation injected into alloc/queue oracles (the
     #: mutation smoke test swaps in a broken queue here)
     queue_factory: Optional[type] = None
+    #: alias prover injected into the certify oracle (the certify
+    #: mutation test swaps in an unsound prover here)
+    prover: Optional[object] = None
 
 
 @dataclass
@@ -157,9 +160,12 @@ class FuzzRunner:
         return stats
 
     def _make_run(self, case: FuzzCase) -> CaseRun:
+        kwargs = {}
         if self.config.queue_factory is not None:
-            return CaseRun(case, queue_factory=self.config.queue_factory)
-        return CaseRun(case)
+            kwargs["queue_factory"] = self.config.queue_factory
+        if self.config.prover is not None:
+            kwargs["prover"] = self.config.prover
+        return CaseRun(case, **kwargs)
 
     # ------------------------------------------------------------------
     def _handle_failure(

@@ -28,8 +28,10 @@ ignores alias hints while eliminations and scheduling read them, a
 re-optimization after an alias exception recomputes constraints and
 allocation but reuses the DDG when the transformed block is unchanged.
 The sub-phases are tracer-visible as ``optimize.constraints``,
-``optimize.ddg``, ``optimize.schedule`` (with the allocator's share
-split out as ``optimize.alloc``) and ``optimize.cache``.
+``optimize.certify`` (when :attr:`OptimizerConfig.certify` is on — see
+:mod:`repro.analysis.certify`), ``optimize.ddg``, ``optimize.schedule``
+(with the allocator's share split out as ``optimize.alloc``) and
+``optimize.cache``.
 """
 
 from __future__ import annotations
@@ -40,6 +42,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.aliasinfo import AliasAnalysis
+from repro.analysis.certify import (
+    Certificate,
+    certify_enabled,
+    certify_region,
+    check_certificate,
+    prover_token,
+)
 from repro.analysis.dependence import (
     Dependence,
     DependenceSet,
@@ -93,6 +102,9 @@ class OptimizerConfig:
     #: unroll loop regions this many times before optimizing (1 = off);
     #: the paper's "larger region / loop level" future-work direction
     unroll_factor: int = 1
+    #: statically certify non-aliasing pairs and drop their constraints
+    #: (see :mod:`repro.analysis.certify`; kill switch SMARQ_NO_CERTIFY)
+    certify: bool = False
 
 
 @dataclass
@@ -115,6 +127,8 @@ class OptimizedRegion:
     store_elim: StoreEliminationResult
     analysis: AliasAnalysis
     config: OptimizerConfig
+    #: checker-accepted alias certificate, when certification ran
+    certificate: Optional[Certificate] = None
 
     @property
     def length_cycles(self) -> int:
@@ -184,7 +198,7 @@ class OptimizationPipeline:
         return value
 
     def _full_key(self, content, hints_key, banned_key) -> Tuple:
-        return (
+        key = (
             "full",
             self._machine_digest,
             self._env_digest,
@@ -193,6 +207,13 @@ class OptimizationPipeline:
             hints_key,
             banned_key,
         )
+        if self.config.certify:
+            # The kill switch and any mutant-prover override change what
+            # the certify stage produces; fold both in so flipping either
+            # cannot serve a translation built under the other. Schemes
+            # with certification off keep their pre-certify keys.
+            key += (("certify", certify_enabled(), prover_token()),)
+        return key
 
     def _elim_key(self, content, hints_key, banned_key) -> Tuple:
         """Eliminations never read the machine model, the allocator choice,
@@ -222,9 +243,9 @@ class OptimizationPipeline:
         lets a post-exception re-optimization hit this tier."""
         return ("deps", self._env_digest, content2)
 
-    def _ddg_key(self, content2) -> Tuple:
+    def _ddg_key(self, content2, cert_sig=()) -> Tuple:
         c = self.config
-        return (
+        key = (
             "ddg",
             self._env_digest,
             self._latency_sig,
@@ -232,12 +253,19 @@ class OptimizationPipeline:
             c.speculation_policy,
             content2,
         )
+        if cert_sig:
+            # Certified pairs were dropped before DDG construction; the
+            # structure differs from the uncertified one. Appending only
+            # when non-empty keeps zero-drop certification sharing the
+            # plain DDG memo byte-for-byte.
+            key += (("certified", cert_sig),)
+        return key
 
-    def _prep_key(self, content2, hints_key, banned_key) -> Tuple:
+    def _prep_key(self, content2, hints_key, banned_key, cert_sig=()) -> Tuple:
         c = self.config
         return (
             "prep",
-            self._ddg_key(content2),
+            self._ddg_key(content2, cert_sig),
             c.speculate,
             c.alias_rate_threshold,
             hints_key,
@@ -390,17 +418,81 @@ class OptimizationPipeline:
                         ),
                         tracer,
                     )
-            deps = DependenceSet(base_deps)
-            for dep in load_result.extended_deps:
-                deps.add(dep)
-            for dep in store_result.extended_deps:
-                deps.add(dep)
+        certificate: Optional[Certificate] = None
+        cert_sig: Tuple = ()
+        if config.certify and certify_enabled():
+            with tracer.phase("optimize.certify"):
+                cert = None
+                if cache is not None:
+                    # Keyed like deps plus the profile state the prover's
+                    # refusal predicates read, plus the override token.
+                    cert_key = (
+                        "certify",
+                        self._env_digest,
+                        content2,
+                        hints_key,
+                        banned_key,
+                        prover_token(),
+                    )
+                    cert = cache.get_stage("certify", cert_key, tracer)
+                if cert is None:
+                    cert = certify_region(
+                        block,
+                        base_deps,
+                        region_map=self.region_map,
+                        initial_regions=self.register_regions,
+                        alias_hints=hints,
+                        banned=banned,
+                    )
+                    if cache is not None:
+                        cache.put_stage("certify", cert_key, cert, tracer)
+                # The checker reruns even on cache hits: a certificate is
+                # never trusted, only a (certificate, accepted) pair.
+                problems = check_certificate(
+                    cert,
+                    block,
+                    base_deps,
+                    region_map=self.region_map,
+                    initial_regions=self.register_regions,
+                    alias_hints=hints,
+                    banned=banned,
+                )
+                if problems:
+                    # Fail safe: an unsound or stale certificate drops
+                    # nothing; the region keeps its full constraint set.
+                    tracer.count("certify.rejected")
+                else:
+                    certificate = cert
+                    pairs = cert.certified_pairs()
+                    if pairs:
+                        positions = {
+                            inst.uid: idx for idx, inst in enumerate(block)
+                        }
+                        kept = [
+                            d
+                            for d in base_deps
+                            if (positions[d.src.uid], positions[d.dst.uid])
+                            not in pairs
+                        ]
+                        tracer.count(
+                            "certify.deps_dropped",
+                            len(base_deps) - len(kept),
+                        )
+                        base_deps = kept
+                        cert_sig = tuple(sorted(pairs))
+                    tracer.count("certify.pairs_certified", len(pairs))
+
+        deps = DependenceSet(base_deps)
+        for dep in load_result.extended_deps:
+            deps.add(dep)
+        for dep in store_result.extended_deps:
+            deps.add(dep)
 
         with tracer.phase("optimize.ddg"):
             ddg = None
             if cache is not None:
                 structural = cache.get_stage(
-                    "ddg", self._ddg_key(content2), tracer
+                    "ddg", self._ddg_key(content2, cert_sig), tracer
                 )
                 if structural is not None:
                     ddg = DataDependenceGraph.from_structural(
@@ -419,7 +511,10 @@ class OptimizationPipeline:
                 )
                 if cache is not None:
                     cache.put_stage(
-                        "ddg", self._ddg_key(content2), ddg.structural(), tracer
+                        "ddg",
+                        self._ddg_key(content2, cert_sig),
+                        ddg.structural(),
+                        tracer,
                     )
 
         with tracer.phase("optimize.schedule"):
@@ -461,7 +556,9 @@ class OptimizationPipeline:
             )
             prep = None
             if cache is not None:
-                prep_key = self._prep_key(content2, hints_key, banned_key)
+                prep_key = self._prep_key(
+                    content2, hints_key, banned_key, cert_sig
+                )
                 prep = cache.get_stage("prep", prep_key, tracer)
             if prep is None:
                 prep = scheduler.prepare(ddg, alias_analysis=analysis)
@@ -480,6 +577,7 @@ class OptimizationPipeline:
             store_elim=store_result,
             analysis=analysis,
             config=config,
+            certificate=certificate,
         )
 
     # ------------------------------------------------------------------

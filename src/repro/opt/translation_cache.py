@@ -65,7 +65,7 @@ _DEFAULT_ROOT = "~/.cache/repro"
 _DEFAULT_ENTRIES = 512
 
 #: stage tier names (each an independent LRU)
-STAGES = ("elim", "deps", "ddg", "prep")
+STAGES = ("elim", "deps", "ddg", "prep", "certify")
 
 
 def region_content_key(block) -> Tuple:

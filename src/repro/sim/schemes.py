@@ -29,7 +29,15 @@ from repro.ir.instruction import Instruction, Opcode
 from repro.opt.pipeline import OptimizerConfig
 from repro.sched.machine import MachineModel
 
-SCHEME_NAMES = ("smarq", "smarq16", "itanium", "none", "efficeon", "plainorder")
+SCHEME_NAMES = (
+    "smarq",
+    "smarq16",
+    "itanium",
+    "none",
+    "efficeon",
+    "plainorder",
+    "smarq-cert",
+)
 
 #: shared empty required-target set (avoids one allocation per store check)
 _EMPTY_SET: Set[int] = frozenset()
@@ -459,6 +467,17 @@ def make_scheme(name: str, machine: Optional[MachineModel] = None) -> Scheme:
             name=name,
             machine=m,
             optimizer_config=OptimizerConfig(speculate=True),
+            adapter_factory=partial(SmarqAdapter, m.alias_registers),
+        )
+    if name == "smarq-cert":
+        # SMARQ plus the static alias certifier: provably disjoint pairs
+        # lose their check constraints entirely (best-case bound when
+        # everything provable is dropped). Hardware is unchanged.
+        m = base.with_alias_registers(base.alias_registers or 64)
+        return Scheme(
+            name=name,
+            machine=m,
+            optimizer_config=OptimizerConfig(speculate=True, certify=True),
             adapter_factory=partial(SmarqAdapter, m.alias_registers),
         )
     if name == "smarq16":

@@ -111,6 +111,7 @@ def validate_allocation(
     num_registers: int,
     queue_factory=AliasRegisterQueue,
     probe_boundaries: bool = False,
+    certified_pairs: Iterable[Tuple[Instruction, Instruction]] = (),
 ) -> None:
     """Raise :class:`ValidationError` on any violated property.
 
@@ -118,6 +119,19 @@ def validate_allocation(
     ``anti_pairs`` are semantic (protected, checker) pairs. Both use the
     *original* memory operations (AMOV relocation already resolved by the
     caller; see :func:`semantic_pairs_from_allocator`).
+
+    ``certified_pairs`` are (earlier, later) memory-op pairs the static
+    certifier dropped from the constraint set
+    (:mod:`repro.analysis.certify`): no check constraint may connect the
+    pair in either direction — the whole point of certification is that
+    no runtime check guards it, so a surviving constraint marks one the
+    pipeline failed to drop (or an allocator that re-derived it). When
+    neither op checks *anything*, the pair is additionally collided and
+    replayed, which must not raise. (When one of them legitimately
+    checks a third op, the collision probe is skipped: an ordered-queue
+    check scans a window of entries that can include the certified
+    partner, so the probe would report that real check, not a leaked
+    constraint.)
 
     With ``probe_boundaries`` the exact-collision replays are augmented
     with range-boundary probes per check pair: the checker overlapping
@@ -130,6 +144,7 @@ def validate_allocation(
     """
     base = _disjoint_addresses(linear)
     stride = 0x100
+    check_pairs = list(check_pairs)
 
     clean = replay_stream(linear, base, num_registers, queue_factory)
     if clean is not None:
@@ -177,6 +192,31 @@ def validate_allocation(
             raise ValidationError(
                 f"FALSE POSITIVE: colliding {protected!r} with {checker!r} "
                 f"(anti-constrained) raised {exc}"
+            )
+
+    check_uid_pairs = {(c.uid, t.uid) for c, t in check_pairs}
+    checker_uids = {c.uid for c, _t in check_pairs}
+    for earlier, later in certified_pairs:
+        if (
+            (earlier.uid, later.uid) in check_uid_pairs
+            or (later.uid, earlier.uid) in check_uid_pairs
+        ):
+            raise ValidationError(
+                f"CERTIFIED PAIR STILL CHECKED: a check constraint "
+                f"connects {earlier!r} and {later!r} (statically "
+                f"certified disjoint)"
+            )
+        if earlier.uid not in base or later.uid not in base:
+            continue  # op eliminated before scheduling; nothing to probe
+        if earlier.uid in checker_uids or later.uid in checker_uids:
+            continue  # window checks for third ops would fire legitimately
+        addresses = dict(base)
+        addresses[later.uid] = addresses[earlier.uid]
+        exc = replay_stream(linear, addresses, num_registers, queue_factory)
+        if exc is not None:
+            raise ValidationError(
+                f"CERTIFIED PAIR STILL CHECKED: colliding {earlier!r} with "
+                f"{later!r} (statically certified disjoint) raised {exc}"
             )
 
 

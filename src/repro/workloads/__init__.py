@@ -18,12 +18,14 @@ defeating static disambiguation) plus general knowledge of the suite.
 
 from repro.workloads.synthetic import ProgramBuilder, WorkloadTraits, build_from_traits
 from repro.workloads.specfp import (
+    CERT_BENCHMARKS,
     SPECFP_BENCHMARKS,
     make_benchmark,
     benchmark_traits,
 )
 
 __all__ = [
+    "CERT_BENCHMARKS",
     "ProgramBuilder",
     "SPECFP_BENCHMARKS",
     "WorkloadTraits",

@@ -113,7 +113,24 @@ _TRAITS: Dict[str, WorkloadTraits] = {
         indirect_stores=1, redundant_loads=1, chained_forwardings=1, unknown_arrays=2,
         known_arrays=1, fp_chain=2,
     ),
+    # Pointer-walk benchmarks for the alias certifier (outside the
+    # canonical SPECFP list so the default figure suites are unchanged):
+    # every speculative pair is provably disjoint, so ``smarq-cert``
+    # should drop essentially all runtime checks while plain ``smarq``
+    # pays for each one.
+    "pwalk": WorkloadTraits(
+        name="pwalk", streams=1, pointer_walks=4, unknown_arrays=3,
+        known_arrays=1, fp_chain=2,
+    ),
+    "pchase": WorkloadTraits(
+        name="pchase", streams=1, pointer_walks=1, pointer_chases=3,
+        unknown_arrays=2, known_arrays=1, fp_chain=2,
+    ),
 }
+
+#: certifier-focused pointer-walk benchmarks (not part of the canonical
+#: figure suites; see ``smarq-cert`` in :mod:`repro.sim.schemes`)
+CERT_BENCHMARKS: List[str] = ["pwalk", "pchase"]
 
 
 def benchmark_traits(name: str) -> WorkloadTraits:

@@ -72,6 +72,14 @@ class WorkloadTraits:
     #: reordering they serialize behind it (the mesa sensitivity knob)
     slow_store_followers: int = 2
     chained_forwardings: int = 0
+    #: derived-pointer walks: ``p1 = p + stride`` off an unknown array
+    #: base, load through ``p``, store through ``p1``. Statically MAY to
+    #: aliasinfo (the base is unknown), but the constant separation is
+    #: provable — the alias certifier's bread and butter
+    pointer_walks: int = 0
+    #: like ``pointer_walks`` but the base pointer is *loaded* from the
+    #: pointer table first, so the proof must track a loaded value
+    pointer_chases: int = 0
     #: FP chain length inside stream/slow_store patterns
     fp_chain: int = 2
     #: arrays whose base registers the optimizer can place (region known)
@@ -339,6 +347,43 @@ def _emit_body(
         elif unknown_ptrs:
             dst = unknown_ptrs[(i + 1) % len(unknown_ptrs)]
             b.emit(store(dst, tmp, disp=(i * 2 + 1) * WORD, size=WORD))
+
+    for i in range(traits.pointer_walks):
+        # p1 = p + stride; st [p1+disp]; ld [p+disp]. The store lands
+        # exactly ``stride`` past the load — never aliasing, but the
+        # unknown base defeats aliasinfo, so hoisting the load above the
+        # store costs plain SMARQ a runtime check the certifier can drop.
+        base_ptr = (
+            unknown_ptrs[i % len(unknown_ptrs)]
+            if unknown_ptrs
+            else known_regs[0]
+        )
+        val, tmp, walked = take(3)
+        stride = (i + 1) * 8 * WORD
+        disp = (16 + i * 2) * WORD
+        b.emit(
+            Instruction(Opcode.ADD, dest=walked, srcs=(base_ptr,), imm=stride)
+        )
+        fp_chain(tmp, acc, traits.fp_chain)
+        b.emit(store(walked, tmp, disp=disp, size=WORD))
+        b.emit(load(val, base_ptr, disp=disp, size=WORD))
+        b.emit(fbinop(Opcode.FADD, acc, acc, val))
+
+    for i in range(traits.pointer_chases):
+        # Chase a table pointer, then walk it: q = ld [table]; q1 = q +
+        # stride; st [q1]; ld [q]. Certifiable only by treating the
+        # loaded pointer as one fixed unknown (fresh load symbol).
+        ptr, val, walked = take(3)
+        stride = (i + 1) * 4 * WORD
+        b.emit(
+            load(ptr, table_addr(), disp=next_table_slot() * WORD, size=WORD)
+        )
+        b.emit(
+            Instruction(Opcode.ADD, dest=walked, srcs=(ptr,), imm=stride)
+        )
+        b.emit(store(walked, acc, size=WORD))
+        b.emit(load(val, ptr, size=WORD))
+        b.emit(fbinop(Opcode.FADD, acc, acc, val))
 
     for i in range(traits.rmws):
         target = unknown_ptrs[i % len(unknown_ptrs)] if unknown_ptrs else known_regs[0]

@@ -21,7 +21,7 @@ ENTRIES = load_corpus(CORPUS_DIR)
 
 def test_corpus_is_seeded():
     """The repo ships a non-empty corpus (guards against a bad glob)."""
-    assert len(ENTRIES) >= 4
+    assert len(ENTRIES) >= 6
 
 
 @pytest.mark.parametrize(

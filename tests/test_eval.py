@@ -51,21 +51,31 @@ class TestTable1:
             "scalable": False,
             "false_positive": False,
             "store_store": True,
+            "static_certify": False,
         }
         assert result.properties["itanium-alat"] == {
             "scalable": True,
             "false_positive": True,
             "store_store": False,
+            "static_certify": False,
         }
         assert result.properties["order-based"] == {
             "scalable": True,
             "false_positive": False,
             "store_store": True,
+            "static_certify": False,
+        }
+        assert result.properties["order-based+cert"] == {
+            "scalable": True,
+            "false_positive": False,
+            "store_store": True,
+            "static_certify": True,
         }
 
     def test_render(self):
         text = render_table1(run_table1())
         assert "order-based" in text and "Poor" in text
+        assert "order-based+cert" in text and "static certify" in text
 
 
 class TestFigures:
