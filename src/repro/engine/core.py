@@ -139,6 +139,22 @@ class ExecutionEngine:
                 f"regions executed      : "
                 f"{c.get('vliw.regions_executed', 0)}",
             ]
+            batch = c.get("vliw.backend_batch", 0)
+            tiers = (
+                f"replay backends       : "
+                f"{c.get('vliw.backend_interp', 0)} interp / "
+                f"{c.get('vliw.backend_py', 0)} py / "
+                f"{c.get('vliw.backend_vec', 0)} vec / "
+                f"{batch} batch"
+            )
+            if batch:
+                from repro.sim.replay_backends import batch_flavor
+
+                tiers += (
+                    f" ({c.get('vliw.batch_iterations', 0)} batched "
+                    f"iters, {batch_flavor()} prefilter)"
+                )
+            lines.append(tiers)
         plan_hits = c.get("vliw.plan_hits", 0)
         plan_misses = c.get("vliw.plan_misses", 0)
         lookups = plan_hits + plan_misses

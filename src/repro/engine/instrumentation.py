@@ -35,17 +35,24 @@ Counter names used by the simulation stack:
 ``vliw.replay_cache_hits``
     replay adoptions served from the process-wide artifact cache
     (content-identical region clones sharing lowered IR + kernels);
-``vliw.backend_interp`` / ``vliw.backend_py`` / ``vliw.backend_vec``
+``vliw.backend_interp`` / ``vliw.backend_py`` / ``vliw.backend_vec`` /
+``vliw.backend_batch``
     region executions per replay backend tier (the generic dispatch
-    loop, the generated straight-line function, and the vectorized
-    kernel; counted only while a real tracer is installed — they are
-    observability counters, not report fields);
+    loop, the generated straight-line function, the vectorized kernel,
+    and the cross-iteration batched kernel; counted only while a real
+    tracer is installed — they are observability counters, not report
+    fields; the four partition ``vliw.regions_executed``);
 ``vliw.vec_compiles``
     vectorized kernels compiled from lowered replay IR;
 ``vliw.vec_fallbacks``
     vec executions that hit a runtime fact outside the kernel's static
     model and re-ran on the ``py`` tier (repeated fallbacks demote the
     trace to ``py`` for good);
+``vliw.batch_compiles`` / ``vliw.batch_iterations`` / ``vliw.batch_trims``
+    batched kernels compiled, region iterations committed inside batch
+    calls, and batches trimmed by the prefilter or a guarded escape
+    (the trimmed iteration rolls back and re-runs on the ``py`` tier;
+    repeated early trims demote the trace out of the batch tier);
 ``translate.cache_hits`` / ``translate.cache_misses``
     full-translation lookups in the content-keyed translation cache (a
     hit clones a previously optimized region instead of re-optimizing);

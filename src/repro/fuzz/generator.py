@@ -366,9 +366,17 @@ def generate_case(seed: int) -> FuzzCase:
     rng = random.Random(seed)
     unknown_bases = rng.randint(1, 4)
     known_bases = rng.randint(0, 2)
+    # Collision-heavy bias: a quarter of cases collapse every unknown
+    # base into ONE region and append a store/load cluster on a shared
+    # cell below — "different" pointers alias at runtime on most
+    # iterations, so alias sweeps fire mid-trace. This is what trims
+    # batched replays mid-flight: the batch tier's rollback + scalar
+    # re-run seam gets exercised instead of the all-iterations-clean
+    # fast path.
+    collision_heavy = rng.random() < 0.25
     # Region collisions: bases drawing from fewer regions than there are
     # bases guarantees some runtime aliasing between "different" pointers.
-    n_regions = rng.randint(1, unknown_bases)
+    n_regions = 1 if collision_heavy else rng.randint(1, unknown_bases)
     cfg = CaseConfig(
         seed=seed,
         alias_registers=rng.choice((4, 6, 8, 12, 16, 64, 64)),
@@ -408,6 +416,21 @@ def generate_case(seed: int) -> FuzzCase:
                 pmov_budget -= delta
         else:
             _emit_random_op(rng, cfg, ops)
+    if collision_heavy:
+        # the shared-cell cluster: stores and loads through distinct
+        # bases (all one region) landing identical/adjacent/overlapping
+        # in one 16-byte cell
+        cell = rng.randrange(4) * 16
+        for _ in range(rng.randint(2, 4)):
+            size = rng.choice((4, 8))
+            ops.append(
+                ["st", _base_ref(rng, cfg), _data_reg(rng),
+                 cell + rng.choice((0, 1, size - 1)), size]
+            )
+            ops.append(
+                ["ld", _data_reg(rng), _base_ref(rng, cfg),
+                 cell + rng.choice((0, 1)), size]
+            )
     return FuzzCase(config=cfg, ops=ops)
 
 

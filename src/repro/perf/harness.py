@@ -53,6 +53,26 @@ Schema history:
   hits) — each with throughput + p50/p99 latency, plus the derived
   ``warm_vs_cli`` / ``warm_vs_cold_server`` throughput ratios. Earlier
   baselines remain readable: the section is optional on both sides.
+* **6** — noise hardening + the ``batch`` replay tier. Per-cell
+  ``phases`` become per-phase **medians** across the ``--repeats``
+  samples (best-of-N ``wall_s`` and its ``mean_s``/``std_s`` stay for
+  schema-1/2 continuity), and every cell adds a ``spread`` section with
+  per-phase ``mean_s``/``std_s``/``median_s`` so the noisy-box variance
+  documented in docs/PERF.md is visible in the JSON instead of
+  threatening the ``--fail-below`` gate. ``backends`` adds the batch
+  tier: ``batch`` (per-iteration execution count), ``batch_iterations``
+  / ``batch_compiles`` / ``batch_trims``, the derived ``batch_share``,
+  and the process-wide ``batch_flavor`` ("numpy" when the optional
+  ``[perf]`` extra is importable, else "pure"); the payload top level
+  records ``batch_flavor`` too. An optional ``batch_differential``
+  section (``perf --batch-differential SCALE``,
+  :func:`measure_batch_differential`) measures the batch tier against
+  its own kill switch — the same cells, same process, same day, with
+  batching on vs ``SMARQ_BATCH_WIDTH=0`` — so the tier's execute-phase
+  speedup is not confounded with the machine drift that a
+  cross-BENCH-file comparison inevitably carries. Schema-1..5
+  baselines remain readable: every added field is optional on the
+  baseline side.
 """
 
 from __future__ import annotations
@@ -65,7 +85,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 #: three representative workloads: regular streams (swim), small hot loop
 #: with heavy aliasing (art), pointer-chasing stores (equake)
@@ -150,6 +170,14 @@ def _spread(samples: List[float]) -> Dict[str, float]:
     return {"mean_s": mean, "std_s": var**0.5}
 
 
+def _median(samples: List[float]) -> float:
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
 def _translate_summary(counters: Dict[str, int]) -> Dict[str, object]:
     """Translation-cache counters of one cell, plus derived hit rates."""
     hits = counters.get("translate.cache_hits", 0)
@@ -185,20 +213,29 @@ def _plan_summary(counters: Dict[str, int]) -> Dict[str, object]:
 
 
 def _backend_summary(counters: Dict[str, int]) -> Dict[str, object]:
-    """Replay backend-tier counters of one cell, plus the vec share."""
+    """Replay backend-tier counters of one cell, plus derived shares."""
+    from repro.sim.replay_backends import batch_flavor
+
     interp = counters.get("vliw.backend_interp", 0)
     py = counters.get("vliw.backend_py", 0)
     vec = counters.get("vliw.backend_vec", 0)
-    total = interp + py + vec
+    batch = counters.get("vliw.backend_batch", 0)
+    total = interp + py + vec + batch
     return {
         "interp": interp,
         "py": py,
         "vec": vec,
+        "batch": batch,
         "vec_compiles": counters.get("vliw.vec_compiles", 0),
         "vec_fallbacks": counters.get("vliw.vec_fallbacks", 0),
+        "batch_compiles": counters.get("vliw.batch_compiles", 0),
+        "batch_iterations": counters.get("vliw.batch_iterations", 0),
+        "batch_trims": counters.get("vliw.batch_trims", 0),
+        "batch_flavor": batch_flavor(),
         "replay_compiles": counters.get("vliw.replay_compiles", 0),
         "replay_cache_hits": counters.get("vliw.replay_cache_hits", 0),
         "vec_share": (vec / total) if total else 0.0,
+        "batch_share": (batch / total) if total else 0.0,
     }
 
 
@@ -321,6 +358,100 @@ def measure_serve_load(
     return section
 
 
+#: the benchmarks whose execute phase is dominated by one hot self-loop
+#: — the shape the batch tier exists for, and the set the differential
+#: section reports a dedicated aggregate over
+LOOP_DOMINATED_BENCHMARKS = ("equake", "pwalk", "pchase")
+
+
+def measure_batch_differential(
+    benchmarks: Optional[List[str]] = None,
+    scheme: str = "smarq",
+    scale: float = 1.0,
+    repeats: int = 3,
+    hot_threshold: int = 20,
+) -> Dict[str, object]:
+    """Kill-switch differential for the batch replay tier.
+
+    A cross-BENCH-file execute-phase ratio confounds the batch tier's
+    effect with everything else that changed between the two files —
+    most of all the box they were measured on. This section removes the
+    machine from the equation: each cell is simulated ``repeats`` times
+    with batching live and ``repeats`` times under ``SMARQ_BATCH_WIDTH=0``
+    (the kill switch, which restores the pre-batch interp→py→vec
+    promotion ladder), the two legs interleaved in one process on one
+    day. The ratio of median execute-phase times is the tier's speedup
+    with everything else held fixed.
+    """
+    import os
+
+    benchmarks = list(benchmarks or LOOP_DOMINATED_BENCHMARKS)
+    repeats = max(1, repeats)
+    env_key = "SMARQ_BATCH_WIDTH"
+    prior = os.environ.get(env_key)
+    cells: Dict[str, Dict[str, object]] = {}
+    try:
+        for benchmark in benchmarks:
+            legs: Dict[str, List[Dict[str, object]]] = {"off": [], "on": []}
+            for _ in range(repeats):
+                # Interleaved on/off pairs: slow drift within the run
+                # (thermal, background load) hits both legs equally.
+                for mode in ("off", "on"):
+                    if mode == "off":
+                        os.environ[env_key] = "0"
+                    elif prior is None:
+                        os.environ.pop(env_key, None)
+                    else:
+                        os.environ[env_key] = prior
+                    legs[mode].append(
+                        _time_cell(benchmark, scheme, scale, hot_threshold)
+                    )
+            cell: Dict[str, object] = {}
+            for mode, samples in legs.items():
+                execs = [s["phases"]["execute"] for s in samples]
+                walls = [s["wall_s"] for s in samples]
+                best = min(samples, key=lambda s: s["phases"]["execute"])
+                cell[mode] = {
+                    "execute_s": _median(execs),
+                    "wall_s": _median(walls),
+                    "spread": {"execute_s": _spread(execs)},
+                    "backends": _backend_summary(best["counters"]),
+                }
+            off_exec = cell["off"]["execute_s"]
+            on_exec = cell["on"]["execute_s"]
+            if on_exec:
+                cell["execute_ratio"] = off_exec / on_exec
+            cells[f"{benchmark}/{scheme}"] = cell
+    finally:
+        if prior is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = prior
+
+    def _aggregate(names: List[str]) -> Optional[float]:
+        off = sum(
+            cells[f"{b}/{scheme}"]["off"]["execute_s"] for b in names
+        )
+        on = sum(cells[f"{b}/{scheme}"]["on"]["execute_s"] for b in names)
+        return (off / on) if on else None
+
+    section: Dict[str, object] = {
+        "scale": scale,
+        "scheme": scheme,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "cells": cells,
+        "aggregate_execute_ratio": _aggregate(benchmarks),
+    }
+    loop_dominated = [
+        b for b in benchmarks if b in LOOP_DOMINATED_BENCHMARKS
+    ]
+    if loop_dominated:
+        section["loop_dominated_benchmarks"] = loop_dominated
+        section["loop_dominated_execute_ratio"] = _aggregate(loop_dominated)
+    return section
+
+
 def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
     """Measure every configured cell (plus the end-to-end figures path)."""
     config = config or PerfConfig()
@@ -328,25 +459,44 @@ def run_perf(config: Optional[PerfConfig] = None) -> Dict[str, object]:
     cells: Dict[str, Dict[str, object]] = {}
     for benchmark in config.benchmarks:
         for scheme in config.schemes:
-            best: Optional[Dict[str, object]] = None
-            walls: List[float] = []
-            for _ in range(repeats):
-                sample = _time_cell(
+            samples: List[Dict[str, object]] = [
+                _time_cell(
                     benchmark, scheme, config.scale, config.hot_threshold
                 )
-                walls.append(sample["wall_s"])
-                if best is None or sample["wall_s"] < best["wall_s"]:
-                    best = sample
+                for _ in range(repeats)
+            ]
+            best = min(samples, key=lambda s: s["wall_s"])
+            walls = [s["wall_s"] for s in samples]
             best.update(_spread(walls))
+            # Noise hardening (schema 6): per-phase medians across the
+            # repeats replace the single best sample's phases — a GC
+            # pause or scheduler hiccup in one repeat no longer moves
+            # the gated execute-phase aggregate — and ``spread`` makes
+            # the remaining run-to-run variance visible per phase.
+            phase_spread: Dict[str, Dict[str, float]] = {}
+            medians: Dict[str, float] = {}
+            for name in best["phases"]:
+                vals = [s["phases"][name] for s in samples]
+                med = _median(vals)
+                medians[name] = med
+                phase_spread[name] = {**_spread(vals), "median_s": med}
+            best["phases"] = medians
+            best["spread"] = {
+                "wall_s": {**_spread(walls), "median_s": _median(walls)},
+                "phases": phase_spread,
+            }
             best["plans"] = _plan_summary(best["counters"])
             best["translate"] = _translate_summary(best["counters"])
             best["backends"] = _backend_summary(best["counters"])
             cells[f"{benchmark}/{scheme}"] = best
 
+    from repro.sim.replay_backends import batch_flavor
+
     payload: Dict[str, object] = {
         "bench_schema": BENCH_SCHEMA_VERSION,
         "created_unix": int(time.time()),
         "python": platform.python_version(),
+        "batch_flavor": batch_flavor(),
         "config": {
             "benchmarks": list(config.benchmarks),
             "schemes": list(config.schemes),
@@ -488,6 +638,11 @@ def render_summary(payload: Dict[str, object]) -> str:
             if backends and backends["vec_share"]
             else ""
         )
+        if backends and backends.get("batch_share"):
+            be_note += (
+                f", batch {backends['batch_share']:.0%}"
+                f" ({backends.get('batch_flavor', 'pure')})"
+            )
         lines.append(
             f"  {key:<18} {cell['wall_s']:7.3f}s{spread}  "
             f"(opt {p['optimize']:.3f}s, exec {p['execute']:.3f}s, "
@@ -518,6 +673,27 @@ def render_summary(payload: Dict[str, object]) -> str:
                 f"serve: warm vs cold CLI             : "
                 f"{serve_load['warm_vs_cli']:.1f}x throughput"
             )
+    diff = payload.get("batch_differential")
+    if diff:
+        lines.append(
+            f"batch kill-switch differential (scale {diff['scale']}, "
+            f"{diff['scheme']}):"
+        )
+        for key in sorted(diff["cells"]):
+            cell = diff["cells"][key]
+            share = cell["on"]["backends"].get("batch_share", 0.0)
+            lines.append(
+                f"  {key:<18} exec {cell['off']['execute_s']:.3f}s off -> "
+                f"{cell['on']['execute_s']:.3f}s on  "
+                f"({cell.get('execute_ratio', 0.0):.2f}x, "
+                f"batch share {share:.0%})"
+            )
+        agg = diff.get("aggregate_execute_ratio")
+        if agg:
+            lines.append(f"  aggregate execute   : {agg:.2f}x")
+        loop_agg = diff.get("loop_dominated_execute_ratio")
+        if loop_agg:
+            lines.append(f"  loop-dominated agg  : {loop_agg:.2f}x")
     speedup = payload.get("speedup")
     if speedup:
         lines.append("speedup vs baseline:")

@@ -235,7 +235,19 @@ class DbtSystem:
         while not interp.exited and steps_budget > 0:
             pc = interp.pc
             if runtime.has_translation(pc):
-                outcome = runtime.execute_translated(pc, interp.registers)
+                # Batched dispatch: a self-looping region may commit up
+                # to SMARQ_BATCH_WIDTH back-edge iterations inside one
+                # call (each accounted exactly like a scalar commit —
+                # the budget math below is the scalar loop's, applied
+                # ``batched`` extra times), then returns the final
+                # execution's outcome for normal policy handling.
+                outcome, loop_out, batched = runtime.execute_translated_batch(
+                    pc, interp.registers, steps_budget
+                )
+                if batched:
+                    steps_budget -= batched * max(
+                        1, loop_out.instructions_executed
+                    )
                 if outcome.status == "exit":
                     interp.exited = True
                     exit_code = outcome.exit_code

@@ -1,6 +1,6 @@
 """Tiered replay backends compiled from the numeric replay IR.
 
-Three tiers execute a hot trace's functional replay (selected by
+Four tiers execute a hot trace's functional replay (selected by
 ``SMARQ_REPLAY_BACKEND`` or by per-trace promotion, see
 :mod:`repro.sim.vliw`):
 
@@ -25,6 +25,19 @@ Three tiers execute a hot trace's functional replay (selected by
     overlap — returns :data:`FALLBACK` and the caller rolls back and
     re-executes on the ``py`` tier, which is exact by construction; the
     kernel itself never touches adapter state.
+``batch``
+    :func:`compile_batch` — the vec residue wrapped in an iteration
+    loop: when a region's commit exit is a back-edge into itself, up to
+    ``SMARQ_BATCH_WIDTH`` consecutive iterations run inside one kernel
+    call, amortizing the per-execution call/plan/outcome ceremony. A
+    columnar prefilter (numpy when the optional ``[perf]`` extra is
+    installed, ``array``-module columns otherwise — see
+    :func:`batch_flavor`) proves the leading iterations' guards and
+    alias sweeps can't fire and runs them through an unguarded fast
+    body; any iteration that escapes instead trims the batch
+    (:data:`BATCH_TRIM`), rolls back its own undo slice, and re-runs on
+    the scalar ``py`` tier. Accounting is exact per iteration — N
+    batched commits are indistinguishable from N scalar executions.
 
 The module also owns the process-wide **replay artifact cache**: lowered
 IR and compiled backend functions are keyed by the region's translation
@@ -38,12 +51,19 @@ signature state and stay on the region object.
 
 from __future__ import annotations
 
+import os
 import struct
+from array import array as _array
 from collections import OrderedDict
 from typing import Callable, List, Optional, Tuple
 
 from repro.hw.exceptions import AliasException
 from repro.sim import replay_ir as R
+
+try:  # numpy is an optional [perf] extra — never required
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via SMARQ_BATCH_PURE
+    _np = None
 
 _MASK64 = (1 << 64) - 1
 _HIGH = 1 << 63
@@ -57,6 +77,27 @@ _U64 = struct.Struct("<Q")
 #: sentinel returned by a vec kernel when a runtime fact escapes its
 #: static model; the caller rolls back and re-runs the ``py`` tier
 FALLBACK = (-2, -1, None)
+
+#: exit-kind sentinel in a batch kernel's result tuple: the current
+#: iteration hit a guard/sweep escape mid-flight; the caller rolls back
+#: the iteration's undo slice and re-runs it on a scalar tier
+BATCH_TRIM = -2
+
+#: force the pure-Python (array-module) batch prefilter even when numpy
+#: is importable (read at each compile_batch call)
+_BATCH_PURE_ENV = "SMARQ_BATCH_PURE"
+
+
+def batch_flavor() -> str:
+    """Which batch prefilter kernel flavor :func:`compile_batch` would
+    bind right now: ``"numpy"`` when the optional ``[perf]`` extra is
+    importable and ``SMARQ_BATCH_PURE=1`` is not set, else ``"pure"``
+    (``array``-module columns). Both flavors compute the same trim index
+    — the choice is a pure speed knob, differential-tested by the fuzz
+    ``backends`` oracle."""
+    if _np is not None and os.environ.get(_BATCH_PURE_ENV) != "1":
+        return "numpy"
+    return "pure"
 
 
 # ----------------------------------------------------------------------
@@ -547,102 +588,98 @@ def _max_sweep(ir: R.ReplayIR, family: str, limit: int) -> int:
 _BLOOM_SWEEP_MIN = 4
 
 
-def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
-    """Compile the vectorized kernel for one lowered trace.
+class _ResidueEmitter:
+    """Codegen core shared by the ``vec`` and ``batch`` kernels.
 
-    Returns ``None`` when the trace cannot be statically lowered: a
-    dynamic escape (unknown adapter/opcode), a hardware operand the
-    static model rejects (the ``py`` tier then reproduces the model's
-    runtime error exactly), or a pair of accesses that provably always
-    overlap (the trace would fall back on every execution anyway).
-    Otherwise returns ``(fn, exit_fps)``: the kernel, with signature
-    ``(regs, data, msize, ad, undo_append)``, and a dict mapping each
-    ``(exit_idx, exit_kind)`` to the adapter event fingerprint of a
-    clean execution reaching that exit — precomputed so the caller can
-    skip the adapter's region-enter/exit bookkeeping entirely on this
-    tier. ``regs`` is the *guest* register file itself — scratch
-    registers live entirely in locals and guest registers are written
-    back only on commit-kind exits, so an abort or :data:`FALLBACK`
-    leaves it untouched (memory writes are undo-logged exactly like the
-    ``py`` tier and rolled back by the caller).
+    Owns one body's emission state — register locals, symbolic address
+    identity, CSE value numbers, deferred wraps, bounds/sweep guards and
+    the static hardware simulation — and walks the IR emitting residue
+    statements into ``lines``. Exit sites are delegated to the caller's
+    ``exit_emit`` hook so the two kernels can disagree about what an
+    exit does (vec: write back + return; batch: additionally detect the
+    back-edge site and continue the iteration loop).
+
+    ``fb`` is the statement executed when a runtime fact escapes the
+    static model (vec: ``return _FB``; batch guarded body: ``break`` out
+    of the iteration loop into the trim epilogue). ``guarded=False``
+    elides bounds guards, alias sweeps and the bloom prefilter entirely
+    — sound only when a prefilter has already validated every access of
+    the iterations the body will run (the batch fast body).
     """
-    if ir.dyn:
-        return None
-    family = _hw_family(ir)
-    if family == "dyn":
-        return None
-    if family == "queue":
-        limit = adapter.queue.num_registers
-    elif family == "alat":
-        limit = adapter.alat.num_entries
-    elif family == "bitmask":
-        limit = adapter.file.num_registers
-    else:
-        limit = 0
-    hw = _StaticHw(family, limit) if family else None
-    # Bloom prefilter over 8-byte granules: when any sweep is long, every
-    # tracked set also ORs its two bucket bits into ``_bm`` and long
-    # sweeps probe their buckets first — disjoint accesses (the common
-    # case) skip the whole pairwise or-chain. Sound because an overlap
-    # implies a shared byte, whose granule is among the two buckets of
-    # both accesses (all tracked accesses are <= 8 bytes wide here).
-    bloom = (
-        hw is not None
-        and _max_sweep(ir, family, limit) >= _BLOOM_SWEEP_MIN
+
+    __slots__ = (
+        "ir", "adapter", "guest_count", "family", "hw", "bloom", "emit",
+        "pad", "fb", "guarded", "defer_ok", "bound", "written",
+        "written_set", "version", "syms", "rsym", "asizes", "guards",
+        "deferred_now", "cse", "exit_fps",
     )
 
-    env: dict = {"ifb": int.from_bytes, "u64": _U64.unpack_from,
-                 "p64": _U64.pack_into, "_FB": FALLBACK}
-    defer_ok = _defer_wraps(ir)
-    lines: List[str] = [
-        # default args bind the helpers as locals (LOAD_FAST, not
-        # LOAD_GLOBAL, on every use); callers pass only the first five
-        "def _replay_vec(regs, data, msize, ad, undo_append, "
-        "u64=u64, p64=p64, ifb=ifb, _FB=_FB):",
-    ]
-    emit = lines.append
-    pad = "    "
+    def __init__(self, ir: R.ReplayIR, adapter, guest_count: int, family,
+                 limit: int, bloom: bool, lines: List[str], pad: str,
+                 fb: str = "return _FB", guarded: bool = True,
+                 hoisted_sizes=None) -> None:
+        self.ir = ir
+        self.adapter = adapter
+        self.guest_count = guest_count
+        self.family = family
+        self.hw = _StaticHw(family, limit) if family else None
+        self.bloom = bloom and guarded
+        self.emit = lines.append
+        self.pad = pad
+        self.fb = fb
+        self.guarded = guarded
+        self.defer_ok = _defer_wraps(ir)
+        self.bound = set()  # registers with a live local
+        self.written: List[int] = []  # registers written, in first-write order
+        self.written_set = set()
+        self.version: dict = {}  # register -> def count (symbolic addr identity)
+        self.syms: dict = {}  # address local -> (base reg, base version, disp)
+        self.rsym: dict = {}  # (base reg, base version, disp) -> address local
+        self.asizes = set()  # (address local, size) pairs already guarded
+        # access sizes whose bounds-limit local is already in scope (the
+        # batch kernel hoists every mlim outside its iteration loop)
+        self.guards = set(hoisted_sizes) if hoisted_sizes else set()
+        self.deferred_now = set()  # regs whose local holds a raw (unwrapped) value
+        self.cse: dict = {}  # value-number key -> (reg, version at def, raw?)
+        self.exit_fps: dict = {}
 
-    bound = set()  # registers with a live local
-    written: List[int] = []  # registers written, in first-write order
-    written_set = set()
-    version: dict = {}  # register -> def count (symbolic address identity)
-    syms: dict = {}  # address local -> (base reg, base version, disp)
-    rsym: dict = {}  # (base reg, base version, disp) -> address local
-    asizes = set()  # (address local, size) pairs already bounds-guarded
-    guards = set()  # access sizes with a hoisted bounds-limit local
-    deferred_now = set()  # regs whose current local holds a raw (unwrapped) value
-    cse: dict = {}  # value-number key -> (reg, version at def, raw?)
-
-    def use(reg: int) -> str:
+    # -- register locals -----------------------------------------------
+    def use(self, reg: int) -> str:
         name = f"r{reg}"
-        if reg not in bound:
-            if reg < guest_count:
-                emit(f"{pad}{name} = regs[{reg}]")
+        if reg not in self.bound:
+            if reg < self.guest_count:
+                self.emit(f"{self.pad}{name} = regs[{reg}]")
             else:
-                emit(f"{pad}{name} = 0")
-            bound.add(reg)
+                self.emit(f"{self.pad}{name} = 0")
+            self.bound.add(reg)
         return name
 
-    def define(reg: int) -> str:
-        if reg not in written_set:
-            written_set.add(reg)
-            written.append(reg)
-        bound.add(reg)
-        deferred_now.discard(reg)
-        version[reg] = version.get(reg, 0) + 1
+    def define(self, reg: int) -> str:
+        if reg not in self.written_set:
+            self.written_set.add(reg)
+            self.written.append(reg)
+        self.bound.add(reg)
+        self.deferred_now.discard(reg)
+        self.version[reg] = self.version.get(reg, 0) + 1
         return f"r{reg}"
 
-    def emit_wrap(dest: int, expr: str) -> None:
+    def emit_wrap(self, dest: int, expr: str) -> None:
         # branchless signed wrap: ((v + 2**63) mod 2**64) - 2**63
-        name = define(dest)
-        emit(f"{pad}{name} = (({expr}) + {_HIGH} & {_MASK64}) - {_HIGH}")
+        name = self.define(dest)
+        self.emit(
+            f"{self.pad}{name} = (({expr}) + {_HIGH} & {_MASK64}) - {_HIGH}"
+        )
 
-    def alu_op(k: int, kind: int, d: int, a, b, imm) -> None:
+    def alu_op(self, k: int, kind: int, d: int, a, b, imm) -> None:
         """One ALU op: value-numbered (a repeat of a still-valid pure
         expression becomes a local copy) and wrap-deferred where
         :func:`_defer_wraps` proved every use normalizes anyway."""
-        want_defer = k in defer_ok
+        emit = self.emit
+        pad = self.pad
+        use = self.use
+        version = self.version
+        cse = self.cse
+        want_defer = k in self.defer_ok
         key = None
         if kind not in (R.A_MOVI, R.A_MOV, R.A_FMA):
             key = (kind, a, version.get(a, 0), b,
@@ -652,7 +689,7 @@ def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
                 s_reg, s_ver, s_raw = hit
                 if version.get(s_reg, 0) == s_ver:
                     sname = f"r{s_reg}"
-                    name = define(d)
+                    name = self.define(d)
                     if s_raw and not want_defer:
                         emit(f"{pad}{name} = ({sname} + {_HIGH} "
                              f"& {_MASK64}) - {_HIGH}")
@@ -660,14 +697,14 @@ def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
                     elif name != sname:
                         emit(f"{pad}{name} = {sname}")
                     if s_raw:
-                        deferred_now.add(d)
+                        self.deferred_now.add(d)
                     cse[key] = (d, version[d], s_raw)
                     return
         if kind == R.A_MOVI:
-            emit(f"{pad}{define(d)} = {imm}")
+            emit(f"{pad}{self.define(d)} = {imm}")
         elif kind == R.A_MOV:
             src = use(a)
-            emit(f"{pad}{define(d)} = {src}")
+            emit(f"{pad}{self.define(d)} = {src}")
         else:
             wrapped = kind in _WRAP_KINDS
             if kind == R.A_ADDI:
@@ -697,65 +734,71 @@ def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
             else:  # A_FMA
                 expr = f"{use(d)} + {use(a)} * {use(b)}"
             if wrapped and want_defer:
-                name = define(d)
+                name = self.define(d)
                 emit(f"{pad}{name} = {expr}")
-                deferred_now.add(d)
+                self.deferred_now.add(d)
             elif wrapped:
-                emit_wrap(d, expr)
+                self.emit_wrap(d, expr)
             else:
-                emit(f"{pad}{define(d)} = {expr}")
+                emit(f"{pad}{self.define(d)} = {expr}")
         if key is not None:
-            cse[key] = (d, version[d], d in deferred_now)
+            cse[key] = (d, version[d], d in self.deferred_now)
 
-    def emit_addr(k: int, base: int, disp: int, size: int) -> str:
-        """Bounds-guarded access address for op ``k``.
+    # -- addresses and guards ------------------------------------------
+    def emit_addr(self, k: int, base: int, disp: int, size: int) -> str:
+        """Access address for op ``k``, bounds-guarded in guarded mode.
 
         Pre-masking folds the negative-address case into the upper-bound
         compare (a negative or wrapped address masks to a huge value):
         one comparison per access instead of two.
         """
-        keyt = (base, version.get(base, 0), disp)
-        addr = rsym.get(keyt)
+        keyt = (base, self.version.get(base, 0), disp)
+        addr = self.rsym.get(keyt)
         if addr is not None:
-            if (addr, size) not in asizes:
-                asizes.add((addr, size))
-                if size not in guards:
-                    guards.add(size)
-                    emit(f"{pad}mlim{size} = msize - {size}")
-                emit(f"{pad}if {addr} > mlim{size}: return _FB")
+            if self.guarded and (addr, size) not in self.asizes:
+                self.asizes.add((addr, size))
+                self._guard(addr, size)
             return addr
-        bname = use(base)
+        bname = self.use(base)
         addr = f"a{k}"
-        syms[addr] = keyt
-        rsym[keyt] = addr
-        asizes.add((addr, size))
-        if size not in guards:
-            guards.add(size)
-            emit(f"{pad}mlim{size} = msize - {size}")
+        self.syms[addr] = keyt
+        self.rsym[keyt] = addr
         if disp:
-            emit(f"{pad}{addr} = {bname} + {disp} & {_MASK64}")
+            self.emit(f"{self.pad}{addr} = {bname} + {disp} & {_MASK64}")
         else:
-            emit(f"{pad}{addr} = {bname} & {_MASK64}")
-        emit(f"{pad}if {addr} > mlim{size}: return _FB")
+            self.emit(f"{self.pad}{addr} = {bname} & {_MASK64}")
+        if self.guarded:
+            self.asizes.add((addr, size))
+            self._guard(addr, size)
         return addr
 
-    if bloom:
-        emit(f"{pad}_bm = 0")
+    def _guard(self, addr: str, size: int) -> None:
+        if size not in self.guards:
+            self.guards.add(size)
+            self.emit(f"{self.pad}mlim{size} = msize - {size}")
+        self.emit(f"{self.pad}if {addr} > mlim{size}: {self.fb}")
 
-    def bloom_add(addr: str, size: int) -> None:
-        if not bloom:
+    def bloom_add(self, addr: str, size: int) -> None:
+        if not self.bloom:
             return
         lo = f"1 << ({addr} >> 3 & 255)"
         if size > 1:
-            emit(f"{pad}_bm |= {lo} | 1 << ({addr} + {size - 1} >> 3 & 255)")
+            self.emit(
+                f"{self.pad}_bm |= {lo} | "
+                f"1 << ({addr} + {size - 1} >> 3 & 255)"
+            )
         else:
-            emit(f"{pad}_bm |= {lo}")
+            self.emit(f"{self.pad}_bm |= {lo}")
 
-    def emit_sweep(addr: str, size: int, pairs) -> bool:
-        """Alias pair tests for one check; any runtime overlap falls
-        back. Pairs whose addresses share a base register resolve
+    def emit_sweep(self, addr: str, size: int, pairs) -> bool:
+        """Alias pair tests for one check; any runtime overlap escapes
+        via ``fb``. Pairs whose addresses share a base register resolve
         statically: disjoint displacements drop the test, an unavoidable
-        overlap rejects vectorization (returns False)."""
+        overlap rejects vectorization (returns False). The unguarded
+        body emits nothing — its iterations are prefilter-certified."""
+        if not self.guarded:
+            return True
+        syms = self.syms
         own = syms.get(addr)
         tests = []
         for p_addr, p_size in pairs:
@@ -776,32 +819,35 @@ def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
         if not tests:
             return True
         chain = " or ".join(tests)
-        if bloom and len(tests) >= _BLOOM_SWEEP_MIN:
+        emit = self.emit
+        pad = self.pad
+        if self.bloom and len(tests) >= _BLOOM_SWEEP_MIN:
             probe = f"_bm >> ({addr} >> 3 & 255) & 1"
             if size > 1:
                 probe += f" or _bm >> ({addr} + {size - 1} >> 3 & 255) & 1"
             emit(f"{pad}if {probe}:")
-            emit(f"{pad}    if {chain}: return _FB")
+            emit(f"{pad}    if {chain}: {self.fb}")
         else:
-            emit(f"{pad}if {chain}: return _FB")
+            emit(f"{pad}if {chain}: {self.fb}")
         return True
 
-    def emit_events(evt: Optional[int], addr: str) -> bool:
-        """Statically apply one op's events; False aborts vectorization."""
+    def emit_events(self, evt: Optional[int], addr: str) -> bool:
+        """Statically apply one op's events; False aborts the lowering."""
         if evt is None:
             return True
-        for ev in ir.events[evt]:
+        hw = self.hw
+        for ev in self.ir.events[evt]:
             e = ev[0]
             if e == R.E_QCHK:
                 _, off, size, il, _mi = ev
                 pairs = hw.q_check(off, size, il)
-                if pairs is None or not emit_sweep(addr, size, pairs):
+                if pairs is None or not self.emit_sweep(addr, size, pairs):
                     return False
             elif e == R.E_QSET:
                 _, off, size, il, _mi = ev
                 if not hw.q_set(off, addr, size, il):
                     return False
-                bloom_add(addr, size)
+                self.bloom_add(addr, size)
             elif e == R.E_ROT:
                 if not hw.q_rotate(ev[1]):
                     return False
@@ -811,140 +857,787 @@ def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
             elif e == R.E_ACHK:
                 _, size, _il, _mi = ev
                 pairs = hw.alat_store_check(size)
-                if pairs is None or not emit_sweep(addr, size, pairs):
+                if pairs is None or not self.emit_sweep(addr, size, pairs):
                     return False
             elif e == R.E_AINS:
                 _, mi, size, il = ev
                 if not hw.alat_insert(mi, addr, size, il):
                     return False
-                bloom_add(addr, size)
+                self.bloom_add(addr, size)
             elif e == R.E_BCHK:
                 _, mask, size, il, _mi = ev
                 pairs = hw.bm_check(mask, size)
-                if pairs is None or not emit_sweep(addr, size, pairs):
+                if pairs is None or not self.emit_sweep(addr, size, pairs):
                     return False
             elif e == R.E_BSET:
                 _, idx, size, il, _mi = ev
                 if not hw.bm_set(idx, addr, size, il):
                     return False
-                bloom_add(addr, size)
-            else:  # E_DYN: unreachable (ir.dyn rejected above)
+                self.bloom_add(addr, size)
+            else:  # E_DYN: unreachable (ir.dyn rejected by the compilers)
                 return False
         return True
 
-    # fingerprint of a clean execution, in each adapter family's
-    # event_fingerprint() component order (exception components are 0 by
-    # construction: the kernel falls back instead of raising)
-    if hw is not None:
-        def fp_now():
-            s = hw.stats
-            if family == "queue":
-                return (s.get("sets", 0), s.get("checks", 0),
-                        s.get("rotations", 0), s.get("rotated_registers", 0),
-                        s.get("amovs", 0), 0)
-            if family == "alat":
-                return (s.get("inserts", 0), s.get("store_checks", 0), 0, 0)
-            return (s.get("sets", 0), s.get("checks", 0), 0)
-    else:
-        # no hardware events anywhere in the trace: replicate the
-        # adapter's zero-delta fingerprint shape
-        shape = adapter.event_fingerprint()
-        zero_fp = (0,) * len(shape) if isinstance(shape, tuple) else 0
+    # -- exit-site building blocks -------------------------------------
+    def fp_now(self):
+        """Fingerprint of a clean execution reaching this point, in each
+        adapter family's ``event_fingerprint()`` component order
+        (exception components are 0 by construction: kernels escape via
+        ``fb`` instead of raising)."""
+        hw = self.hw
+        if hw is None:
+            # no hardware events anywhere in the trace: replicate the
+            # adapter's zero-delta fingerprint shape
+            shape = self.adapter.event_fingerprint()
+            return (0,) * len(shape) if isinstance(shape, tuple) else 0
+        s = hw.stats
+        family = self.family
+        if family == "queue":
+            return (s.get("sets", 0), s.get("checks", 0),
+                    s.get("rotations", 0), s.get("rotated_registers", 0),
+                    s.get("amovs", 0), 0)
+        if family == "alat":
+            return (s.get("inserts", 0), s.get("store_checks", 0), 0, 0)
+        return (s.get("sets", 0), s.get("checks", 0), 0)
 
-        def fp_now():
-            return zero_fp
-
-    exit_fps: dict = {}
-
-    def exit_lines(k: int, xkind: int, payload, commit: bool,
-                   indent: str) -> List[str]:
-        exit_fps[(k, xkind)] = fp_now()
+    def stat_lines(self, indent: str) -> List[str]:
+        """Constant hardware-stat deltas of a clean execution reaching
+        the current exit site."""
+        hw = self.hw
         out: List[str] = []
         if hw is not None and hw.stats:
-            target, fields = _STAT_TARGETS[family]
+            target, fields = _STAT_TARGETS[self.family]
             out.append(f"{indent}_hs = {target}")
             for name in fields:
                 n = hw.stats.get(name, 0)
                 if n:
                     out.append(f"{indent}_hs.{name} += {n}")
-            if family == "queue" and hw.max_live:
+            if self.family == "queue" and hw.max_live:
                 out.append(
                     f"{indent}if _hs.max_live < {hw.max_live}: "
                     f"_hs.max_live = {hw.max_live}"
                 )
-        if commit:
-            for reg in written:
-                if reg < guest_count:
-                    if reg in deferred_now:
-                        out.append(
-                            f"{indent}regs[{reg}] = (r{reg} + {_HIGH} "
-                            f"& {_MASK64}) - {_HIGH}"
-                        )
-                    else:
-                        out.append(f"{indent}regs[{reg}] = r{reg}")
-        out.append(f"{indent}return ({k}, {xkind}, {payload!r})")
         return out
 
-    for k, op in enumerate(ir.ops):
+    def writeback_lines(self, indent: str) -> List[str]:
+        """Guest-register writeback for a commit-kind exit site."""
+        out: List[str] = []
+        for reg in self.written:
+            if reg < self.guest_count:
+                if reg in self.deferred_now:
+                    out.append(
+                        f"{indent}regs[{reg}] = (r{reg} + {_HIGH} "
+                        f"& {_MASK64}) - {_HIGH}"
+                    )
+                else:
+                    out.append(f"{indent}regs[{reg}] = r{reg}")
+        return out
+
+    # -- body walk ------------------------------------------------------
+    def walk(self, exit_emit) -> bool:
+        """Emit the whole residue body, delegating exit sites to
+        ``exit_emit(emitter, k, xkind, payload, commit, indent)``.
+        Returns False when the trace cannot be statically lowered."""
+        ir = self.ir
+        emit = self.emit
+        pad = self.pad
+        if self.bloom:
+            emit(f"{pad}_bm = 0")
+        for k, op in enumerate(ir.ops):
+            t = op[0]
+            if t == R.OP_ALU:
+                if op[1] == R.A_DYN:  # unreachable (ir.dyn rejected)
+                    return False
+                self.alu_op(k, op[1], op[2], op[3], op[4], op[5])
+            elif t == R.OP_LD or t == R.OP_ST:
+                _, vreg, base, disp, size, evt = op
+                addr = self.emit_addr(k, base, disp, size)
+                if not self.emit_events(evt, addr):
+                    return False
+                if t == R.OP_LD:
+                    name = self.define(vreg)
+                    if size == 8:
+                        emit(f"{pad}{name} = u64(data, {addr})[0]")
+                    else:
+                        emit(
+                            f"{pad}{name} = "
+                            f"ifb(data[{addr}:{addr} + {size}], 'little')"
+                        )
+                else:
+                    sname = self.use(vreg)
+                    mask = (1 << (8 * size)) - 1
+                    emit(
+                        f"{pad}undo_append(({addr}, "
+                        f"data[{addr}:{addr} + {size}]))"
+                    )
+                    if size == 8:
+                        emit(f"{pad}p64(data, {addr}, {sname} & {mask})")
+                    else:
+                        emit(
+                            f"{pad}data[{addr}:{addr} + {size}] = "
+                            f"({sname} & {mask}).to_bytes({size}, 'little')"
+                        )
+            elif t == R.OP_CBR:
+                _, code, a, b, pay = op
+                cmp_op = ("==", "!=", "<", ">=")[code]
+                lhs = self.use(a)
+                rhs = self.use(b) if b is not None else "0"
+                emit(f"{pad}if {lhs} {cmp_op} {rhs}:")
+                self._exit(exit_emit, k, R.X_SIDE, ir.payloads[pay],
+                           False, pad + "    ")
+            elif t == R.OP_BR:
+                self._exit(exit_emit, k, R.X_BR, ir.payloads[op[1]],
+                           True, pad)
+            elif t == R.OP_EXIT:
+                self._exit(exit_emit, k, R.X_EXIT, ir.payloads[op[1]],
+                           True, pad)
+            elif t == R.OP_EVT:
+                if not self.emit_events(op[1], "0"):
+                    return False
+            # OP_NOP: no functional effect
+        self._exit(exit_emit, len(ir.ops) - 1, R.X_FALL, None, True, pad)
+        return True
+
+    def _exit(self, exit_emit, k, xkind, payload, commit, indent) -> None:
+        self.exit_fps[(k, xkind)] = self.fp_now()
+        exit_emit(self, k, xkind, payload, commit, indent)
+
+
+def _family_limit(adapter, family) -> int:
+    if family == "queue":
+        return adapter.queue.num_registers
+    if family == "alat":
+        return adapter.alat.num_entries
+    if family == "bitmask":
+        return adapter.file.num_registers
+    return 0
+
+
+def _vec_exit(em: _ResidueEmitter, k: int, xkind: int, payload,
+              commit: bool, indent: str) -> None:
+    emit = em.emit
+    for line in em.stat_lines(indent):
+        emit(line)
+    if commit:
+        for line in em.writeback_lines(indent):
+            emit(line)
+    emit(f"{indent}return ({k}, {xkind}, {payload!r})")
+
+
+def compile_vec(ir: R.ReplayIR, adapter, guest_count: int):
+    """Compile the vectorized kernel for one lowered trace.
+
+    Returns ``None`` when the trace cannot be statically lowered: a
+    dynamic escape (unknown adapter/opcode), a hardware operand the
+    static model rejects (the ``py`` tier then reproduces the model's
+    runtime error exactly), or a pair of accesses that provably always
+    overlap (the trace would fall back on every execution anyway).
+    Otherwise returns ``(fn, exit_fps)``: the kernel, with signature
+    ``(regs, data, msize, ad, undo_append)``, and a dict mapping each
+    ``(exit_idx, exit_kind)`` to the adapter event fingerprint of a
+    clean execution reaching that exit — precomputed so the caller can
+    skip the adapter's region-enter/exit bookkeeping entirely on this
+    tier. ``regs`` is the *guest* register file itself — scratch
+    registers live entirely in locals and guest registers are written
+    back only on commit-kind exits, so an abort or :data:`FALLBACK`
+    leaves it untouched (memory writes are undo-logged exactly like the
+    ``py`` tier and rolled back by the caller).
+    """
+    if ir.dyn:
+        return None
+    family = _hw_family(ir)
+    if family == "dyn":
+        return None
+    limit = _family_limit(adapter, family)
+    # Bloom prefilter over 8-byte granules: when any sweep is long, every
+    # tracked set also ORs its two bucket bits into ``_bm`` and long
+    # sweeps probe their buckets first — disjoint accesses (the common
+    # case) skip the whole pairwise or-chain. Sound because an overlap
+    # implies a shared byte, whose granule is among the two buckets of
+    # both accesses (all tracked accesses are <= 8 bytes wide here).
+    bloom = (
+        family is not None
+        and _max_sweep(ir, family, limit) >= _BLOOM_SWEEP_MIN
+    )
+    env: dict = {"ifb": int.from_bytes, "u64": _U64.unpack_from,
+                 "p64": _U64.pack_into, "_FB": FALLBACK}
+    lines: List[str] = [
+        # default args bind the helpers as locals (LOAD_FAST, not
+        # LOAD_GLOBAL, on every use); callers pass only the first five
+        "def _replay_vec(regs, data, msize, ad, undo_append, "
+        "u64=u64, p64=p64, ifb=ifb, _FB=_FB):",
+    ]
+    em = _ResidueEmitter(
+        ir, adapter, guest_count, family, limit, bloom, lines, "    "
+    )
+    if not em.walk(_vec_exit):
+        return None
+    exec(compile("\n".join(lines), "<vliw-replay-vec>", "exec"), env)
+    return env["_replay_vec"], em.exit_fps
+
+
+# ----------------------------------------------------------------------
+# batch backend
+# ----------------------------------------------------------------------
+def loop_exit_for(ir: R.ReplayIR, entry_pc: int, fall_through):
+    """The back-edge exit site of a self-looping region, or None.
+
+    The batch kernel bakes the *structural* candidate exit
+    (:func:`repro.sim.replay_ir.loop_candidate`) — a pure function of
+    the trace content, so content-identical region clones share one
+    compiled kernel. Whether that exit actually re-enters **this**
+    region is a per-region fact decided here: the branch payload (or the
+    fall-through pc) must equal the region's own entry pc.
+    """
+    cand = R.loop_candidate(ir)
+    if cand is None:
+        return None
+    k, xkind = cand
+    if xkind == R.X_BR:
+        if ir.payloads[ir.ops[k][1]] == entry_pc:
+            return cand
+        return None
+    # X_FALL: the trace has no branch or exit at all; it self-loops only
+    # when the fall-through continuation is the region's entry
+    if fall_through == entry_pc:
+        return cand
+    return None
+
+
+def _batch_affine(ir: R.ReplayIR, upto: int):
+    """Affine address analysis over the back-edge path ``ops[0..upto]``.
+
+    Works over the IR's columnar views (:func:`repro.sim.replay_ir
+    .columnar_views`). Tracks each register as ``entry(base) + offset``
+    (mod 2**64) where ``entry(base)`` is the register file value at
+    iteration start, or as a constant (``base is None``); anything else
+    — a loaded value, a product, a two-base sum — is unknown. Returns
+    ``(addr, state, touched)``: per-op address forms for every LD/ST on
+    the path, the final register state (whose self-affine entries give
+    per-iteration strides), and the set of written registers.
+    """
+    kindc, c1, c2, c3, c4, c5 = R.columnar_views(ir)
+    state: dict = {}  # reg -> (entry base reg | None, offset); absent = unknown
+    touched = set()
+    addr: dict = {}
+
+    def read(r):
+        if r in touched:
+            return state.get(r)
+        return (r, 0)
+
+    for k in range(upto + 1):
+        t = kindc[k]
+        if t == R.OP_ALU:
+            kind = c1[k]
+            d = c2[k]
+            if kind == R.A_MOVI:
+                nv = (None, c5[k] & _MASK64)
+            elif kind == R.A_MOV:
+                nv = read(c3[k])
+            elif kind == R.A_ADDI:
+                va = read(c3[k])
+                nv = None if va is None else (
+                    va[0], (va[1] + c5[k]) & _MASK64
+                )
+            elif kind == R.A_ADD or kind == R.A_SUB:
+                va = read(c3[k])
+                vb = read(c4[k])
+                if va is None or vb is None:
+                    nv = None
+                elif vb[0] is None:
+                    off = va[1] + vb[1] if kind == R.A_ADD else va[1] - vb[1]
+                    nv = (va[0], off & _MASK64)
+                elif kind == R.A_ADD and va[0] is None:
+                    nv = (vb[0], (vb[1] + va[1]) & _MASK64)
+                else:
+                    nv = None
+            else:
+                nv = None
+            touched.add(d)
+            if nv is None:
+                state.pop(d, None)
+            else:
+                state[d] = nv
+        elif t == R.OP_LD or t == R.OP_ST:
+            vb = read(c2[k])
+            addr[k] = None if vb is None else (
+                vb[0], (vb[1] + c3[k]) & _MASK64
+            )
+            if t == R.OP_LD:
+                d = c1[k]
+                touched.add(d)
+                state.pop(d, None)
+    return addr, state, touched
+
+
+def _prefilter_plan(ir: R.ReplayIR, family, limit: int, upto: int):
+    """Bounds and overlap conditions for the batch prefilter.
+
+    Dry-runs the static hardware simulation over the back-edge path to
+    recover every bounds guard and sweep pair the guarded body will
+    test, resolved to affine ``(base, offset, stride, width)`` forms.
+    Returns ``(bounds, pairs)`` — or ``None`` when any guarded address
+    is not loop-affine, in which case the batch kernel runs every
+    iteration through the guarded body (no fast body, no prefilter).
+    """
+    addr, state, touched = _batch_affine(ir, upto)
+
+    def stride(base):
+        if base is None or base not in touched:
+            return 0
+        v = state.get(base)
+        if v is not None and v[0] == base:
+            return v[1]
+        return None  # base is reset or clobbered: not strided
+
+    def resolve(k, width):
+        a = addr.get(k)
+        if a is None:
+            return None
+        s = stride(a[0])
+        if s is None:
+            return None
+        return (a[0], a[1], s, width)
+
+    hw = _StaticHw(family, limit) if family else None
+    bounds: List[tuple] = []
+    bset = set()
+    pairs: List[tuple] = []
+    pset = set()
+    for k in range(upto + 1):
+        op = ir.ops[k]
+        t = op[0]
+        if t == R.OP_LD or t == R.OP_ST:
+            ent = resolve(k, op[4])
+            if ent is None:
+                return None
+            if ent not in bset:
+                bset.add(ent)
+                bounds.append(ent)
+            evt = op[5]
+        elif t == R.OP_EVT:
+            evt = op[1]
+        else:
+            continue
+        if evt is None or hw is None:
+            continue
+        for ev in ir.events[evt]:
+            e = ev[0]
+            chk = None
+            if e == R.E_QCHK:
+                chk = hw.q_check(ev[1], ev[2], ev[3])
+                width = ev[2]
+            elif e == R.E_QSET:
+                hw.q_set(ev[1], k, ev[2], ev[3])
+            elif e == R.E_ROT:
+                hw.q_rotate(ev[1])
+            elif e == R.E_AMOV:
+                hw.q_amov(ev[1], ev[2])
+            elif e == R.E_ACHK:
+                chk = hw.alat_store_check(ev[1])
+                width = ev[1]
+            elif e == R.E_AINS:
+                hw.alat_insert(ev[1], k, ev[2], ev[3])
+            elif e == R.E_BCHK:
+                chk = hw.bm_check(ev[1], ev[2])
+                width = ev[2]
+            elif e == R.E_BSET:
+                hw.bm_set(ev[1], k, ev[2], ev[3])
+            else:  # E_DYN: the compiler rejected the trace already
+                return None
+            if chk:
+                own = resolve(k, width)
+                if own is None:
+                    return None
+                for pk, pwidth in chk:
+                    other = resolve(pk, pwidth)
+                    if other is None:
+                        return None
+                    key = (own, other)
+                    if key not in pset:
+                        pset.add(key)
+                        pairs.append(key)
+    return bounds, pairs
+
+
+def _a0_src(base, off: int) -> str:
+    """Source expression for an affine form's iteration-0 address."""
+    if base is None:
+        return f"{off & _MASK64}"
+    if off:
+        return f"regs[{base}] + {off} & {_MASK64}"
+    return f"regs[{base}] & {_MASK64}"
+
+
+def _prefilter_src(plan) -> Tuple[str, str]:
+    """Tuple-literal sources for the kernel's prefilter call."""
+    bounds, pairs = plan
+    bsrc = "".join(
+        f"({_a0_src(b, o)}, {s}, msize - {width}), "
+        for b, o, s, width in bounds
+    )
+    psrc = "".join(
+        f"({_a0_src(b1, o1)}, {s1}, {w1}, "
+        f"{_a0_src(b2, o2)}, {s2}, {w2}), "
+        for (b1, o1, s1, w1), (b2, o2, s2, w2) in pairs
+    )
+    return bsrc, psrc
+
+
+def _prefilter_pure(n: int, bounds, pairs) -> int:
+    """Pure-Python (``array``-module columns) batch prefilter.
+
+    Builds one unsigned-64 column of per-iteration addresses per
+    distinct ``(a0, stride)`` form and returns the first iteration index
+    at which any bounds or overlap condition fires (``n`` when none do).
+    All arithmetic is mod 2**64, matching the guarded body's masked
+    addresses; the unsigned-difference overlap test is exact because a
+    wrapped interval implies a bounds violation at the same iteration
+    (memory is far smaller than the address space).
+    """
+    cols: dict = {}
+
+    def col(a0, s):
+        c = cols.get((a0, s))
+        if c is None:
+            c = _array("Q", [(a0 + i * s) & _MASK64 for i in range(n)])
+            cols[(a0, s)] = c
+        return c
+
+    n_ok = n
+    for a0, s, lim in bounds:
+        if lim < 0:
+            return 0
+        c = col(a0, s)
+        for i in range(n_ok):
+            if c[i] > lim:
+                n_ok = i
+                break
+    for a0a, sa, wa, a0b, sb, wb in pairs:
+        ca = col(a0a, sa)
+        cb = col(a0b, sb)
+        for i in range(n_ok):
+            if (cb[i] - ca[i]) & _MASK64 < wa or (ca[i] - cb[i]) & _MASK64 < wb:
+                n_ok = i
+                break
+    return n_ok
+
+
+def _prefilter_np(n: int, bounds, pairs) -> int:
+    """numpy flavor of :func:`_prefilter_pure` (same result, columnar
+    uint64 ops; unsigned overflow wraps exactly like the mod-2**64
+    arithmetic the pure flavor spells out)."""
+    np = _np
+    idx = np.arange(n, dtype=np.uint64)
+    cols: dict = {}
+
+    def col(a0, s):
+        c = cols.get((a0, s))
+        if c is None:
+            c = np.uint64(a0) + idx * np.uint64(s)
+            cols[(a0, s)] = c
+        return c
+
+    bad = None
+    for a0, s, lim in bounds:
+        if lim < 0:
+            return 0
+        v = col(a0, s) > np.uint64(lim)
+        bad = v if bad is None else bad | v
+    for a0a, sa, wa, a0b, sb, wb in pairs:
+        ca = col(a0a, sa)
+        cb = col(a0b, sb)
+        v = ((cb - ca) < np.uint64(wa)) | ((ca - cb) < np.uint64(wb))
+        bad = v if bad is None else bad | v
+    if bad is None:
+        return n
+    hit = int(np.argmax(bad))  # first True, or 0 when none are set
+    return hit if bad[hit] else n
+
+
+def _batch_reg_scan(ir: R.ReplayIR):
+    """Registers a trace body touches: ``(refs, rbw)``.
+
+    ``refs`` is every register the emitted body can read or write (the
+    batch kernel binds each one to a loop-carried local above its
+    iteration loop); ``rbw`` holds the registers *read before their
+    first write* — the ones whose value at iteration start matters, so
+    scratch registers (``>= guest_count``) in it must be re-zeroed at
+    the back edge to match the scalar tiers' per-execution zero init.
+    """
+    refs: set = set()
+    rbw: set = set()
+    written: set = set()
+
+    def rd(r):
+        refs.add(r)
+        if r not in written:
+            rbw.add(r)
+
+    for op in ir.ops:
         t = op[0]
         if t == R.OP_ALU:
-            if op[1] == R.A_DYN:  # unreachable (ir.dyn rejected above)
-                return None
-            alu_op(k, op[1], op[2], op[3], op[4], op[5])
-        elif t == R.OP_LD or t == R.OP_ST:
-            _, vreg, base, disp, size, evt = op
-            addr = emit_addr(k, base, disp, size)
-            if not emit_events(evt, addr):
-                return None
-            if t == R.OP_LD:
-                name = define(vreg)
-                if size == 8:
-                    emit(f"{pad}{name} = u64(data, {addr})[0]")
-                else:
-                    emit(
-                        f"{pad}{name} = "
-                        f"ifb(data[{addr}:{addr} + {size}], 'little')"
-                    )
-            else:
-                sname = use(vreg)
-                mask = (1 << (8 * size)) - 1
-                emit(
-                    f"{pad}undo_append(({addr}, "
-                    f"data[{addr}:{addr} + {size}]))"
-                )
-                if size == 8:
-                    emit(f"{pad}p64(data, {addr}, {sname} & {mask})")
-                else:
-                    emit(
-                        f"{pad}data[{addr}:{addr} + {size}] = "
-                        f"({sname} & {mask}).to_bytes({size}, 'little')"
-                    )
+            kind, d, a, b = op[1], op[2], op[3], op[4]
+            if kind == R.A_FMA:
+                rd(d)
+            if kind != R.A_MOVI:
+                rd(a)
+                if b is not None:
+                    rd(b)
+            refs.add(d)
+            written.add(d)
+        elif t == R.OP_LD:
+            rd(op[2])
+            refs.add(op[1])
+            written.add(op[1])
+        elif t == R.OP_ST:
+            rd(op[1])
+            rd(op[2])
         elif t == R.OP_CBR:
-            _, code, a, b, pay = op
-            cmp_op = ("==", "!=", "<", ">=")[code]
-            lhs = use(a)
-            rhs = use(b) if b is not None else "0"
-            emit(f"{pad}if {lhs} {cmp_op} {rhs}:")
-            for line in exit_lines(k, R.X_SIDE, ir.payloads[pay],
-                                   commit=False, indent=pad + "    "):
-                emit(line)
-        elif t == R.OP_BR:
-            for line in exit_lines(k, R.X_BR, ir.payloads[op[1]],
-                                   commit=True, indent=pad):
-                emit(line)
-        elif t == R.OP_EXIT:
-            for line in exit_lines(k, R.X_EXIT, ir.payloads[op[1]],
-                                   commit=True, indent=pad):
-                emit(line)
-        elif t == R.OP_EVT:
-            if not emit_events(op[1], "0"):
-                return None
-        # OP_NOP: no functional effect
-    for line in exit_lines(len(ir.ops) - 1, R.X_FALL, None, commit=True,
-                           indent=pad):
-        emit(line)
-    exec(compile("\n".join(lines), "<vliw-replay-vec>", "exec"), env)
-    return env["_replay_vec"], exit_fps
+            rd(op[2])
+            if op[3] is not None:
+                rd(op[3])
+    return refs, rbw
+
+
+def compile_batch(ir: R.ReplayIR, adapter, guest_count: int):
+    """Compile the cross-iteration batched kernel for one lowered trace.
+
+    The batch tier amortizes the CPython per-execution floor: when a hot
+    region's commit exit re-enters the region itself (a back-edge), up
+    to ``n`` consecutive iterations run inside **one** kernel call — the
+    vec tier's residue body wrapped in an iteration loop. Register
+    locals are **loop-carried**: every referenced guest register is
+    bound once above the loop, the back-edge site only normalizes
+    deferred wraps in place (plus a ``prev`` snapshot tuple of the
+    committed state), and ``regs`` is written exactly once per kernel
+    call — at the exit that actually leaves the loop. Hardware-stat
+    deltas are likewise applied once per exit, multiplied by the number
+    of committed iterations, instead of per back-edge. Two bodies are
+    generated:
+
+    * a *guarded* body — the vec residue with every escape (``return
+      _FB``) replaced by ``break``: the iteration loop stops, committed
+      iterations stay committed, and the caller re-runs the broken
+      iteration on a scalar tier after rolling back its undo slice;
+    * an optional *fast* body with bounds guards, alias sweeps and the
+      bloom filter elided, used for the leading ``n_ok`` iterations a
+      columnar **prefilter** proved cannot fault: when every guarded
+      address is loop-affine (``base + i*stride`` mod 2**64 along the
+      back-edge path), per-iteration address columns — numpy arrays
+      when the optional ``[perf]`` extra is installed, ``array``-module
+      columns in pure Python (:func:`batch_flavor`) — are bounds- and
+      overlap-tested for the whole batch up front.
+
+    Returns ``None`` when the trace has no structural back-edge
+    candidate (:func:`repro.sim.replay_ir.loop_candidate`), the adapter
+    opts out (``replay_batch_legal``), or the static lowering rejects
+    the trace for the vec tier's reasons. Otherwise returns ``(fn,
+    exit_fps)``; the kernel signature is ``(regs, data, msize, ad,
+    undo_log, n)`` and it returns ``(iters, mark, exit_idx, exit_kind,
+    payload)``: ``iters`` back-edge iterations committed in full
+    (registers written back, memory kept, hardware-stat deltas applied),
+    ``mark`` the undo-log length at the final
+    iteration's start, and the final iteration's exit — with
+    ``exit_kind ==`` :data:`BATCH_TRIM` when a guard fired and the
+    caller must roll back ``undo_log[mark:]`` and re-run the final
+    iteration on a scalar tier. Every committed iteration is
+    indistinguishable from one scalar vec execution exiting at the
+    back-edge site — the exact-accounting contract the goldens and the
+    ``backends`` fuzz oracle pin.
+    """
+    if ir.dyn:
+        return None
+    if not getattr(adapter, "replay_batch_legal", False):
+        return None
+    family = _hw_family(ir)
+    if family == "dyn":
+        return None
+    cand = R.loop_candidate(ir)
+    if cand is None:
+        return None
+    ck, ckind = cand
+    limit = _family_limit(adapter, family)
+    bloom = (
+        family is not None
+        and _max_sweep(ir, family, limit) >= _BLOOM_SWEEP_MIN
+    )
+    pf = _prefilter_np if batch_flavor() == "numpy" else _prefilter_pure
+    env: dict = {"ifb": int.from_bytes, "u64": _U64.unpack_from,
+                 "p64": _U64.pack_into, "_pf": pf, "len": len}
+    lines: List[str] = [
+        "def _replay_batch(regs, data, msize, ad, undo_log, n, "
+        "u64=u64, p64=p64, ifb=ifb, _pf=_pf, len=len):",
+    ]
+    emit = lines.append
+    emit("    undo_append = undo_log.append")
+    # bounds-limit locals are loop-invariant: hoist them above the
+    # iteration loop (both bodies share them)
+    sizes = sorted({op[4] for op in ir.ops if op[0] in (R.OP_LD, R.OP_ST)})
+    for size in sizes:
+        emit(f"    mlim{size} = msize - {size}")
+    # loop-carried register locals: bind every referenced register once
+    # above the iteration loop. Exits restore/write back explicitly, so
+    # the back edge never touches ``regs`` at all.
+    refs, rbw = _batch_reg_scan(ir)
+    prebound = sorted(refs)
+    rbw_temps = sorted(r for r in rbw if r >= guest_count)
+    for reg in prebound:
+        if reg < guest_count:
+            emit(f"    r{reg} = regs[{reg}]")
+        else:
+            emit(f"    r{reg} = 0")
+    plan = _prefilter_plan(ir, family, limit, ck)
+    if plan is not None:
+        bounds_src, pairs_src = _prefilter_src(plan)
+        if bounds_src or pairs_src:
+            emit(f"    n_ok = _pf(n, ({bounds_src}), ({pairs_src}))")
+        else:
+            emit("    n_ok = n")
+    emit("    it = 0")
+    emit("    while 1:")
+    emit("        mark = len(undo_log)")
+
+    # per-body capture at the back-edge site: (guest regs written, in
+    # first-write order; hardware stats of one full iteration; max_live)
+    caps: dict = {}
+    done: set = set()
+
+    def mult_lines(pad: str, stats, max_live) -> List[str]:
+        """Stat deltas of ``it`` committed iterations, applied at once."""
+        out: List[str] = []
+        if stats:
+            target, fields = _STAT_TARGETS[family]
+            body = [f"{pad}_hs.{name} += {stats[name]} * it"
+                    for name in fields if stats.get(name)]
+            if body or max_live:
+                out.append(f"{pad}_hs = {target}")
+                out.extend(body)
+        if max_live:
+            out.append(f"{pad}if _hs.max_live < {max_live}: "
+                       f"_hs.max_live = {max_live}")
+        return out
+
+    def batch_exit(em: _ResidueEmitter, k: int, xkind: int, payload,
+                   commit: bool, indent: str) -> None:
+        e = em.emit
+        if id(em) in done:
+            # past the live back-edge site: this exit is dead code, but
+            # a dead CBR still needs a non-empty suite
+            e(f"{indent}pass")
+            return
+        if commit and k == ck and xkind == ckind:
+            # the back-edge site: normalize deferred locals to canonical
+            # signed form (the next iteration's reads — and any later
+            # exit's plain writeback — assume it), re-zero scratch
+            # registers the body reads before writing, snapshot the
+            # committed state for side-exit/trim restore, and loop
+            for reg in em.written:
+                if reg in em.deferred_now and reg < guest_count:
+                    e(f"{indent}r{reg} = (r{reg} + {_HIGH} "
+                      f"& {_MASK64}) - {_HIGH}")
+            for reg in rbw_temps:
+                e(f"{indent}r{reg} = 0")
+            wr = [r for r in em.written if r < guest_count]
+            hw = em.hw
+            stats = dict(hw.stats) if hw is not None else {}
+            max_live = (hw.max_live
+                        if hw is not None and family == "queue" else 0)
+            caps[id(em)] = (wr, stats, max_live)
+            if wr:
+                e(f"{indent}prev = ({', '.join(f'r{r}' for r in wr)},)")
+            e(f"{indent}it += 1")
+            e(f"{indent}if it < n:")
+            e(f"{indent}    continue")
+            # full batch: every iteration committed, locals canonical
+            for reg in wr:
+                e(f"{indent}regs[{reg}] = r{reg}")
+            for line in mult_lines(indent, stats, max_live):
+                e(line)
+            e(f"{indent}return (it - 1, mark, {k}, {xkind}, "
+              f"{payload!r})")
+            done.add(id(em))
+            return
+        for line in em.stat_lines(indent):
+            e(line)
+        if commit:
+            # the final iteration commits: write back what it defined so
+            # far (deferred-aware), then the rest of the loop-carried
+            # state (canonical by the back-edge invariant), then apply
+            # the committed iterations' stat deltas
+            for line in em.writeback_lines(indent):
+                e(line)
+            sofar = ",".join(str(r) for r in em.written
+                             if r < guest_count)
+            e(f"{indent}\x00REST:{sofar}")
+            e(f"{indent}\x00MULT")
+        else:
+            # a side exit discards the broken iteration's register
+            # effects: restore the last committed state and apply the
+            # committed iterations' stat deltas
+            e(f"{indent}\x00RESTORE")
+        e(f"{indent}return (it, mark, {k}, {xkind}, {payload!r})")
+
+    def patch(start: int, em: _ResidueEmitter) -> bool:
+        """Expand this body's exit placeholders against its back-edge
+        capture (unknown while the body was still being emitted)."""
+        cap = caps.get(id(em))
+        if cap is None:
+            return False
+        wr, stats, max_live = cap
+        i = start
+        while i < len(lines):
+            j = lines[i].find("\x00")
+            if j < 0:
+                i += 1
+                continue
+            indent, tag = lines[i][:j], lines[i][j + 1:]
+            if tag.startswith("REST:"):
+                sofar = {int(x) for x in tag[5:].split(",") if x}
+                repl = [f"{indent}regs[{r}] = r{r}" for r in wr
+                        if r not in sofar]
+            elif tag == "MULT":
+                body = mult_lines(indent + "    ", stats, max_live)
+                repl = [f"{indent}if it:"] + body if body else []
+            else:  # RESTORE
+                body = mult_lines(indent + "    ", stats, max_live)
+                body += [f"{indent}    regs[{r}] = prev[{ix}]"
+                         for ix, r in enumerate(wr)]
+                repl = [f"{indent}if it:"] + body if body else []
+            lines[i:i + 1] = repl
+            i += len(repl)
+        return True
+
+    if plan is not None:
+        emit("        if it < n_ok:")
+        f_start = len(lines)
+        fast = _ResidueEmitter(
+            ir, adapter, guest_count, family, limit, False, lines,
+            "            ", guarded=False, hoisted_sizes=sizes,
+        )
+        fast.bound |= refs
+        if not fast.walk(batch_exit) or not patch(f_start, fast):
+            return None
+    g_start = len(lines)
+    guarded = _ResidueEmitter(
+        ir, adapter, guest_count, family, limit, bloom, lines,
+        "        ", fb="break", hoisted_sizes=sizes,
+    )
+    guarded.bound |= refs
+    if not guarded.walk(batch_exit):
+        return None
+    # trim epilogue: a guard broke out mid-iteration — restore the last
+    # committed register state (memory rolls back in the caller via the
+    # undo slice) and report the trim
+    emit("    \x00RESTORE")
+    emit(f"    return (it, mark, {BATCH_TRIM}, {BATCH_TRIM}, None)")
+    if not patch(g_start, guarded):
+        return None
+    if plan is not None and caps[id(fast)][0] != caps[id(guarded)][0]:
+        return None  # defensive: bodies must agree on the carried state
+    exec(compile("\n".join(lines), "<vliw-replay-batch>", "exec"), env)
+    return env["_replay_batch"], guarded.exit_fps
 
 
 # ----------------------------------------------------------------------
@@ -954,14 +1647,19 @@ class ReplayArtifact:
     """Shareable replay code for one (trace content, hardware) identity.
 
     Holds everything that is a pure function of the lowered trace: the
-    numeric IR and the compiled ``py``/``vec`` kernels. Timing plans
-    (signature memos, execution counts) are per-region and never live
-    here. ``vec_state``: 0 untried, 1 compiled, -1 unavailable/disabled
-    (non-lowerable trace, or demoted after repeated fallbacks).
+    numeric IR and the compiled ``py``/``vec``/``batch`` kernels. Timing
+    plans (signature memos, execution counts) are per-region and never
+    live here. ``vec_state``/``batch_state``: 0 untried, 1 compiled, -1
+    unavailable/disabled (non-lowerable trace, or demoted — vec after
+    repeated fallbacks, batch after repeated early trims).
+    ``batch_flavor`` records which prefilter kernel ("numpy"/"pure") the
+    batch function was compiled against, for `--stats` and perf reports.
     """
 
     __slots__ = ("ir", "py_fn", "vec_fn", "vec_fps", "vec_state",
-                 "vec_fallbacks", "vec_guest_count")
+                 "vec_fallbacks", "vec_guest_count", "batch_fn",
+                 "batch_fps", "batch_state", "batch_trims",
+                 "batch_guest_count", "batch_flavor")
 
     def __init__(self) -> None:
         self.ir: Optional[R.ReplayIR] = None
@@ -971,10 +1669,20 @@ class ReplayArtifact:
         self.vec_state = 0
         self.vec_fallbacks = 0
         self.vec_guest_count = 0
+        self.batch_fn: Optional[Callable] = None
+        self.batch_fps: Optional[dict] = None
+        self.batch_state = 0
+        self.batch_trims = 0
+        self.batch_guest_count = 0
+        self.batch_flavor: Optional[str] = None
 
 
 #: vec kernels falling back this many times are demoted to the py tier
 VEC_FALLBACK_LIMIT = 4
+
+#: batch kernels trimming early (under half the requested width) this
+#: many times are demoted back to the scalar tiers
+BATCH_TRIM_LIMIT = 4
 
 _CACHE_LIMIT = 256
 _artifacts: "OrderedDict[Tuple, ReplayArtifact]" = OrderedDict()

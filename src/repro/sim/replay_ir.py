@@ -29,9 +29,14 @@ the backends and :mod:`repro.sim.vliw` agree on one vocabulary.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Optional, Tuple
 
 from repro.ir.instruction import Instruction, Opcode
+
+_MASK64 = (1 << 64) - 1
+_HIGH = 1 << 63
+_TOP = 1 << 64
 
 # -- replay exit kinds (the signature vocabulary) -----------------------
 X_FALL = 0  # ran off the end of the trace
@@ -149,6 +154,10 @@ class ReplayIR:
             "ops": [enc(op) for op in self.ops],
             "events": [[enc(ev) for ev in grp] for grp in self.events],
             "payloads": list(self.payloads),
+            # Advisory batch-tier legality bits (additive; readers that
+            # predate the batch tier ignore the key, from_payload never
+            # requires it — everything here is re-derivable from the ops).
+            "batch": batch_legality(self),
         }
 
     @classmethod
@@ -168,6 +177,90 @@ class ReplayIR:
             payloads=list(payload["payloads"]),
             dyn=[],
         )
+
+
+def loop_candidate(ir: ReplayIR) -> Optional[Tuple[int, int]]:
+    """The structural self-loop exit candidate of one trace.
+
+    A superblock trace has at most one terminator: the first ``OP_BR``
+    (commit to an unconditional target — any ops after it are dead) or,
+    absent one, the implicit fall-off-the-end exit. Returns ``(exit_idx,
+    exit_kind)`` for that site — ``(k, X_BR)`` or ``(len - 1, X_FALL)``
+    — or ``None`` when the trace terminates the program (``OP_EXIT``) or
+    is empty. Whether the candidate actually re-enters the region (its
+    target equals the region entry pc) is the caller's check: the same
+    IR content can back several regions, and only the one whose entry pc
+    the branch targets self-loops.
+    """
+    for k, op in enumerate(ir.ops):
+        t = op[0]
+        if t == OP_BR:
+            return (k, X_BR)
+        if t == OP_EXIT:
+            return None
+    return (len(ir.ops) - 1, X_FALL) if ir.ops else None
+
+
+def batch_legality(ir: ReplayIR) -> dict:
+    """Batch-tier legality bits for one trace (serialized in the payload).
+
+    ``family`` is the single hardware family the event stream touches
+    (``"dyn"`` marks dynamic escapes, which no compiled backend accepts);
+    ``loop`` is :func:`loop_candidate`'s ``[exit_idx, exit_kind]``;
+    ``legal`` folds both: a batch kernel can only be compiled from a
+    dyn-free trace with a structural back-edge candidate.
+    """
+    kinds = set()
+    for grp in ir.events:
+        for ev in grp:
+            kinds.add(ev[0])
+    if ir.dyn or E_DYN in kinds:
+        family: Optional[str] = "dyn"
+    elif kinds & QUEUE_EVENTS:
+        family = "queue"
+    elif kinds & ALAT_EVENTS:
+        family = "alat"
+    elif kinds & BITMASK_EVENTS:
+        family = "bitmask"
+    else:
+        family = None
+    cand = loop_candidate(ir)
+    return {
+        "legal": family != "dyn" and cand is not None,
+        "family": family,
+        "loop": None if cand is None else [cand[0], cand[1]],
+    }
+
+
+def columnar_views(ir: ReplayIR):
+    """Flat ``array``-module columns over the op tuples.
+
+    Returns ``(kind, f1, f2, f3, f4, f5)``: a signed-byte opcode column
+    plus five signed-64 operand columns positionally parallel to
+    ``ir.ops`` (op field ``j`` of op ``k`` is ``f{j}[k]``). ``None`` and
+    absent slots encode as ``-1`` — unambiguous for the same reason the
+    payload encoding is: which slots are live follows from the opcode.
+    Values outside the signed 64-bit range (a raw ``A_MOVI`` immediate)
+    are stored mod 2**64 as their signed wrap, which every consumer of
+    these columns (the batch tier's affine address analysis) works in
+    anyway. Batch prefilter construction scans these columns instead of
+    re-destructuring tuples on every pass.
+    """
+    n = len(ir.ops)
+    kind = array("b", bytes(n))
+    cols = [array("q", bytes(8 * n)) for _ in range(5)]
+    for k, op in enumerate(ir.ops):
+        kind[k] = op[0]
+        for j in range(1, len(op)):
+            v = op[j]
+            if v is None:
+                v = -1
+            else:
+                v &= _MASK64
+                if v >= _HIGH:
+                    v -= _TOP
+            cols[j - 1][k] = v
+    return (kind, cols[0], cols[1], cols[2], cols[3], cols[4])
 
 
 def _lower_alu(inst: Instruction, k: int, aux, dyn) -> Tuple:

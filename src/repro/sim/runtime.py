@@ -144,6 +144,32 @@ class DynamicOptimizationRuntime:
         outcome = self.simulator.execute_region(
             entry.translation, self._adapter, registers
         )
+        return self._apply_outcome(entry, outcome)
+
+    def execute_translated_batch(self, pc: int, registers, steps_budget: int):
+        """Run the cached translation at ``pc``, batching back-edge
+        iterations when the region self-loops (see
+        :meth:`~repro.sim.vliw.VliwSimulator.execute_region_batch`).
+
+        Returns ``(outcome, loop_outcome, batched)``; the ``batched``
+        full iterations are accounted here exactly as ``batched``
+        scalar commits (``translated_cycles``, ``region_commits``), and
+        the final ``outcome`` goes through the same runtime policy as
+        :meth:`execute_translated` — alias/side-exit attribution lands
+        on precisely the execution that produced it.
+        """
+        entry = self._regions[pc]
+        outcome, loop_out, batched = self.simulator.execute_region_batch(
+            entry.translation, self._adapter, registers, steps_budget
+        )
+        if batched:
+            self.stats.translated_cycles += loop_out.cycles * batched
+            self.stats.region_commits += batched
+        return self._apply_outcome(entry, outcome), loop_out, batched
+
+    def _apply_outcome(
+        self, entry: _RegionEntry, outcome: RegionOutcome
+    ) -> RegionOutcome:
         self.stats.translated_cycles += outcome.cycles
         if outcome.status == "alias":
             self.stats.alias_exceptions += 1

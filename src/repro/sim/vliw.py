@@ -169,10 +169,15 @@ _CBR_CODE = {Opcode.BEQ: 0, Opcode.BNE: 1, Opcode.BLT: 2, Opcode.BGE: 3}
 #: interpreted scoreboard loop (read once per VliwSimulator construction)
 _NO_PLANS_ENV = "SMARQ_NO_TIMING_PLANS"
 
-#: backend selector — SMARQ_REPLAY_BACKEND=interp|py|vec forces one
-#: replay tier for every region (read once per VliwSimulator
+#: backend selector — SMARQ_REPLAY_BACKEND=interp|py|vec|batch forces
+#: one replay tier for every region (read once per VliwSimulator
 #: construction); unset or unknown values select by per-trace promotion
 _BACKEND_ENV = "SMARQ_REPLAY_BACKEND"
+
+#: max iterations per batched kernel call (SMARQ_BATCH_WIDTH=0/1
+#: disables cross-iteration batching entirely)
+_BATCH_ENV = "SMARQ_BATCH_WIDTH"
+_BATCH_WIDTH_DEFAULT = 16
 
 #: scratch-register extension appended to the guest file per execution
 #: (a tuple so list.extend copies without allocating a fresh [0]*64)
@@ -204,7 +209,7 @@ class _TimingPlan:
     """
 
     __slots__ = ("cycle_after", "signatures", "executions", "replay_fn",
-                 "artifact", "vec_outcomes")
+                 "artifact", "vec_outcomes", "batch_loop")
 
     def __init__(self) -> None:
         self.cycle_after: Optional[List[int]] = None
@@ -217,6 +222,12 @@ class _TimingPlan:
         self.executions = 0
         self.replay_fn: Optional[Callable] = None
         self.artifact: Optional[_backends.ReplayArtifact] = None
+        #: back-edge eligibility for the batch tier: 0 = not yet
+        #: computed, None = this region's commit exit is not a self
+        #: loop, else the (exit_idx, exit_kind) of the back-edge site
+        #: (per-region, unlike the shared artifact: only the region
+        #: whose entry pc matches the baked branch target self-loops)
+        self.batch_loop = 0
 
 
 #: planned executions of one trace before its py replay is adopted
@@ -224,6 +235,10 @@ _REPLAY_THRESHOLD = 4
 
 #: planned executions of one trace before the vec kernel is adopted
 _VEC_THRESHOLD = 8
+
+#: planned executions of one trace before the batch kernel is adopted
+#: (only at back-edge dispatch sites, see VliwSimulator.execute_region_batch)
+_BATCH_THRESHOLD = 16
 
 
 def _compile_timing(machine: MachineModel, trace) -> List[int]:
@@ -500,7 +515,14 @@ class VliwSimulator:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._plans_enabled = os.environ.get(_NO_PLANS_ENV) != "1"
         backend = os.environ.get(_BACKEND_ENV)
-        self._backend = backend if backend in ("interp", "py", "vec") else None
+        self._backend = (
+            backend if backend in ("interp", "py", "vec", "batch") else None
+        )
+        width = os.environ.get(_BATCH_ENV)
+        try:
+            self._batch_width = int(width) if width else _BATCH_WIDTH_DEFAULT
+        except ValueError:
+            self._batch_width = _BATCH_WIDTH_DEFAULT
 
     # ------------------------------------------------------------------
     def execute_region(
@@ -524,6 +546,39 @@ class VliwSimulator:
                     "execute", time.perf_counter() - start
                 )
         return self._execute_region(region, adapter, registers)
+
+    def execute_region_batch(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        steps_budget: int,
+    ) -> Tuple[RegionOutcome, Optional[RegionOutcome], int]:
+        """Run the region, batching back-edge iterations when eligible.
+
+        Returns ``(outcome, loop_outcome, batched)``: ``batched``
+        back-edge commits executed inside one batch kernel call (each
+        identical to ``loop_outcome``, a shared commit RegionOutcome at
+        the loop site) followed by ``outcome``, the final execution —
+        exactly what ``batched + 1`` scalar :meth:`execute_region` calls
+        would have produced. ``batched`` is 0 (and ``loop_outcome``
+        None) whenever the scalar path runs: batching disabled or not
+        yet promoted, no structural back-edge, a non-lowerable trace,
+        or ``steps_budget``/width affording fewer than two iterations.
+        """
+        if self.tracer.active:
+            start = time.perf_counter()
+            try:
+                return self._execute_region_batch(
+                    region, adapter, registers, steps_budget
+                )
+            finally:
+                self.tracer.add_time(
+                    "execute", time.perf_counter() - start
+                )
+        return self._execute_region_batch(
+            region, adapter, registers, steps_budget
+        )
 
     def _trace_for(self, region, adapter):
         """The compiled trace for ``region``, cached on the region object.
@@ -585,6 +640,202 @@ class VliwSimulator:
             region, adapter, registers, trace, fall_through
         )
 
+    def _execute_region_batch(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        steps_budget: int,
+    ) -> Tuple[RegionOutcome, Optional[RegionOutcome], int]:
+        trace, fall_through, ftrace, plan = self._trace_for(region, adapter)
+        if not (
+            self._plans_enabled
+            and getattr(adapter, "timing_transparent", False)
+        ):
+            return (
+                self._execute_interpreted(
+                    region, adapter, registers, trace, fall_through
+                ),
+                None,
+                0,
+            )
+        backend = self._backend
+        width = self._batch_width
+        if width >= 2 and (
+            backend == "batch"
+            or (backend is None and plan.executions + 1 >= _BATCH_THRESHOLD)
+        ):
+            art = plan.artifact
+            if art.batch_state >= 0:
+                fn = self._ensure_batch(
+                    region, trace, fall_through, plan, adapter,
+                    len(registers),
+                )
+                if fn is not None:
+                    # never run more iterations than the step budget
+                    # affords: the caller charges max(1, instructions)
+                    # guest steps per commit, exactly like scalar mode
+                    per_iter = max(1, plan.batch_loop[0] + 1)
+                    n = min(width, -(-steps_budget // per_iter))
+                    if n >= 2:
+                        return self._run_batch(
+                            region, adapter, registers, trace,
+                            fall_through, ftrace, plan, fn, n,
+                        )
+        return (
+            self._execute_planned(
+                region, adapter, registers, trace, fall_through, ftrace,
+                plan,
+            ),
+            None,
+            0,
+        )
+
+    def _ensure_batch(
+        self, region, trace, fall_through, plan: _TimingPlan, adapter,
+        guest_count,
+    ):
+        """The batch kernel for this plan's trace, or None when the
+        region is not a self-loop or the lowering rejects it."""
+        art = plan.artifact
+        if plan.batch_loop == 0:
+            ir = self._ensure_ir(region, trace, art, adapter)
+            plan.batch_loop = _backends.loop_exit_for(
+                ir, region.block.entry_pc, fall_through
+            )
+        if plan.batch_loop is None:
+            return None
+        fn = art.batch_fn
+        if fn is None:
+            compiled = _backends.compile_batch(
+                self._ensure_ir(region, trace, art, adapter),
+                adapter,
+                guest_count,
+            )
+            if compiled is None:
+                art.batch_state = -1
+                return None
+            fn, art.batch_fps = compiled
+            art.batch_fn = fn
+            art.batch_state = 1
+            art.batch_guest_count = guest_count
+            art.batch_flavor = _backends.batch_flavor()
+            if self.tracer.active:
+                self.tracer.count("vliw.batch_compiles")
+        elif art.batch_guest_count != guest_count:
+            return None
+        return fn
+
+    def _run_batch(
+        self,
+        region,
+        adapter,
+        registers: List[int],
+        trace,
+        fall_through,
+        ftrace,
+        plan: _TimingPlan,
+        fn,
+        n: int,
+    ) -> Tuple[RegionOutcome, Optional[RegionOutcome], int]:
+        memory = self.memory
+        stats = self.stats
+        tracer = self.tracer
+        active = tracer.active
+        undo_log: List[Tuple[int, bytes]] = []
+        iters, mark, idx, kind, payload = fn(
+            registers, memory.buffer, memory.size, adapter, undo_log, n
+        )
+        loop_out: Optional[RegionOutcome] = None
+        if iters:
+            # ``iters`` full back-edge commits ran inside the kernel:
+            # account each exactly as one scalar vec execution exiting
+            # at the loop site (the kernel already applied per-iteration
+            # hardware-stat deltas and register writebacks)
+            plan.executions += iters
+            loop_out = self._batch_loop_outcome(region, trace, plan, iters)
+            stats.regions_executed += iters
+            stats.commits += iters
+            stats.instructions += loop_out.instructions_executed * iters
+            stats.total_cycles += loop_out.cycles * iters
+            if active:
+                tracer.count("vliw.regions_executed", iters)
+                tracer.count("vliw.backend_batch", iters)
+                tracer.count("vliw.batch_iterations", iters)
+        if kind == _backends.BATCH_TRIM:
+            # the final iteration escaped the static model: roll back
+            # its own undo slice (committed iterations keep theirs) and
+            # re-run it exactly on the scalar py tier
+            for addr, old in reversed(undo_log[mark:]):
+                memory.write_bytes(addr, old)
+            if active:
+                tracer.count("vliw.batch_trims")
+            if iters * 2 < n:
+                art = plan.artifact
+                art.batch_trims += 1
+                if art.batch_trims >= _backends.BATCH_TRIM_LIMIT:
+                    art.batch_state = -1  # keeps trimming early: demote
+            final = self._execute_planned(
+                region, adapter, registers, trace, fall_through, ftrace,
+                plan, prefer_py=True,
+            )
+        else:
+            plan.executions += 1
+            stats.regions_executed += 1
+            if active:
+                tracer.count("vliw.regions_executed")
+                tracer.count("vliw.backend_batch")
+            final = self._finish_vec(
+                region, undo_log[mark:], trace, fall_through, plan, idx,
+                kind, payload, fps=plan.artifact.batch_fps,
+            )
+        return final, loop_out, iters
+
+    def _batch_loop_outcome(
+        self, region, trace, plan: _TimingPlan, iters: int
+    ) -> RegionOutcome:
+        """The shared commit outcome at the plan's back-edge site (the
+        same object :meth:`_finish_vec` would memoize for a scalar vec
+        execution exiting there). Stats application is the caller's job
+        — it multiplies by the batch length."""
+        key = plan.batch_loop
+        tracer = self.tracer
+        out = plan.vec_outcomes.get(key)
+        if out is not None:
+            if tracer.active:
+                tracer.count("vliw.plan_hits", iters)
+            return out
+        idx, exit_kind = key
+        signature = (
+            idx, exit_kind, plan.artifact.batch_fps.get(key, 0)
+        )
+        cycle = plan.signatures.get(signature)
+        if cycle is None:
+            cycle_after = plan.cycle_after
+            if cycle_after is None:
+                cycle_after = plan.cycle_after = _compile_timing(
+                    self.machine, trace
+                )
+                tracer.count("vliw.plan_compiles")
+            cycle = cycle_after[idx]
+            plan.signatures[signature] = cycle
+            tracer.count("vliw.plan_misses")
+            if iters > 1 and tracer.active:
+                tracer.count("vliw.plan_hits", iters - 1)
+        elif tracer.active:
+            tracer.count("vliw.plan_hits", iters)
+        # a back-edge site is a commit whose target is the region's own
+        # entry pc (X_BR by construction; X_FALL only when fall_through
+        # re-enters the region)
+        out = RegionOutcome(
+            status="commit",
+            cycles=cycle + 1,
+            next_pc=region.block.entry_pc,
+            instructions_executed=idx + 1,
+        )
+        plan.vec_outcomes[key] = out
+        return out
+
     # ------------------------------------------------------------------
     # Planned path: functional replay + memoized timing
     # ------------------------------------------------------------------
@@ -597,6 +848,7 @@ class VliwSimulator:
         fall_through,
         ftrace,
         plan: _TimingPlan,
+        prefer_py: bool = False,
     ) -> RegionOutcome:
         memory = self.memory
         stats = self.stats
@@ -613,12 +865,18 @@ class VliwSimulator:
         # Auto mode promotes by per-plan execution count (dispatch loop
         # -> py -> vec); SMARQ_REPLAY_BACKEND forces one tier, with vec
         # degrading to py for traces the static lowering rejects.
+        # ``prefer_py`` (a trimmed batch re-running its final iteration)
+        # pins the py tier: it is exact by construction, and going
+        # through vec again would double-charge the fallback counters.
         plan.executions += 1
         art = plan.artifact
         backend = self._backend
         replay = plan.replay_fn
         vec = None
-        if backend is None:
+        if prefer_py:
+            if replay is None:
+                replay = self._ensure_py(region, trace, plan, adapter, tracer)
+        elif backend is None:
             if art.vec_state >= 0 and plan.executions >= _VEC_THRESHOLD:
                 vec = self._ensure_vec(
                     region, trace, plan, adapter, guest_count, tracer
@@ -629,7 +887,7 @@ class VliwSimulator:
                 and plan.executions >= _REPLAY_THRESHOLD
             ):
                 replay = self._ensure_py(region, trace, plan, adapter, tracer)
-        elif backend == "vec":
+        elif backend == "vec" or backend == "batch":
             if art.vec_state >= 0:
                 vec = self._ensure_vec(
                     region, trace, plan, adapter, guest_count, tracer
@@ -855,6 +1113,7 @@ class VliwSimulator:
         idx: int,
         exit_kind: int,
         payload,
+        fps: Optional[dict] = None,
     ) -> RegionOutcome:
         """Planned-path epilogue for a successful vec execution.
 
@@ -886,9 +1145,9 @@ class VliwSimulator:
 
         machine = self.machine
         tracer = self.tracer
-        signature = (
-            idx, exit_kind, plan.artifact.vec_fps.get((idx, exit_kind), 0)
-        )
+        if fps is None:
+            fps = plan.artifact.vec_fps
+        signature = (idx, exit_kind, fps.get((idx, exit_kind), 0))
         cycle = plan.signatures.get(signature)
         if cycle is None:
             cycle_after = plan.cycle_after

@@ -1,0 +1,477 @@
+"""Batch replay tier tests: N batched iterations ≡ N scalar executions.
+
+The ``batch`` backend (see :mod:`repro.sim.replay_backends`) executes up
+to ``SMARQ_BATCH_WIDTH`` iterations of a self-looping hot region in one
+kernel call. These tests pin its contract:
+
+* reports are byte-identical to the scalar tiers for every scheme, for
+  both prefilter flavors (numpy and pure-Python columns);
+* a mid-batch alias abort rolls back exactly the faulting iteration and
+  re-runs it on the scalar ``py`` tier — fuzz cases biased toward
+  collisions must produce reports identical to an all-scalar run;
+* ``steps_budget`` bounds the batch exactly like the scalar loop's
+  per-commit charge (never more iterations than the budget affords);
+* auto promotion engages the tier at ``_BATCH_THRESHOLD`` executions,
+  early-trimming traces demote at ``BATCH_TRIM_LIMIT``;
+* ``SMARQ_BATCH_WIDTH=0/1`` and forced scalar backends are kill switches;
+* re-optimization (plan invalidation) drops the compiled batch kernel;
+* the warm serve daemon reuses compiled batch kernels across repeat
+  batches (zero-delta ``vliw.batch_compiles``).
+"""
+
+import random
+
+import pytest
+
+import repro.sim.replay_backends as backends
+from repro.engine.instrumentation import Tracer
+from repro.frontend.profiler import ProfilerConfig
+from repro.fuzz.generator import generate_case
+from repro.fuzz.oracles import backend_forced, batch_pure_forced
+from repro.ir.instruction import Opcode, binop, branch, load, movi, store
+from repro.ir.superblock import Superblock
+from repro.opt.pipeline import OptimizationPipeline, OptimizerConfig
+from repro.sched.machine import MachineModel
+from repro.sim import replay_ir as R
+from repro.sim.dbt import DbtSystem
+from repro.sim.memory import Memory
+from repro.sim.replay_backends import (
+    BATCH_TRIM_LIMIT,
+    batch_flavor,
+    reset_artifact_cache,
+)
+from repro.sim.schemes import SmarqAdapter
+from repro.sim.vliw import (
+    _BATCH_THRESHOLD,
+    VliwSimulator,
+    invalidate_timing_plans,
+)
+from repro.workloads import make_benchmark
+
+MACHINE = MachineModel()
+MAX_STEPS = 200_000
+
+
+def translate(insts, speculate=True):
+    block = Superblock(entry_pc=0, instructions=list(insts))
+    pipeline = OptimizationPipeline(
+        MACHINE, OptimizerConfig(speculate=speculate)
+    )
+    return pipeline.optimize(block)
+
+
+def loop_region():
+    """Commits back to pc 0 when r3 == 0, side-exits otherwise."""
+    return translate(
+        [
+            movi(1, 0x100),
+            movi(2, 9),
+            store(1, 2),
+            branch(Opcode.BNE, 7, srcs=(3, 0)),
+            binop(Opcode.ADD, 4, 2, 2),
+            branch(Opcode.BR, 0),
+        ]
+    )
+
+
+def alias_loop_region():
+    """Speculation hoists ``load r2, [r3]``; r3 == 0x100 collides with
+    the store every iteration (same shape as tests/test_timing_plans)."""
+    return translate(
+        [
+            movi(1, 0x100),
+            load(9, 8),
+            store(1, 9),
+            load(2, 3),
+            branch(Opcode.BR, 0),
+        ]
+    )
+
+
+def batch_once(sim, region, r3=0, budget=10**6, adapter=None):
+    """One ``execute_region_batch`` call on a fresh register file."""
+    registers = [0] * 64
+    registers[3] = r3
+    adapter = adapter or SmarqAdapter(64)
+    return sim.execute_region_batch(region, adapter, registers, budget)
+
+
+def bench_report(benchmark, scheme, tier=None, pure=False, tracer=None):
+    """One DbtSystem run as a dict, optionally with a forced tier."""
+    program = make_benchmark(benchmark, scale=0.05)
+
+    def run():
+        system = DbtSystem(program, scheme, tracer=tracer)
+        return system.run(max_guest_steps=MAX_STEPS).to_dict()
+
+    if tier is None:
+        return run()
+    if pure:
+        # the prefilter flavor is baked into compiled kernels held by
+        # the process-wide artifact cache: bracket with resets so pure
+        # kernels neither reuse nor leak into numpy-flavored runs
+        reset_artifact_cache()
+        try:
+            with batch_pure_forced(), backend_forced(tier):
+                return run()
+        finally:
+            reset_artifact_cache()
+    with backend_forced(tier):
+        return run()
+
+
+class TestByteIdentity:
+    """Forced-batch reports must equal the interp oracle's, per scheme."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["smarq", "smarq16", "itanium", "efficeon", "none"]
+    )
+    def test_batch_matches_interp(self, scheme):
+        tracer = Tracer()
+        batch = bench_report("pchase", scheme, tier="batch", tracer=tracer)
+        oracle = bench_report("pchase", scheme, tier="interp")
+        assert batch == oracle
+        # the batch tier really ran (forced mode engages immediately)
+        assert tracer.counters.get("vliw.backend_batch", 0) > 0
+
+    @pytest.mark.skipif(
+        backends._np is None, reason="numpy not installed"
+    )
+    def test_pure_flavor_matches_numpy(self):
+        numpy_rep = bench_report("pwalk", "smarq", tier="batch")
+        pure_rep = bench_report("pwalk", "smarq", tier="batch", pure=True)
+        assert numpy_rep == pure_rep
+
+    def test_auto_promotion_ladder(self):
+        """Auto mode climbs dispatch → py → vec → batch and the four
+        tiers partition every region execution."""
+        tracer = Tracer()
+        bench_report("pchase", "smarq", tracer=tracer)
+        c = tracer.counters
+        assert c.get("vliw.backend_batch", 0) > 0
+        assert c.get("vliw.batch_compiles", 0) >= 1
+        executed = (
+            c.get("vliw.backend_interp", 0)
+            + c.get("vliw.backend_py", 0)
+            + c.get("vliw.backend_vec", 0)
+            + c.get("vliw.backend_batch", 0)
+        )
+        assert executed == c["vliw.regions_executed"]
+
+
+class TestMidBatchAbort:
+    def test_trimmed_batches_match_scalar_reports(self):
+        """Collision-heavy fuzz cases that trim mid-batch (alias sweep
+        fires, the faulting iteration rolls back and re-runs on the
+        scalar ``py`` tier) must be report-identical to all-scalar runs
+        — the abort charges exactly the faulting iteration."""
+        trimmed = 0
+        for seed in range(32):
+            case = generate_case(seed)
+            profiler = ProfilerConfig(
+                hot_threshold=case.config.hot_threshold
+            )
+            tracer = Tracer()
+            with backend_forced("batch"):
+                system = DbtSystem(
+                    case.program(), "smarq",
+                    profiler_config=profiler, tracer=tracer,
+                )
+                batch = system.run(max_guest_steps=MAX_STEPS).to_dict()
+            if not tracer.counters.get("vliw.batch_trims"):
+                continue
+            with backend_forced("py"):
+                system = DbtSystem(
+                    case.program(), "smarq", profiler_config=profiler
+                )
+                scalar = system.run(max_guest_steps=MAX_STEPS).to_dict()
+            assert batch == scalar, f"seed {seed}"
+            trimmed += 1
+        # seeds 1, 7, 22, 25, 30 trim today; keep slack for generator
+        # drift but insist the abort seam was actually exercised
+        assert trimmed >= 3
+
+
+class TestStepsBudget:
+    def test_budget_bounds_batched_iterations(self):
+        """The kernel never runs more iterations than the budget
+        affords at the scalar loop's max(1, instructions) charge."""
+        with backend_forced("batch"):
+            sim = VliwSimulator(MACHINE, Memory(4096))
+            region = loop_region()
+            # warm up: compiles the kernel and computes the loop site
+            out, _, batched = batch_once(sim, region)
+            assert out.status == "commit" and batched > 0
+            plan = region._vliw_trace[6]
+            per_iter = max(1, plan.batch_loop[0] + 1)
+            # exactly 3 commits' worth of budget → 2 batched + 1 final
+            out, _, batched = batch_once(sim, region, budget=per_iter * 3)
+            assert out.status == "commit"
+            assert batched == 2
+            # one step over → the scalar loop would commit a 4th time
+            out, _, batched = batch_once(
+                sim, region, budget=per_iter * 3 + 1
+            )
+            assert batched == 3
+            # a budget worth < 2 commits cannot batch at all
+            out, _, batched = batch_once(sim, region, budget=1)
+            assert out.status == "commit"
+            assert batched == 0
+
+    def test_exhaustion_mid_run_matches_interp(self):
+        """A system run cut off inside the hot loop is byte-identical
+        whether the tail ran batched or interpreted."""
+        program = make_benchmark("pchase", scale=0.05)
+        tracer = Tracer()
+        with backend_forced("batch"):
+            system = DbtSystem(program, "smarq", tracer=tracer)
+            batch = system.run(max_guest_steps=3_000).to_dict()
+        assert tracer.counters.get("vliw.backend_batch", 0) > 0
+        with backend_forced("interp"):
+            system = DbtSystem(program, "smarq")
+            oracle = system.run(max_guest_steps=3_000).to_dict()
+        assert batch == oracle
+
+
+class TestPromotionDemotion:
+    def test_batch_engages_at_threshold(self, monkeypatch):
+        monkeypatch.delenv("SMARQ_REPLAY_BACKEND", raising=False)
+        sim = VliwSimulator(MACHINE, Memory(4096))
+        region = loop_region()
+        batched = [
+            batch_once(sim, region)[2]
+            for _ in range(_BATCH_THRESHOLD + 2)
+        ]
+        # executions 1.._BATCH_THRESHOLD-1 stay scalar; the threshold
+        # execution and everything after it batches
+        assert batched[: _BATCH_THRESHOLD - 1] == [0] * (
+            _BATCH_THRESHOLD - 1
+        )
+        assert all(b > 0 for b in batched[_BATCH_THRESHOLD - 1:])
+
+    def test_early_trimming_trace_demotes(self):
+        """A trace whose alias sweep fires every iteration trims at
+        iteration 0 each time; after BATCH_TRIM_LIMIT early trims the
+        artifact demotes and the tier stops trying."""
+        with backend_forced("batch"):
+            tracer = Tracer()
+            sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+            region = alias_loop_region()
+            for _ in range(BATCH_TRIM_LIMIT + 3):
+                out, _, batched = batch_once(sim, region, r3=0x100)
+                assert out.status == "alias"
+                assert batched == 0
+            assert tracer.counters.get("vliw.batch_trims") == (
+                BATCH_TRIM_LIMIT
+            )
+            assert region._vliw_trace[6].artifact.batch_state == -1
+
+
+class TestKillSwitches:
+    @pytest.mark.parametrize("width", ["0", "1"])
+    def test_width_env_disables(self, monkeypatch, width):
+        monkeypatch.setenv("SMARQ_BATCH_WIDTH", width)
+        with backend_forced("batch"):
+            sim = VliwSimulator(MACHINE, Memory(4096))
+            region = loop_region()
+            out, _, batched = batch_once(sim, region)
+            assert out.status == "commit"
+            assert batched == 0
+
+    def test_width_env_caps_batch(self, monkeypatch):
+        monkeypatch.setenv("SMARQ_BATCH_WIDTH", "4")
+        with backend_forced("batch"):
+            sim = VliwSimulator(MACHINE, Memory(4096))
+            region = loop_region()
+            # width-4 batch: 3 batched commits + the final scalar-path
+            # commit, regardless of remaining budget
+            out, _, batched = batch_once(sim, region)
+            assert out.status == "commit"
+            assert batched == 3
+
+    def test_forced_scalar_backend_never_batches(self):
+        for tier in ("interp", "py", "vec"):
+            with backend_forced(tier):
+                sim = VliwSimulator(MACHINE, Memory(4096))
+                region = loop_region()
+                for _ in range(_BATCH_THRESHOLD + 2):
+                    out, _, batched = batch_once(sim, region)
+                    assert batched == 0
+                    assert out.status == "commit"
+
+    def test_report_identical_with_tier_disabled(self, monkeypatch):
+        enabled = bench_report("pchase", "smarq")
+        monkeypatch.setenv("SMARQ_BATCH_WIDTH", "0")
+        disabled = bench_report("pchase", "smarq")
+        assert enabled == disabled
+
+
+class TestInvalidation:
+    def test_reoptimize_drops_batch_kernel(self):
+        """Plan invalidation (re-optimization) drops the shared artifact
+        for the region's replay key — the next run recompiles."""
+        with backend_forced("batch"):
+            tracer = Tracer()
+            sim = VliwSimulator(MACHINE, Memory(4096), tracer=tracer)
+            region = loop_region()
+            region._replay_key = ("test-batch-invalidate",)
+            batch_once(sim, region)
+            assert tracer.counters.get("vliw.batch_compiles") == 1
+            # a second run reuses the compiled kernel
+            batch_once(sim, region)
+            assert tracer.counters.get("vliw.batch_compiles") == 1
+            assert invalidate_timing_plans(region) is True
+            out, _, batched = batch_once(sim, region)
+            assert out.status == "commit" and batched > 0
+            assert tracer.counters.get("vliw.batch_compiles") == 2
+
+
+class TestIrHelpers:
+    def ir(self, ops, events=None, payloads=None):
+        n = len(ops)
+        return R.ReplayIR(
+            ops, events or [()] * n, payloads or [None] * n, []
+        )
+
+    def test_loop_candidate_first_br(self):
+        ir = self.ir([(R.OP_ALU, R.A_MOVI, 1, None, None, 5),
+                      (R.OP_BR, 0), (R.OP_NOP,)])
+        assert R.loop_candidate(ir) == (1, R.X_BR)
+
+    def test_loop_candidate_fall_through(self):
+        ir = self.ir([(R.OP_ALU, R.A_MOVI, 1, None, None, 5), (R.OP_NOP,)])
+        assert R.loop_candidate(ir) == (1, R.X_FALL)
+
+    def test_loop_candidate_program_exit(self):
+        ir = self.ir([(R.OP_EXIT, 0)])
+        assert R.loop_candidate(ir) is None
+        assert R.loop_candidate(self.ir([])) is None
+
+    def test_batch_legality_bits(self):
+        ir = self.ir([(R.OP_BR, 0)])
+        bits = R.batch_legality(ir)
+        assert bits == {"legal": True, "family": None, "loop": [0, R.X_BR]}
+        assert R.batch_legality(self.ir([(R.OP_EXIT, 0)]))["legal"] is False
+
+    def test_payload_roundtrip_carries_batch_bits(self):
+        ir = self.ir([(R.OP_ALU, R.A_ADDI, 2, 1, None, 8), (R.OP_BR, 0)])
+        payload = ir.to_payload()
+        assert payload["batch"] == R.batch_legality(ir)
+        back = R.ReplayIR.from_payload(payload)
+        assert back.ops == ir.ops
+
+    def test_columnar_views_parallel_to_ops(self):
+        ir = self.ir([(R.OP_ALU, R.A_MOVI, 1, None, None, 7),
+                      (R.OP_LD, 2, 1, 4, 8, None), (R.OP_BR, 0)])
+        kind, f1, f2, f3, f4, f5 = R.columnar_views(ir)
+        assert list(kind) == [R.OP_ALU, R.OP_LD, R.OP_BR]
+        assert len(f1) == len(ir.ops)
+        # None operand slots encode as -1
+        assert f3[0] == -1 and f5[1] == -1
+
+
+class TestPrefilterFlavors:
+    MASK = (1 << 64) - 1
+
+    def random_inputs(self, rng):
+        n = rng.randint(1, 24)
+        msize = rng.choice([64, 4096, 1 << 20])
+        bounds, pairs = [], []
+        for _ in range(rng.randint(0, 3)):
+            w = rng.choice([1, 4, 8])
+            a0 = rng.randrange(msize * 2) if rng.random() < 0.9 else (
+                rng.randrange(1 << 64)
+            )
+            stride = rng.choice([0, 1, 8, 16, self.MASK - 7, self.MASK])
+            bounds.append((a0, stride, msize - w))
+        for _ in range(rng.randint(0, 3)):
+            a = rng.randrange(msize)
+            b = a + rng.randrange(-8, 9) if rng.random() < 0.7 else (
+                rng.randrange(msize)
+            )
+            pairs.append((
+                a & self.MASK, rng.choice([0, 8]), rng.choice([4, 8]),
+                b & self.MASK, rng.choice([0, 8]), rng.choice([4, 8]),
+            ))
+        return n, tuple(bounds), tuple(pairs)
+
+    @pytest.mark.skipif(
+        backends._np is None, reason="numpy not installed"
+    )
+    def test_pure_and_numpy_agree(self):
+        rng = random.Random(0x5A)
+        for _ in range(300):
+            n, bounds, pairs = self.random_inputs(rng)
+            pure = backends._prefilter_pure(n, bounds, pairs)
+            np_ok = backends._prefilter_np(n, bounds, pairs)
+            assert pure == np_ok, (n, bounds, pairs)
+
+    def test_negative_limit_rejects_everything(self):
+        assert backends._prefilter_pure(8, ((0, 1, -1),), ()) == 0
+
+    def test_flavor_selector(self, monkeypatch):
+        if backends._np is not None:
+            monkeypatch.delenv("SMARQ_BATCH_PURE", raising=False)
+            assert batch_flavor() == "numpy"
+            monkeypatch.setenv("SMARQ_BATCH_PURE", "1")
+            assert batch_flavor() == "pure"
+        else:
+            assert batch_flavor() == "pure"
+
+
+class TestServeBatchWarm:
+    def test_repeat_batch_reuses_batch_kernels(self):
+        """With memo and report cache off, a repeat batch re-executes
+        through the engine — and must be served entirely by the warm
+        compiled batch kernels: zero new ``vliw.batch_compiles``."""
+        from repro.engine.jobs import JobSpec
+        from repro.serve import ServeClient, ServeConfig, running_server
+
+        jobs = [
+            JobSpec(benchmark=b, scheme_key="smarq", scale=0.05)
+            for b in ("pchase", "pwalk")
+        ]
+        # drop process-wide artifacts so the cold leg really compiles
+        reset_artifact_cache()
+        with running_server(
+            ServeConfig(cache=False, memo_limit=0)
+        ) as server:
+            with ServeClient(server.address) as client:
+                assert client.submit(jobs).failed == 0
+                cold = client.stats()["counters"]
+                assert client.submit(jobs).failed == 0
+                warm = client.stats()["counters"]
+        assert cold.get("vliw.batch_compiles", 0) >= 1
+        assert warm["vliw.batch_compiles"] == cold["vliw.batch_compiles"]
+        # the batch tier ran again on the repeat — on warm kernels
+        assert warm.get("vliw.backend_batch", 0) > cold.get(
+            "vliw.backend_batch", 0
+        )
+
+
+class TestBatchDifferential:
+    """The perf harness's same-process kill-switch differential."""
+
+    def test_kill_switch_legs_and_aggregates(self):
+        import os
+
+        from repro.perf.harness import measure_batch_differential
+
+        prior = os.environ.get("SMARQ_BATCH_WIDTH")
+        section = measure_batch_differential(
+            benchmarks=["pchase"], scale=0.05, repeats=1
+        )
+        # the width override must not leak out of the measurement
+        assert os.environ.get("SMARQ_BATCH_WIDTH") == prior
+        cell = section["cells"]["pchase/smarq"]
+        # the off leg really is the kill switch, the on leg really batches
+        assert cell["off"]["backends"]["batch"] == 0
+        assert cell["on"]["backends"]["batch"] > 0
+        assert cell["on"]["backends"]["batch_iterations"] > 0
+        assert cell["execute_ratio"] > 0
+        # single-cell aggregates collapse to the cell's own ratio
+        assert section["aggregate_execute_ratio"] == cell["execute_ratio"]
+        assert (
+            section["loop_dominated_execute_ratio"]
+            == section["aggregate_execute_ratio"]
+        )

@@ -150,10 +150,12 @@ class TestTimingPlansAreMemoized:
 
 class TestBackendTiersPartitionExecutions:
     def test_every_region_execution_is_counted_on_one_tier(self):
-        """The three backend counters must account for every region
+        """The four backend counters must account for every region
         entry: unplanned scoreboard runs and forced-interp dispatch are
         ``interp``, generated straight-line runs are ``py``, kernel runs
-        are ``vec`` (a vec fallback re-runs and counts as ``py``)."""
+        are ``vec`` (a vec fallback re-runs and counts as ``py``), and
+        batched back-edge iterations are ``batch`` (one count per
+        iteration — each is a full region execution)."""
         _report, tracer = _run_cell()
         c = tracer.counters
         executed = c.get("vliw.regions_executed", 0)
@@ -161,11 +163,14 @@ class TestBackendTiersPartitionExecutions:
             c.get("vliw.backend_interp", 0)
             + c.get("vliw.backend_py", 0)
             + c.get("vliw.backend_vec", 0)
+            + c.get("vliw.backend_batch", 0)
         )
         assert executed > 0
         assert tiers == executed
-        # a hot cell must actually reach the top tier
-        assert c.get("vliw.backend_vec", 0) > 0
+        # a hot cell must actually reach the vectorized tiers
+        assert (
+            c.get("vliw.backend_vec", 0) + c.get("vliw.backend_batch", 0)
+        ) > 0
 
 
 class TestBenchSchema:
@@ -181,16 +186,24 @@ class TestBenchSchema:
             repeats=1, figures_scale=None,
         )
         payload = run_perf(config)
-        assert payload["bench_schema"] == 5
+        assert payload["bench_schema"] == 6
+        assert payload["batch_flavor"] in ("numpy", "pure")
         cell = payload["cells"]["art/smarq"]
         backends = cell["backends"]
         executed = cell["counters"]["vliw.regions_executed"]
         assert (
             backends["interp"] + backends["py"] + backends["vec"]
+            + backends["batch"]
             == executed
         )
-        assert 0.0 < backends["vec_share"] <= 1.0
-        assert backends["vec_compiles"] >= 1
+        assert 0.0 < backends["vec_share"] + backends["batch_share"] <= 1.0
+        assert backends["vec_compiles"] + backends["batch_compiles"] >= 1
+        assert backends["batch_flavor"] == payload["batch_flavor"]
+        # schema 6: per-phase spread is reported alongside the medians
+        spread = cell["spread"]
+        assert set(spread["phases"]) == set(cell["phases"])
+        for stats in spread["phases"].values():
+            assert {"mean_s", "std_s", "median_s"} <= set(stats)
 
 
 class TestRegressionGate:
